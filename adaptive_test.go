@@ -1,0 +1,89 @@
+package xkaapi_test
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"xkaapi"
+)
+
+// TestCustomAdaptiveTask exercises the raw adaptive task model of §II-D
+// through the public API, without going through Foreach: a task processes a
+// shared Interval and publishes its own splitter; thieves that find nothing
+// to steal call the splitter, which carves off the back of the remaining
+// range into new tasks that recursively do the same.
+//
+// This is the machinery user-level adaptive algorithms (like the paper's
+// STL library, package par here) are built from.
+func TestCustomAdaptiveTask(t *testing.T) {
+	rt := xkaapi.New(xkaapi.WithWorkers(4))
+	defer rt.Close()
+
+	const n = 1 << 20
+	var processed atomic.Int64
+	var pending atomic.Int64
+	pending.Store(n)
+
+	var runAdaptive func(p *xkaapi.Proc, iv *xkaapi.Interval)
+	runAdaptive = func(p *xkaapi.Proc, iv *xkaapi.Interval) {
+		ad := &xkaapi.Adaptive{
+			// The splitter runs on a thief, concurrently with this body; the
+			// runtime guarantees it is the only concurrent splitter. It may
+			// return fewer tasks than requested.
+			Split: func(thief *xkaapi.Proc, k int) []*xkaapi.Task {
+				rem := iv.Remaining()
+				take := rem * int64(k) / int64(k+1)
+				if take < 1024 {
+					return nil
+				}
+				lo, hi, ok := iv.ExtractBack(take)
+				if !ok {
+					return nil
+				}
+				var out []*xkaapi.Task
+				span := hi - lo
+				parts := int64(k)
+				for i := int64(0); i < parts; i++ {
+					plo := lo + i*span/parts
+					phi := lo + (i+1)*span/parts
+					if phi <= plo {
+						continue
+					}
+					sub := new(xkaapi.Interval)
+					sub.Reset(plo, phi)
+					out = append(out, thief.NewAdaptiveTask(func(p2 *xkaapi.Proc) {
+						runAdaptive(p2, sub)
+					}))
+				}
+				return out
+			},
+		}
+		prev := p.SetAdaptive(ad)
+		for {
+			lo, hi, ok := iv.ExtractFront(512)
+			if !ok {
+				break
+			}
+			processed.Add(hi - lo)
+			pending.Add(lo - hi)
+		}
+		p.SetAdaptive(prev)
+	}
+
+	rt.Run(func(p *xkaapi.Proc) {
+		var iv xkaapi.Interval
+		iv.Reset(0, n)
+		runAdaptive(p, &iv)
+		// Wait for iterations carved off by thieves: split-off tasks are
+		// parentless (the victim may outlive or predecease them), so
+		// completion is tracked by the pending counter, as in ForEach.
+		for pending.Load() != 0 {
+			time.Sleep(50 * time.Microsecond)
+		}
+	})
+
+	if got := processed.Load(); got != n {
+		t.Fatalf("processed %d iterations, want %d", got, n)
+	}
+}

@@ -1,0 +1,317 @@
+// Package cilk is a compact Cilk-style fork-join scheduler, reimplemented
+// from the design of Cilk-5 (Frigo, Leiserson, Randall, PLDI 1998): one
+// worker per core, a T.H.E.-protocol deque per worker, random work stealing
+// of the oldest task, and the work-first principle (the spawning worker
+// executes children depth-first; thieves take the shallow, large tasks).
+//
+// It exists as the Cilk+ comparator of the paper's Fig. 1: a scheduler that
+// supports only independent task creation — no dataflow dependencies, no
+// adaptive tasks, no parallel loops. Differences from the X-Kaapi runtime in
+// this module are intentional and mirror the real systems: tasks are
+// heap-allocated per spawn (Cilk allocates frames), there is no steal-request
+// aggregation (each thief locks the victim's deque), and no splitter
+// machinery exists.
+package cilk
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// task is a spawned closure plus the frame bookkeeping for sync.
+type task struct {
+	fn       func(*Worker)
+	parent   *task
+	children atomic.Int32
+}
+
+// Pool is a set of workers executing fork-join computations.
+type Pool struct {
+	workers []*Worker
+
+	idle        atomic.Int32
+	parkMu      sync.Mutex
+	parkCond    *sync.Cond
+	wakePending int
+
+	stop  atomic.Bool
+	runMu sync.Mutex
+	wg    sync.WaitGroup
+}
+
+// Worker is the execution context passed to task bodies.
+type Worker struct {
+	id   int
+	pool *Pool
+	cur  *task
+	rng  uint64
+
+	mu   sync.Mutex // protects buf for thieves; owner locks on conflict
+	head atomic.Int64
+	tail atomic.Int64
+	buf  atomic.Pointer[[]*task]
+}
+
+// NewPool creates a pool with n workers (GOMAXPROCS(0) if n <= 0). The
+// calling goroutine acts as worker 0 during Run.
+func NewPool(n int) *Pool {
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	p := &Pool{}
+	p.parkCond = sync.NewCond(&p.parkMu)
+	p.workers = make([]*Worker, n)
+	for i := range p.workers {
+		w := &Worker{id: i, pool: p, rng: uint64(i)*0x9E3779B97F4A7C15 + 0x853C49E6748FEA9B}
+		buf := make([]*task, 256)
+		w.buf.Store(&buf)
+		p.workers[i] = w
+	}
+	for i := 1; i < n; i++ {
+		p.wg.Add(1)
+		go p.workers[i].loop()
+	}
+	return p
+}
+
+// Close stops and joins the workers.
+func (p *Pool) Close() {
+	if !p.stop.CompareAndSwap(false, true) {
+		return
+	}
+	p.parkMu.Lock()
+	p.wakePending += len(p.workers)
+	p.parkCond.Broadcast()
+	p.parkMu.Unlock()
+	p.wg.Wait()
+}
+
+// Workers returns the pool size.
+func (p *Pool) Workers() int { return len(p.workers) }
+
+// Run executes root on the calling goroutine as worker 0 and returns when
+// the whole computation (root plus all transitively spawned tasks) is done.
+func (p *Pool) Run(root func(*Worker)) {
+	p.runMu.Lock()
+	defer p.runMu.Unlock()
+	w := p.workers[0]
+	w.execute(&task{fn: root})
+}
+
+// ID returns the worker index.
+func (w *Worker) ID() int { return w.id }
+
+// Spawn creates a child task. The caller continues immediately; the child
+// runs later on this worker (LIFO) or on a thief (oldest first).
+func (w *Worker) Spawn(fn func(*Worker)) {
+	t := &task{fn: fn, parent: w.cur}
+	if t.parent != nil {
+		t.parent.children.Add(1)
+	}
+	w.push(t)
+	w.pool.maybeWake()
+}
+
+// Sync waits for all children spawned so far by the current task, scheduling
+// other work while it waits.
+func (w *Worker) Sync() {
+	if w.cur == nil {
+		return
+	}
+	w.waitChildren(w.cur)
+}
+
+func (w *Worker) execute(t *task) {
+	prev := w.cur
+	w.cur = t
+	t.fn(w)
+	if t.children.Load() != 0 {
+		w.waitChildren(t)
+	}
+	w.cur = prev
+	if t.parent != nil {
+		t.parent.children.Add(-1)
+	}
+}
+
+func (w *Worker) waitChildren(t *task) {
+	idle := 0
+	for t.children.Load() != 0 {
+		if w.schedOnce() {
+			idle = 0
+			continue
+		}
+		idle++
+		if idle < 128 {
+			runtime.Gosched()
+		} else {
+			time.Sleep(20 * time.Microsecond)
+		}
+	}
+}
+
+func (w *Worker) schedOnce() bool {
+	if t := w.pop(); t != nil {
+		w.execute(t)
+		return true
+	}
+	if t := w.steal(); t != nil {
+		w.execute(t)
+		return true
+	}
+	return false
+}
+
+func (w *Worker) steal() *task {
+	p := w.pool
+	n := len(p.workers)
+	if n == 1 {
+		return nil
+	}
+	for attempt := 0; attempt < 2*n; attempt++ {
+		w.rng ^= w.rng >> 12
+		w.rng ^= w.rng << 25
+		w.rng ^= w.rng >> 27
+		v := p.workers[int(w.rng%uint64(n))]
+		if v == w || v.tail.Load()-v.head.Load() <= 0 {
+			continue
+		}
+		v.mu.Lock()
+		t := v.stealTopLocked()
+		v.mu.Unlock()
+		if t != nil {
+			return t
+		}
+	}
+	return nil
+}
+
+func (w *Worker) loop() {
+	runtime.LockOSThread()
+	defer runtime.UnlockOSThread()
+	p := w.pool
+	defer p.wg.Done()
+	fails := 0
+	for {
+		if p.stop.Load() {
+			return
+		}
+		if w.schedOnce() {
+			fails = 0
+			continue
+		}
+		fails++
+		if fails < 4 {
+			runtime.Gosched()
+			continue
+		}
+		w.park()
+		fails = 0
+	}
+}
+
+func (w *Worker) park() {
+	p := w.pool
+	p.idle.Add(1)
+	if p.anyWork() || p.stop.Load() {
+		p.idle.Add(-1)
+		return
+	}
+	p.parkMu.Lock()
+	for p.wakePending == 0 && !p.stop.Load() {
+		p.parkCond.Wait()
+	}
+	if p.wakePending > 0 {
+		p.wakePending--
+	}
+	p.parkMu.Unlock()
+	p.idle.Add(-1)
+}
+
+func (p *Pool) maybeWake() {
+	if p.idle.Load() == 0 {
+		return
+	}
+	p.parkMu.Lock()
+	if p.wakePending < int(p.idle.Load()) {
+		p.wakePending++
+		p.parkCond.Signal()
+	}
+	p.parkMu.Unlock()
+}
+
+func (p *Pool) anyWork() bool {
+	for _, v := range p.workers {
+		if v.tail.Load()-v.head.Load() > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// --- T.H.E. deque (owner bottom, thief top) ---
+
+func (w *Worker) push(t *task) {
+	b := w.tail.Load()
+	buf := *w.buf.Load()
+	if b-w.head.Load() >= int64(len(buf)-1) {
+		w.grow(b)
+		buf = *w.buf.Load()
+	}
+	buf[b&int64(len(buf)-1)] = t
+	w.tail.Store(b + 1)
+}
+
+func (w *Worker) grow(b int64) {
+	w.mu.Lock()
+	old := *w.buf.Load()
+	nbuf := make([]*task, len(old)*2)
+	for i := w.head.Load(); i < b; i++ {
+		nbuf[i&int64(len(nbuf)-1)] = old[i&int64(len(old)-1)]
+	}
+	w.buf.Store(&nbuf)
+	w.mu.Unlock()
+}
+
+func (w *Worker) pop() *task {
+	b := w.tail.Load() - 1
+	w.tail.Store(b)
+	h := w.head.Load()
+	if b < h {
+		w.tail.Store(h)
+		return nil
+	}
+	buf := *w.buf.Load()
+	t := buf[b&int64(len(buf)-1)]
+	if b > h {
+		return t
+	}
+	w.mu.Lock()
+	h = w.head.Load()
+	if h <= b {
+		w.head.Store(b + 1)
+		w.tail.Store(b + 1)
+		w.mu.Unlock()
+		return t
+	}
+	w.tail.Store(h)
+	w.mu.Unlock()
+	return nil
+}
+
+func (w *Worker) stealTopLocked() *task {
+	h := w.head.Load()
+	if h >= w.tail.Load() {
+		return nil
+	}
+	buf := *w.buf.Load()
+	t := buf[h&int64(len(buf)-1)]
+	w.head.Store(h + 1)
+	if w.head.Load() > w.tail.Load() {
+		w.head.Store(h)
+		return nil
+	}
+	return t
+}

@@ -1,0 +1,125 @@
+package cilk
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func fibCilk(w *Worker, r *int64, n int) {
+	if n < 2 {
+		*r = int64(n)
+		return
+	}
+	var r1, r2 int64
+	w.Spawn(func(w *Worker) { fibCilk(w, &r1, n-1) })
+	fibCilk(w, &r2, n-2)
+	w.Sync()
+	*r = r1 + r2
+}
+
+func TestFib(t *testing.T) {
+	for _, n := range []int{1, 2, 4} {
+		p := NewPool(n)
+		var r int64
+		p.Run(func(w *Worker) { fibCilk(w, &r, 20) })
+		p.Close()
+		if r != 6765 {
+			t.Fatalf("workers=%d: fib(20)=%d want 6765", n, r)
+		}
+	}
+}
+
+func TestSpawnManyFlat(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	var sum atomic.Int64
+	p.Run(func(w *Worker) {
+		for i := 1; i <= 1000; i++ {
+			i := i
+			w.Spawn(func(*Worker) { sum.Add(int64(i)) })
+		}
+		w.Sync()
+		if got := sum.Load(); got != 500500 {
+			t.Errorf("after sync sum=%d want 500500", got)
+		}
+	})
+}
+
+func TestImplicitSync(t *testing.T) {
+	p := NewPool(3)
+	defer p.Close()
+	var n atomic.Int32
+	p.Run(func(w *Worker) {
+		w.Spawn(func(w *Worker) {
+			for i := 0; i < 10; i++ {
+				w.Spawn(func(*Worker) { n.Add(1) })
+			}
+		})
+	})
+	if n.Load() != 10 {
+		t.Fatalf("n=%d want 10 (grandchildren must finish before Run returns)", n.Load())
+	}
+}
+
+func TestSequentialOrderOneWorker(t *testing.T) {
+	p := NewPool(1)
+	defer p.Close()
+	var order []int
+	p.Run(func(w *Worker) {
+		w.Spawn(func(*Worker) { order = append(order, 1) })
+		order = append(order, 0)
+		w.Sync()
+		order = append(order, 2)
+	})
+	if len(order) != 3 || order[0] != 0 || order[1] != 1 || order[2] != 2 {
+		t.Fatalf("order=%v want [0 1 2]", order)
+	}
+}
+
+func TestMultipleRuns(t *testing.T) {
+	p := NewPool(2)
+	defer p.Close()
+	for i := 0; i < 20; i++ {
+		var r int64
+		p.Run(func(w *Worker) { fibCilk(w, &r, 12) })
+		if r != 144 {
+			t.Fatalf("run %d: fib(12)=%d", i, r)
+		}
+	}
+}
+
+func TestWorkerIDs(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	if p.Workers() != 4 {
+		t.Fatalf("Workers()=%d", p.Workers())
+	}
+	var bad atomic.Int32
+	p.Run(func(w *Worker) {
+		for i := 0; i < 100; i++ {
+			w.Spawn(func(w *Worker) {
+				if w.ID() < 0 || w.ID() >= 4 {
+					bad.Add(1)
+				}
+			})
+		}
+	})
+	if bad.Load() != 0 {
+		t.Fatal("worker IDs out of range")
+	}
+}
+
+func TestDeepSpawnGrowsDeque(t *testing.T) {
+	p := NewPool(2)
+	defer p.Close()
+	var n atomic.Int32
+	p.Run(func(w *Worker) {
+		for i := 0; i < 5000; i++ { // > initial deque capacity
+			w.Spawn(func(*Worker) { n.Add(1) })
+		}
+		w.Sync()
+	})
+	if n.Load() != 5000 {
+		t.Fatalf("n=%d want 5000", n.Load())
+	}
+}

@@ -1,0 +1,103 @@
+// Command xkcholesky regenerates the paper's Fig. 2: GFlop/s of the tile
+// Cholesky factorization (PLASMA_dpotrf_Tile) as a function of matrix size,
+// for tile sizes NB=128 and NB=224, under three schedulers:
+//
+//   - PLASMA/Quark  — the QUARK API on its native centralized ready list;
+//   - XKaapi        — the same QUARK insertion sequence on the X-Kaapi
+//     engine (the paper's binary-compatible QUARK port);
+//   - PLASMA/static — the static pipeline with progress tables.
+//
+// Expected shape (paper, 48 cores): at NB=128 XKaapi beats Quark (ready-list
+// contention) and approaches static; at NB=224 the gap narrows because task
+// management is amortized, but larger grain reduces available parallelism.
+//
+// Usage:
+//
+//	xkcholesky [-sizes 512,1024,2048] [-nb 128,224] [-cores N] [-reps 2]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"xkaapi/internal/cholesky"
+	"xkaapi/internal/harness"
+	"xkaapi/internal/tile"
+	"xkaapi/quark"
+)
+
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, p := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil || v < 1 {
+			return nil, fmt.Errorf("bad integer list %q", s)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func main() {
+	sizesFlag := flag.String("sizes", "512,1024,1536,2048", "matrix orders to sweep")
+	nbFlag := flag.String("nb", "128,224", "tile sizes (paper: 128 and 224)")
+	cores := flag.Int("cores", runtime.GOMAXPROCS(0), "worker threads")
+	reps := flag.Int("reps", 2, "timed repetitions per point (median)")
+	flag.Parse()
+
+	sizes, err := parseInts(*sizesFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	nbs, err := parseInts(*nbFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	for _, nb := range nbs {
+		fmt.Printf("Fig.2 — Cholesky GFlop/s, NB=%d, %d cores\n\n", nb, *cores)
+		series := []harness.Series{
+			{Name: "PLASMA/Quark"}, {Name: "XKaapi"}, {Name: "PLASMA/static"},
+		}
+		for _, n := range sizes {
+			src := tile.NewSPD(n, 42)
+			var m *tile.Tiled
+			setup := func() { m = tile.FromDense(src, nb) }
+
+			qn := quark.New(*cores, quark.EngineNative)
+			dq := harness.TimeSetup(*reps, setup, func() {
+				if err := cholesky.RunQuark(qn, m); err != nil {
+					panic(err)
+				}
+			})
+			qn.Delete()
+
+			qk := quark.New(*cores, quark.EngineKaapi)
+			dk := harness.TimeSetup(*reps, setup, func() {
+				if err := cholesky.RunQuark(qk, m); err != nil {
+					panic(err)
+				}
+			})
+			qk.Delete()
+
+			ds := harness.TimeSetup(*reps, setup, func() {
+				if err := cholesky.Static(*cores, m); err != nil {
+					panic(err)
+				}
+			})
+
+			for i, d := range []time.Duration{dq, dk, ds} {
+				series[i].Values = append(series[i].Values, cholesky.Gflops(n, d))
+			}
+		}
+		harness.Table(os.Stdout, "size", sizes, series, harness.Gf)
+		fmt.Println()
+	}
+}

@@ -1,0 +1,128 @@
+// Command xkepx regenerates the paper's EPX application experiments on the
+// MEPPEN (missile crash) and MAXPLANE (ice impact on composite plate)
+// surrogate instances:
+//
+//   - -exp fig6: per-kernel speedups of LOOPELM and REPERA versus core
+//     count, one table per instance (paper's Fig. 6 — LOOPELM is
+//     memory-bound and saturates on MEPPEN, REPERA scales well);
+//   - -exp fig8: stacked time decomposition (repera / loopelm / cholesky /
+//     other) versus core count under X-Kaapi (paper's Fig. 8 — 'other'
+//     stays constant, Amdahl's law).
+//
+// Usage:
+//
+//	xkepx [-exp fig6|fig8] [-inst meppen|maxplane|both] [-scale 1]
+//	      [-cores 1,2] [-reps 2]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"xkaapi/internal/epx"
+	"xkaapi/internal/harness"
+)
+
+func instances(name string, scale int) []epx.Instance {
+	switch strings.ToLower(name) {
+	case "meppen":
+		return []epx.Instance{epx.MEPPEN(scale)}
+	case "maxplane":
+		return []epx.Instance{epx.MAXPLANE(scale)}
+	default:
+		return []epx.Instance{epx.MEPPEN(scale), epx.MAXPLANE(scale)}
+	}
+}
+
+func main() {
+	exp := flag.String("exp", "fig8", "experiment: fig6 or fig8")
+	inst := flag.String("inst", "both", "instance: meppen, maxplane or both")
+	scale := flag.Int("scale", 1, "instance scale factor")
+	coresFlag := flag.String("cores", "", "comma-separated core counts")
+	reps := flag.Int("reps", 2, "repetitions per point (median)")
+	flag.Parse()
+
+	cores, err := harness.ParseCores(*coresFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	for _, in := range instances(*inst, *scale) {
+		switch *exp {
+		case "fig6":
+			fig6(in, cores, *reps)
+		case "fig8":
+			fig8(in, cores, *reps)
+		default:
+			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
+			os.Exit(2)
+		}
+	}
+}
+
+// timeInstance runs the instance once on b and returns the phase split.
+func timeInstance(in epx.Instance, b epx.Backend, reps int) epx.PhaseTimes {
+	var best epx.PhaseTimes
+	for i := 0; i < reps; i++ {
+		s, err := epx.NewSim(in)
+		if err != nil {
+			panic(err)
+		}
+		pt, err := s.Run(b)
+		if err != nil {
+			panic(err)
+		}
+		if i == 0 || pt.Total() < best.Total() {
+			best = pt
+		}
+	}
+	return best
+}
+
+func fig6(in epx.Instance, cores []int, reps int) {
+	seqB := epx.NewSeqBackend()
+	seq := timeInstance(in, seqB, reps)
+	seqB.Close()
+	fmt.Printf("Fig.6 — %s: LOOPELM / REPERA speedup under X-Kaapi (Tseq: loopelm=%.3fs repera=%.3fs)\n\n",
+		in.Name, seq.Loopelm.Seconds(), seq.Repera.Seconds())
+	series := []harness.Series{{Name: "LOOPELM"}, {Name: "REPERA"}, {Name: "ideal"}}
+	for _, p := range cores {
+		b := epx.NewKaapiBackend(p)
+		pt := timeInstance(in, b, reps)
+		b.Close()
+		series[0].Values = append(series[0].Values, seq.Loopelm.Seconds()/pt.Loopelm.Seconds())
+		series[1].Values = append(series[1].Values, seq.Repera.Seconds()/pt.Repera.Seconds())
+		series[2].Values = append(series[2].Values, float64(p))
+	}
+	harness.Table(os.Stdout, "cores", cores, series, harness.Ratio)
+	fmt.Println()
+}
+
+func fig8(in epx.Instance, cores []int, reps int) {
+	fmt.Printf("Fig.8 — %s: time decomposition (seconds) under X-Kaapi\n\n", in.Name)
+	series := []harness.Series{
+		{Name: "repera"}, {Name: "loopelm"}, {Name: "cholesky"}, {Name: "other"}, {Name: "total"},
+	}
+	for _, p := range cores {
+		var pt epx.PhaseTimes
+		if p == 1 {
+			b := epx.NewSeqBackend()
+			pt = timeInstance(in, b, reps)
+			b.Close()
+		} else {
+			b := epx.NewKaapiBackend(p)
+			pt = timeInstance(in, b, reps)
+			b.Close()
+		}
+		series[0].Values = append(series[0].Values, pt.Repera.Seconds())
+		series[1].Values = append(series[1].Values, pt.Loopelm.Seconds())
+		series[2].Values = append(series[2].Values, pt.Cholesky.Seconds())
+		series[3].Values = append(series[3].Values, pt.Other.Seconds())
+		series[4].Values = append(series[4].Values, pt.Total().Seconds())
+	}
+	harness.Table(os.Stdout, "cores", cores, series, harness.Seconds)
+	fmt.Println()
+}

@@ -1,0 +1,167 @@
+// Command xkfib regenerates the paper's Fig. 1: the Fibonacci task-creation
+// micro-benchmark comparing Cilk+-style, TBB-style, X-Kaapi and OpenMP-style
+// schedulers. The program of the figure is reproduced exactly — one spawned
+// task per node, one inline recursive call, one sync — and the table prints
+// execution times per core count plus the 1-core slowdown relative to the
+// sequential function (the paper reports Cilk+ ×11.7, TBB ×26, Kaapi ×8,
+// OpenMP ×27 for fib(35); expect the same ordering, not the same constants).
+//
+// Usage:
+//
+//	xkfib [-n 30] [-reps 3] [-cores 1,2,4]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"xkaapi"
+	"xkaapi/cilk"
+	"xkaapi/gomp"
+	"xkaapi/internal/harness"
+	"xkaapi/tbbsched"
+)
+
+func fibSeq(n int) int64 {
+	if n < 2 {
+		return int64(n)
+	}
+	return fibSeq(n-1) + fibSeq(n-2)
+}
+
+func fibKaapi(p *xkaapi.Proc, r *int64, n int) {
+	if n < 2 {
+		*r = int64(n)
+		return
+	}
+	var r1, r2 int64
+	p.Spawn(func(p *xkaapi.Proc) { fibKaapi(p, &r1, n-1) })
+	fibKaapi(p, &r2, n-2)
+	p.Sync()
+	*r = r1 + r2
+}
+
+func fibCilk(w *cilk.Worker, r *int64, n int) {
+	if n < 2 {
+		*r = int64(n)
+		return
+	}
+	var r1, r2 int64
+	w.Spawn(func(w *cilk.Worker) { fibCilk(w, &r1, n-1) })
+	fibCilk(w, &r2, n-2)
+	w.Sync()
+	*r = r1 + r2
+}
+
+func fibTBB(c *tbbsched.Context, r *int64, n int) {
+	if n < 2 {
+		*r = int64(n)
+		return
+	}
+	var r1, r2 int64
+	c.Spawn(tbbsched.FuncTask(func(c *tbbsched.Context) { fibTBB(c, &r1, n-1) }))
+	fibTBB(c, &r2, n-2)
+	c.Wait()
+	*r = r1 + r2
+}
+
+func fibGomp(tc *gomp.TC, r *int64, n int) {
+	if n < 2 {
+		*r = int64(n)
+		return
+	}
+	var r1, r2 int64
+	tc.Task(func(tc *gomp.TC) { fibGomp(tc, &r1, n-1) })
+	fibGomp(tc, &r2, n-2)
+	tc.Taskwait()
+	*r = r1 + r2
+}
+
+func main() {
+	n := flag.Int("n", 30, "Fibonacci number (paper: 35)")
+	reps := flag.Int("reps", 3, "timed repetitions per point (median reported)")
+	coresFlag := flag.String("cores", "", "comma-separated core counts (default: 1,2,4,... up to GOMAXPROCS)")
+	flag.Parse()
+
+	cores, err := harness.ParseCores(*coresFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	want := fibSeq(*n)
+	seq := harness.Time(*reps, true, func() {
+		if fibSeq(*n) != want {
+			panic("bad fib")
+		}
+	})
+	fmt.Printf("Fig.1 — Fibonacci(%d) task creation overhead (sequential: %.4fs)\n\n",
+		*n, seq.Seconds())
+
+	type system struct {
+		name string
+		run  func(p int) time.Duration
+	}
+	check := func(r int64) {
+		if r != want {
+			panic(fmt.Sprintf("wrong result %d, want %d", r, want))
+		}
+	}
+	systems := []system{
+		{"Cilk+", func(p int) time.Duration {
+			pool := cilk.NewPool(p)
+			defer pool.Close()
+			return harness.Time(*reps, true, func() {
+				var r int64
+				pool.Run(func(w *cilk.Worker) { fibCilk(w, &r, *n) })
+				check(r)
+			})
+		}},
+		{"TBB", func(p int) time.Duration {
+			s := tbbsched.NewScheduler(p)
+			defer s.Close()
+			return harness.Time(*reps, true, func() {
+				var r int64
+				s.Run(func(c *tbbsched.Context) { fibTBB(c, &r, *n) })
+				check(r)
+			})
+		}},
+		{"Kaapi", func(p int) time.Duration {
+			rt := xkaapi.New(xkaapi.WithWorkers(p))
+			defer rt.Close()
+			return harness.Time(*reps, true, func() {
+				var r int64
+				rt.Run(func(pr *xkaapi.Proc) { fibKaapi(pr, &r, *n) })
+				check(r)
+			})
+		}},
+		{"OpenMP", func(p int) time.Duration {
+			tm := gomp.NewTeam(p)
+			defer tm.Close()
+			return harness.Time(*reps, true, func() {
+				var r int64
+				tm.Parallel(func(tc *gomp.TC) {
+					tc.Single(func() { fibGomp(tc, &r, *n) })
+				})
+				check(r)
+			})
+		}},
+	}
+
+	series := make([]harness.Series, len(systems))
+	for i, sys := range systems {
+		series[i].Name = sys.name
+		for _, p := range cores {
+			d := sys.run(p)
+			series[i].Values = append(series[i].Values, d.Seconds())
+		}
+	}
+
+	harness.Table(os.Stdout, "cores", cores, series, harness.Seconds)
+	fmt.Printf("\n1-core slowdown vs sequential (paper: Cilk+ x11.7, TBB x26, Kaapi x8, OpenMP x27):\n")
+	for _, s := range series {
+		fmt.Printf("  %-7s x%.1f\n", s.Name, s.Values[0]/seq.Seconds())
+	}
+}

@@ -1,0 +1,82 @@
+// Command xkloops regenerates the paper's Fig. 3: the speedup of the two
+// parallel loops of EPX (LOOPELM and REPERA iteration bodies, run
+// back-to-back as in the application) under OpenMP static and dynamic
+// schedules versus the X-Kaapi adaptive foreach, against the ideal line.
+//
+// Expected shape (paper, 48 cores): OpenMP static ≈ OpenMP dynamic, X-Kaapi
+// very close to OpenMP and pulling ahead past ~25 cores.
+//
+// Usage:
+//
+//	xkloops [-cores 1,2,4] [-reps 3] [-nx 20 -ny 20 -nz 10]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"xkaapi/gomp"
+	"xkaapi/internal/epx"
+	"xkaapi/internal/harness"
+)
+
+func main() {
+	coresFlag := flag.String("cores", "", "comma-separated core counts")
+	reps := flag.Int("reps", 3, "timed repetitions per point (median)")
+	nx := flag.Int("nx", 20, "mesh elements in x")
+	ny := flag.Int("ny", 20, "mesh elements in y")
+	nz := flag.Int("nz", 10, "mesh elements in z")
+	refine := flag.Int("refine", 24, "REPERA refinement iterations")
+	flag.Parse()
+
+	cores, err := harness.ParseCores(*coresFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	mesh := epx.NewBox(*nx, *ny, *nz, 1)
+	st := epx.NewState(mesh, epx.Material{E: 100, Yield: 0.02, Hard: 0.3})
+	st.Kick(0.4, 0.8)
+	st.Integrate()
+	rep := epx.NewRepera(mesh, *refine)
+	rep.Build(st.Disp)
+
+	// One "iteration" of the measured region = both EPX loops.
+	loops := func(b epx.Backend) {
+		b.Foreach(0, mesh.NumElems(), func(lo, hi int) { st.ElemForceRange(lo, hi) })
+		b.Foreach(0, mesh.NumNodes(), func(lo, hi int) { rep.SortRange(st.Disp, lo, hi) })
+	}
+
+	seqB := epx.NewSeqBackend()
+	seq := harness.Time(*reps, true, func() { loops(seqB) })
+	seqB.Close()
+	fmt.Printf("Fig.3 — parallel loop speedup (mesh %dx%dx%d: %d elems, %d nodes; Tseq=%.3fs)\n\n",
+		*nx, *ny, *nz, mesh.NumElems(), mesh.NumNodes(), seq.Seconds())
+
+	mk := []struct {
+		name string
+		mkB  func(p int) epx.Backend
+	}{
+		{"OpenMP/dynamic", func(p int) epx.Backend { return epx.NewGompBackend(p, gomp.Dynamic, 16) }},
+		{"OpenMP/static", func(p int) epx.Backend { return epx.NewGompBackend(p, gomp.Static, 0) }},
+		{"XKaapi", func(p int) epx.Backend { return epx.NewKaapiBackend(p) }},
+	}
+	series := make([]harness.Series, len(mk)+1)
+	for i, m := range mk {
+		series[i].Name = m.name
+		for _, p := range cores {
+			b := m.mkB(p)
+			d := harness.Time(*reps, true, func() { loops(b) })
+			b.Close()
+			series[i].Values = append(series[i].Values, seq.Seconds()/d.Seconds())
+		}
+	}
+	series[len(mk)].Name = "ideal"
+	for _, p := range cores {
+		series[len(mk)].Values = append(series[len(mk)].Values, float64(p))
+	}
+
+	harness.Table(os.Stdout, "cores", cores, series, harness.Ratio)
+}

@@ -1,0 +1,211 @@
+package gomp
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func newTeam(t *testing.T, n int) *Team {
+	t.Helper()
+	tm := NewTeam(n)
+	t.Cleanup(tm.Close)
+	return tm
+}
+
+func TestParallelRunsOncePerThread(t *testing.T) {
+	tm := newTeam(t, 4)
+	var seen [4]int32
+	tm.Parallel(func(tc *TC) {
+		atomic.AddInt32(&seen[tc.TID()], 1)
+	})
+	for tid, n := range seen {
+		if n != 1 {
+			t.Fatalf("thread %d ran %d times", tid, n)
+		}
+	}
+}
+
+func TestParallelForStaticBlock(t *testing.T) {
+	tm := newTeam(t, 4)
+	const n = 10000
+	hits := make([]int32, n)
+	tm.ParallelFor(0, n, Static, 0, func(tid, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			atomic.AddInt32(&hits[i], 1)
+		}
+	})
+	for i, h := range hits {
+		if h != 1 {
+			t.Fatalf("static: iteration %d executed %d times", i, h)
+		}
+	}
+}
+
+func TestParallelForStaticChunk(t *testing.T) {
+	tm := newTeam(t, 3)
+	const n = 1000
+	hits := make([]int32, n)
+	owner := make([]int32, n)
+	tm.ParallelFor(0, n, Static, 7, func(tid, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			atomic.AddInt32(&hits[i], 1)
+			atomic.StoreInt32(&owner[i], int32(tid))
+		}
+	})
+	for i, h := range hits {
+		if h != 1 {
+			t.Fatalf("static,7: iteration %d executed %d times", i, h)
+		}
+	}
+	// Round-robin: chunk c of iteration space belongs to thread (c % p).
+	for i := range owner {
+		want := int32((i / 7) % 3)
+		if owner[i] != want {
+			t.Fatalf("iteration %d owned by %d want %d", i, owner[i], want)
+		}
+	}
+}
+
+func TestParallelForDynamic(t *testing.T) {
+	tm := newTeam(t, 4)
+	const n = 10000
+	hits := make([]int32, n)
+	tm.ParallelFor(0, n, Dynamic, 16, func(tid, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			atomic.AddInt32(&hits[i], 1)
+		}
+	})
+	for i, h := range hits {
+		if h != 1 {
+			t.Fatalf("dynamic: iteration %d executed %d times", i, h)
+		}
+	}
+}
+
+func TestParallelForGuided(t *testing.T) {
+	tm := newTeam(t, 4)
+	const n = 10000
+	hits := make([]int32, n)
+	var chunks atomic.Int64
+	tm.ParallelFor(0, n, Guided, 8, func(tid, lo, hi int) {
+		chunks.Add(1)
+		for i := lo; i < hi; i++ {
+			atomic.AddInt32(&hits[i], 1)
+		}
+	})
+	for i, h := range hits {
+		if h != 1 {
+			t.Fatalf("guided: iteration %d executed %d times", i, h)
+		}
+	}
+	// Guided must use far fewer chunks than dynamic with the same minimum.
+	if c := chunks.Load(); c > n/8 {
+		t.Fatalf("guided used %d chunks; expected decreasing sizes", c)
+	}
+}
+
+func TestParallelForEmptyAndReversed(t *testing.T) {
+	tm := newTeam(t, 2)
+	ran := false
+	tm.ParallelFor(3, 3, Dynamic, 1, func(int, int, int) { ran = true })
+	tm.ParallelFor(5, 2, Static, 0, func(int, int, int) { ran = true })
+	if ran {
+		t.Fatal("body ran for empty range")
+	}
+}
+
+func fibGomp(tc *TC, r *int64, n int) {
+	if n < 2 {
+		*r = int64(n)
+		return
+	}
+	var r1, r2 int64
+	tc.Task(func(tc *TC) { fibGomp(tc, &r1, n-1) })
+	fibGomp(tc, &r2, n-2)
+	tc.Taskwait()
+	*r = r1 + r2
+}
+
+func TestTasksFib(t *testing.T) {
+	tm := newTeam(t, 4)
+	var r int64
+	tm.Parallel(func(tc *TC) {
+		tc.Single(func() { fibGomp(tc, &r, 18) })
+	})
+	if r != 2584 {
+		t.Fatalf("fib(18)=%d want 2584", r)
+	}
+}
+
+func TestTasksFibNoThrottle(t *testing.T) {
+	tm := newTeam(t, 4)
+	tm.Throttle = false
+	var r int64
+	tm.Parallel(func(tc *TC) {
+		tc.Single(func() { fibGomp(tc, &r, 15) })
+	})
+	if r != 610 {
+		t.Fatalf("fib(15)=%d want 610", r)
+	}
+}
+
+func TestRegionBarrierWaitsTasks(t *testing.T) {
+	tm := newTeam(t, 4)
+	var n atomic.Int32
+	tm.Parallel(func(tc *TC) {
+		if tc.TID() == 0 {
+			for i := 0; i < 500; i++ {
+				tc.Task(func(tc *TC) {
+					tc.Task(func(*TC) { n.Add(1) })
+				})
+			}
+		}
+	})
+	if n.Load() != 500 {
+		t.Fatalf("n=%d want 500 (barrier must wait nested tasks)", n.Load())
+	}
+}
+
+func TestTaskwaitFromImplicitTask(t *testing.T) {
+	tm := newTeam(t, 2)
+	var n atomic.Int32
+	tm.Parallel(func(tc *TC) {
+		if tc.TID() == 0 {
+			for i := 0; i < 10; i++ {
+				tc.Task(func(*TC) { n.Add(1) })
+			}
+			tc.Taskwait()
+			if n.Load() != 10 {
+				t.Errorf("taskwait returned with %d/10 tasks done", n.Load())
+			}
+		}
+	})
+}
+
+func TestTeamReuseAcrossRegions(t *testing.T) {
+	tm := newTeam(t, 3)
+	for i := 0; i < 10; i++ {
+		var n atomic.Int32
+		tm.Parallel(func(*TC) { n.Add(1) })
+		if n.Load() != 3 {
+			t.Fatalf("region %d ran on %d threads", i, n.Load())
+		}
+	}
+}
+
+func TestScheduleString(t *testing.T) {
+	if Static.String() != "static" || Dynamic.String() != "dynamic" || Guided.String() != "guided" {
+		t.Fatal("schedule names wrong")
+	}
+}
+
+func TestSingleThreadTeam(t *testing.T) {
+	tm := newTeam(t, 1)
+	var r int64
+	tm.Parallel(func(tc *TC) {
+		tc.Single(func() { fibGomp(tc, &r, 12) })
+	})
+	if r != 144 {
+		t.Fatalf("fib(12)=%d", r)
+	}
+}

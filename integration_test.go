@@ -1,0 +1,241 @@
+package xkaapi_test
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"xkaapi"
+	"xkaapi/gomp"
+	"xkaapi/internal/cholesky"
+	"xkaapi/internal/epx"
+	"xkaapi/internal/skyline"
+	"xkaapi/internal/tile"
+	"xkaapi/quark"
+)
+
+// Integration tests: whole-stack scenarios crossing the public runtime,
+// the compatibility layers and the numerical substrates, mirroring how the
+// paper's evaluation programs compose them.
+
+// TestIntegrationMixedParadigms runs all three paradigms in one program:
+// dataflow tasks produce tile data, a fork-join tree checks it, and an
+// adaptive loop reduces it — the "multi paradigm without penalty" claim.
+func TestIntegrationMixedParadigms(t *testing.T) {
+	rt := xkaapi.New(xkaapi.WithWorkers(4))
+	defer rt.Close()
+
+	const n = 1 << 16
+	data := make([]int64, n)
+	var h1, h2 xkaapi.Handle
+	var treeSum, loopSum int64
+
+	rt.Run(func(p *xkaapi.Proc) {
+		// Dataflow: fill then double, strictly ordered.
+		p.SpawnTask(func(*xkaapi.Proc) {
+			for i := range data {
+				data[i] = int64(i)
+			}
+		}, xkaapi.Write(&h1))
+		p.SpawnTask(func(*xkaapi.Proc) {
+			for i := range data {
+				data[i] *= 2
+			}
+		}, xkaapi.ReadWrite(&h1), xkaapi.Write(&h2))
+		p.Sync()
+
+		// Fork-join: tree-sum the array.
+		var tree func(p *xkaapi.Proc, lo, hi int, out *int64)
+		tree = func(p *xkaapi.Proc, lo, hi int, out *int64) {
+			if hi-lo <= 4096 {
+				var s int64
+				for i := lo; i < hi; i++ {
+					s += data[i]
+				}
+				*out = s
+				return
+			}
+			mid := (lo + hi) / 2
+			var l, r int64
+			p.Spawn(func(p *xkaapi.Proc) { tree(p, lo, mid, &l) })
+			tree(p, mid, hi, &r)
+			p.Sync()
+			*out = l + r
+		}
+		tree(p, 0, n, &treeSum)
+
+		// Adaptive loop with reduction over the same data.
+		loopSum = xkaapi.ForeachReduce(p, 0, n, xkaapi.LoopOpts{},
+			func() int64 { return 0 },
+			func(_ *xkaapi.Proc, lo, hi int, acc int64) int64 {
+				for i := lo; i < hi; i++ {
+					acc += data[i]
+				}
+				return acc
+			},
+			func(a, b int64) int64 { return a + b })
+	})
+
+	want := int64(n) * (n - 1) // sum of 2*i for i<n
+	if treeSum != want || loopSum != want {
+		t.Fatalf("treeSum=%d loopSum=%d want %d", treeSum, loopSum, want)
+	}
+}
+
+// TestIntegrationCholeskyAllSchedulersSameFactor runs the Fig. 2 workload
+// across every scheduler and requires bitwise identical factors.
+func TestIntegrationCholeskyAllSchedulersSameFactor(t *testing.T) {
+	const n, nb = 96, 16
+	src := tile.NewSPD(n, 99)
+
+	factors := map[string]*tile.Tiled{}
+
+	seq := tile.FromDense(src, nb)
+	if err := cholesky.Seq(seq); err != nil {
+		t.Fatal(err)
+	}
+	factors["seq"] = seq
+
+	rt := xkaapi.New(xkaapi.WithWorkers(4))
+	mk := tile.FromDense(src, nb)
+	if err := cholesky.Kaapi(rt, mk); err != nil {
+		t.Fatal(err)
+	}
+	rt.Close()
+	factors["kaapi"] = mk
+
+	for _, eng := range []quark.Engine{quark.EngineNative, quark.EngineKaapi} {
+		q := quark.New(4, eng)
+		m := tile.FromDense(src, nb)
+		if err := cholesky.RunQuark(q, m); err != nil {
+			t.Fatal(err)
+		}
+		q.Delete()
+		if eng == quark.EngineNative {
+			factors["quark-native"] = m
+		} else {
+			factors["quark-kaapi"] = m
+		}
+	}
+
+	ms := tile.FromDense(src, nb)
+	if err := cholesky.Static(4, ms); err != nil {
+		t.Fatal(err)
+	}
+	factors["static"] = ms
+
+	for name, f := range factors {
+		if name == "seq" {
+			continue
+		}
+		for bi := 0; bi < seq.NT; bi++ {
+			for bj := 0; bj <= bi; bj++ {
+				a, b := seq.Tile(bi, bj), f.Tile(bi, bj)
+				for x := range a {
+					if a[x] != b[x] {
+						t.Fatalf("%s: tile (%d,%d) differs at %d", name, bi, bj, x)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestIntegrationSparseFactorThenSolveAcrossRuntimes factors the Fig. 7
+// matrix under each runtime and checks the solve agrees.
+func TestIntegrationSparseFactorThenSolveAcrossRuntimes(t *testing.T) {
+	env := skyline.GenEnvelope(256, 0.08, 5)
+	src, err := skyline.NewSPD(env, 32, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	solve := func(factor func(m *skyline.Matrix) error) []float64 {
+		m := src.Clone()
+		if err := factor(m); err != nil {
+			t.Fatal(err)
+		}
+		rhs := make([]float64, m.N)
+		for i := range rhs {
+			rhs[i] = float64(i%13) - 6
+		}
+		m.SolveInPlace(rhs)
+		return rhs
+	}
+	ref := solve(skyline.FactorSeq)
+
+	rt := xkaapi.New(xkaapi.WithWorkers(3))
+	got := solve(func(m *skyline.Matrix) error { return skyline.FactorKaapi(rt, m) })
+	rt.Close()
+	for i := range ref {
+		if ref[i] != got[i] {
+			t.Fatalf("kaapi solution differs at %d", i)
+		}
+	}
+
+	team := gomp.NewTeam(3)
+	got = solve(func(m *skyline.Matrix) error { return skyline.FactorGomp(team, m) })
+	team.Close()
+	for i := range ref {
+		if ref[i] != got[i] {
+			t.Fatalf("gomp solution differs at %d", i)
+		}
+	}
+}
+
+// TestIntegrationEPXShapes checks the defining Fig. 8 property of the two
+// instances on a fast scaled-down run: MEPPEN is loop-dominated, MAXPLANE
+// is CHOLESKY-dominated.
+func TestIntegrationEPXShapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("instance timing in -short mode")
+	}
+	run := func(inst epx.Instance) epx.PhaseTimes {
+		inst.Steps = 2
+		s, err := epx.NewSim(inst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b := epx.NewSeqBackend()
+		defer b.Close()
+		pt, err := s.Run(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return pt
+	}
+	mep := run(epx.MEPPEN(1))
+	if loops := mep.Repera + mep.Loopelm; loops < mep.Cholesky {
+		t.Fatalf("MEPPEN should be loop-dominated: %v", mep)
+	}
+	maxp := run(epx.MAXPLANE(1))
+	if maxp.Cholesky < maxp.Repera+maxp.Loopelm {
+		t.Fatalf("MAXPLANE should be cholesky-dominated: %v", maxp)
+	}
+	if maxp.Cholesky.Seconds() < 0.4*maxp.Total().Seconds() {
+		t.Fatalf("MAXPLANE cholesky fraction too small: %v", maxp)
+	}
+}
+
+// TestIntegrationStatsAggregationEvidence verifies the §II-C mechanism
+// end-to-end: with aggregation on, combiner passes answer posted requests.
+func TestIntegrationStatsAggregationEvidence(t *testing.T) {
+	rt := xkaapi.New(xkaapi.WithWorkers(4), xkaapi.WithSeed(3))
+	defer rt.Close()
+	rt.ResetStats()
+	var sink atomic.Int64
+	rt.Run(func(p *xkaapi.Proc) {
+		fib(p, new(int64), 24)
+		xkaapi.Foreach(p, 0, 1<<18, func(_ *xkaapi.Proc, lo, hi int) {
+			sink.Add(int64(hi - lo))
+		})
+	})
+	s := rt.Stats()
+	if s.StealRequests == 0 {
+		t.Skip("no steals observed on this machine")
+	}
+	if s.Combines == 0 {
+		t.Fatalf("requests posted but no combiner pass ran: %+v", s)
+	}
+	if s.CombineServed > s.StealRequests {
+		t.Fatalf("served more requests than posted: %+v", s)
+	}
+}

@@ -1,0 +1,157 @@
+// Package blas implements the float64 kernel subset needed by the dense and
+// sparse Cholesky factorizations of this module: gemm, syrk, trsm and potrf,
+// in the exact variants the PLASMA tile algorithm uses (lower-triangular,
+// right-looking). Matrices are row-major with an explicit leading dimension,
+// so the same kernels run on full matrices, tiles, and padded skyline
+// blocks.
+//
+// The optimized kernels are written for decent cache behaviour (row-by-row
+// dot products over contiguous memory, 4-way unrolling) rather than peak
+// FLOPs: the paper's Fig. 2 isolates scheduler behaviour over identical
+// kernels, so only the relative cost of scheduling matters, not absolute
+// GFlops. Each kernel has a naive reference twin used by the tests.
+package blas
+
+import (
+	"errors"
+	"math"
+)
+
+// ErrNotSPD is returned by PotrfLower when a non-positive pivot appears,
+// i.e. the input is not (numerically) symmetric positive definite.
+var ErrNotSPD = errors.New("blas: matrix is not positive definite")
+
+// GemmNT computes C -= A * Bᵀ, where A is m×k (lda), B is n×k (ldb) and C is
+// m×n (ldc). This is the Schur-complement update of the tile Cholesky:
+// C(m,n) -= A(m,k) · B(n,k)ᵀ.
+func GemmNT(m, n, k int, a []float64, lda int, b []float64, ldb int, c []float64, ldc int) {
+	for i := 0; i < m; i++ {
+		ar := a[i*lda : i*lda+k]
+		cr := c[i*ldc : i*ldc+n]
+		for j := 0; j < n; j++ {
+			br := b[j*ldb : j*ldb+k]
+			var s0, s1, s2, s3 float64
+			t := 0
+			for ; t+4 <= k; t += 4 {
+				s0 += ar[t] * br[t]
+				s1 += ar[t+1] * br[t+1]
+				s2 += ar[t+2] * br[t+2]
+				s3 += ar[t+3] * br[t+3]
+			}
+			s := s0 + s1 + s2 + s3
+			for ; t < k; t++ {
+				s += ar[t] * br[t]
+			}
+			cr[j] -= s
+		}
+	}
+}
+
+// SyrkLN computes the lower triangle of C -= A * Aᵀ, where A is n×k (lda)
+// and C is n×n (ldc). Only entries C[i][j] with j <= i are touched.
+func SyrkLN(n, k int, a []float64, lda int, c []float64, ldc int) {
+	for i := 0; i < n; i++ {
+		ai := a[i*lda : i*lda+k]
+		cr := c[i*ldc : i*ldc+i+1]
+		for j := 0; j <= i; j++ {
+			aj := a[j*lda : j*lda+k]
+			var s float64
+			for t := 0; t < k; t++ {
+				s += ai[t] * aj[t]
+			}
+			cr[j] -= s
+		}
+	}
+}
+
+// TrsmRLTN solves X · Lᵀ = B in place (B := B · L⁻ᵀ), where L is an n×n
+// (ldl) lower-triangular non-unit matrix and B is m×n (ldb). This is the
+// panel solve applied to every tile below a factored diagonal tile.
+func TrsmRLTN(m, n int, l []float64, ldl int, b []float64, ldb int) {
+	for i := 0; i < m; i++ {
+		br := b[i*ldb : i*ldb+n]
+		for j := 0; j < n; j++ {
+			lr := l[j*ldl : j*ldl+j]
+			s := br[j]
+			for t := 0; t < j; t++ {
+				s -= br[t] * lr[t]
+			}
+			br[j] = s / l[j*ldl+j]
+		}
+	}
+}
+
+// PotrfLower factors the n×n (lda) matrix in place as A = L·Lᵀ, storing L in
+// the lower triangle. The strict upper triangle is left untouched.
+func PotrfLower(n int, a []float64, lda int) error {
+	for j := 0; j < n; j++ {
+		d := a[j*lda+j]
+		jr := a[j*lda : j*lda+j]
+		for t := 0; t < j; t++ {
+			d -= jr[t] * jr[t]
+		}
+		if d <= 0 || math.IsNaN(d) {
+			return ErrNotSPD
+		}
+		d = math.Sqrt(d)
+		a[j*lda+j] = d
+		inv := 1 / d
+		for i := j + 1; i < n; i++ {
+			ir := a[i*lda : i*lda+j]
+			s := a[i*lda+j]
+			for t := 0; t < j; t++ {
+				s -= ir[t] * jr[t]
+			}
+			a[i*lda+j] = s * inv
+		}
+	}
+	return nil
+}
+
+// TrsvLowerNoTrans solves L·x = b in place (b := L⁻¹·b) for the n×n (lda)
+// lower-triangular non-unit matrix L. Used by the skyline solver.
+func TrsvLowerNoTrans(n int, l []float64, lda int, b []float64) {
+	for i := 0; i < n; i++ {
+		s := b[i]
+		lr := l[i*lda : i*lda+i]
+		for t := 0; t < i; t++ {
+			s -= lr[t] * b[t]
+		}
+		b[i] = s / l[i*lda+i]
+	}
+}
+
+// TrsvLowerTrans solves Lᵀ·x = b in place (b := L⁻ᵀ·b).
+func TrsvLowerTrans(n int, l []float64, lda int, b []float64) {
+	for i := n - 1; i >= 0; i-- {
+		s := b[i] / l[i*lda+i]
+		b[i] = s
+		for t := 0; t < i; t++ {
+			b[t] -= l[i*lda+t] * s
+		}
+	}
+}
+
+// GemvSub computes y -= A · x for the m×n (lda) matrix A.
+func GemvSub(m, n int, a []float64, lda int, x, y []float64) {
+	for i := 0; i < m; i++ {
+		ar := a[i*lda : i*lda+n]
+		var s float64
+		for j := 0; j < n; j++ {
+			s += ar[j] * x[j]
+		}
+		y[i] -= s
+	}
+}
+
+// GemvTransSub computes y -= Aᵀ · x for the m×n (lda) matrix A
+// (so y has length n and x length m).
+func GemvTransSub(m, n int, a []float64, lda int, x, y []float64) {
+	for i := 0; i < m; i++ {
+		ar := a[i*lda : i*lda+n]
+		xi := x[i]
+		for j := 0; j < n; j++ {
+			y[j] -= ar[j] * xi
+		}
+	}
+}

@@ -1,0 +1,266 @@
+package blas
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"xkaapi/internal/xrand"
+)
+
+func randMat(rng *xrand.Rand, n int) []float64 {
+	m := make([]float64, n)
+	for i := range m {
+		m[i] = float64(rng.Next()%2000)/1000 - 1
+	}
+	return m
+}
+
+func randSPD(rng *xrand.Rand, n, lda int) []float64 {
+	a := make([]float64, n*lda)
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			v := float64(rng.Next()%2000)/1000 - 1
+			a[i*lda+j] = v
+			a[j*lda+i] = v
+		}
+		a[i*lda+i] += float64(n) + 1
+	}
+	return a
+}
+
+func maxDiff(a, b []float64) float64 {
+	var d float64
+	for i := range a {
+		if x := math.Abs(a[i] - b[i]); x > d {
+			d = x
+		}
+	}
+	return d
+}
+
+func TestGemmNTMatchesReference(t *testing.T) {
+	rng := xrand.New(1)
+	for _, dims := range [][3]int{{1, 1, 1}, {3, 5, 7}, {8, 8, 8}, {13, 9, 21}, {32, 32, 32}, {17, 1, 4}} {
+		m, n, k := dims[0], dims[1], dims[2]
+		a := randMat(&rng, m*k)
+		b := randMat(&rng, n*k)
+		c1 := randMat(&rng, m*n)
+		c2 := append([]float64(nil), c1...)
+		GemmNT(m, n, k, a, k, b, k, c1, n)
+		RefGemmNT(m, n, k, a, k, b, k, c2, n)
+		if d := maxDiff(c1, c2); d > 1e-12 {
+			t.Fatalf("gemm %v: max diff %g", dims, d)
+		}
+	}
+}
+
+func TestGemmNTWithLeadingDimension(t *testing.T) {
+	rng := xrand.New(2)
+	const m, n, k, ld = 7, 6, 5, 16
+	a := randMat(&rng, m*ld)
+	b := randMat(&rng, n*ld)
+	c1 := randMat(&rng, m*ld)
+	c2 := append([]float64(nil), c1...)
+	GemmNT(m, n, k, a, ld, b, ld, c1, ld)
+	RefGemmNT(m, n, k, a, ld, b, ld, c2, ld)
+	if d := maxDiff(c1, c2); d > 1e-12 {
+		t.Fatalf("gemm with ld: max diff %g", d)
+	}
+}
+
+func TestSyrkLNMatchesReference(t *testing.T) {
+	rng := xrand.New(3)
+	for _, dims := range [][2]int{{1, 1}, {4, 6}, {8, 8}, {15, 3}, {32, 24}} {
+		n, k := dims[0], dims[1]
+		a := randMat(&rng, n*k)
+		c1 := randMat(&rng, n*n)
+		c2 := append([]float64(nil), c1...)
+		SyrkLN(n, k, a, k, c1, n)
+		RefSyrkLN(n, k, a, k, c2, n)
+		if d := maxDiff(c1, c2); d > 1e-12 {
+			t.Fatalf("syrk %v: max diff %g", dims, d)
+		}
+	}
+}
+
+func TestSyrkLeavesUpperUntouched(t *testing.T) {
+	rng := xrand.New(4)
+	const n, k = 8, 8
+	a := randMat(&rng, n*k)
+	c := randMat(&rng, n*n)
+	orig := append([]float64(nil), c...)
+	SyrkLN(n, k, a, k, c, n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if c[i*n+j] != orig[i*n+j] {
+				t.Fatalf("upper entry (%d,%d) modified", i, j)
+			}
+		}
+	}
+}
+
+func TestTrsmMatchesReference(t *testing.T) {
+	rng := xrand.New(5)
+	for _, dims := range [][2]int{{1, 1}, {5, 4}, {8, 8}, {3, 17}, {24, 16}} {
+		m, n := dims[0], dims[1]
+		l := randSPD(&rng, n, n)
+		if err := PotrfLower(n, l, n); err != nil {
+			t.Fatal(err)
+		}
+		b1 := randMat(&rng, m*n)
+		b2 := append([]float64(nil), b1...)
+		TrsmRLTN(m, n, l, n, b1, n)
+		RefTrsmRLTN(m, n, l, n, b2, n)
+		if d := maxDiff(b1, b2); d > 1e-10 {
+			t.Fatalf("trsm %v: max diff %g", dims, d)
+		}
+	}
+}
+
+func TestTrsmSolvesSystem(t *testing.T) {
+	// After B := B0 · L⁻ᵀ we must have B · Lᵀ = B0.
+	rng := xrand.New(6)
+	const m, n = 6, 9
+	l := randSPD(&rng, n, n)
+	if err := PotrfLower(n, l, n); err != nil {
+		t.Fatal(err)
+	}
+	b0 := randMat(&rng, m*n)
+	b := append([]float64(nil), b0...)
+	TrsmRLTN(m, n, l, n, b, n)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			var s float64
+			for t2 := 0; t2 < n; t2++ {
+				lv := 0.0
+				if t2 <= j { // Lᵀ[t2][j] = L[j][t2], nonzero for t2 <= j
+					lv = l[j*n+t2]
+				}
+				s += b[i*n+t2] * lv
+			}
+			if math.Abs(s-b0[i*n+j]) > 1e-9 {
+				t.Fatalf("B·Lᵀ≠B0 at (%d,%d): %g vs %g", i, j, s, b0[i*n+j])
+			}
+		}
+	}
+}
+
+func TestPotrfMatchesReference(t *testing.T) {
+	rng := xrand.New(7)
+	for _, n := range []int{1, 2, 5, 16, 33} {
+		a1 := randSPD(&rng, n, n)
+		a2 := append([]float64(nil), a1...)
+		if err := PotrfLower(n, a1, n); err != nil {
+			t.Fatal(err)
+		}
+		if err := RefPotrfLower(n, a2, n); err != nil {
+			t.Fatal(err)
+		}
+		// Compare lower triangles only.
+		for i := 0; i < n; i++ {
+			for j := 0; j <= i; j++ {
+				if math.Abs(a1[i*n+j]-a2[i*n+j]) > 1e-10 {
+					t.Fatalf("n=%d: potrf differs at (%d,%d)", n, i, j)
+				}
+			}
+		}
+	}
+}
+
+func TestPotrfReconstructs(t *testing.T) {
+	rng := xrand.New(8)
+	const n = 20
+	a := randSPD(&rng, n, n)
+	orig := append([]float64(nil), a...)
+	if err := PotrfLower(n, a, n); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			var s float64
+			for k := 0; k <= j; k++ {
+				s += a[i*n+k] * a[j*n+k]
+			}
+			if math.Abs(s-orig[i*n+j]) > 1e-9 {
+				t.Fatalf("L·Lᵀ≠A at (%d,%d): %g vs %g", i, j, s, orig[i*n+j])
+			}
+		}
+	}
+}
+
+func TestPotrfRejectsIndefinite(t *testing.T) {
+	a := []float64{1, 0, 0, -1} // eigenvalues 1, -1
+	if err := PotrfLower(2, a, 2); err != ErrNotSPD {
+		t.Fatalf("err=%v want ErrNotSPD", err)
+	}
+}
+
+func TestTrsvRoundTrip(t *testing.T) {
+	rng := xrand.New(9)
+	const n = 12
+	l := randSPD(&rng, n, n)
+	if err := PotrfLower(n, l, n); err != nil {
+		t.Fatal(err)
+	}
+	x0 := randMat(&rng, n)
+	// b = L·(Lᵀ·x0); solving both triangles must recover x0.
+	b := make([]float64, n)
+	tmp := make([]float64, n)
+	for i := 0; i < n; i++ { // tmp = Lᵀ·x0
+		var s float64
+		for j := i; j < n; j++ {
+			s += l[j*n+i] * x0[j]
+		}
+		tmp[i] = s
+	}
+	for i := 0; i < n; i++ { // b = L·tmp
+		var s float64
+		for j := 0; j <= i; j++ {
+			s += l[i*n+j] * tmp[j]
+		}
+		b[i] = s
+	}
+	TrsvLowerNoTrans(n, l, n, b)
+	TrsvLowerTrans(n, l, n, b)
+	for i := range x0 {
+		if math.Abs(b[i]-x0[i]) > 1e-9 {
+			t.Fatalf("round trip differs at %d: %g vs %g", i, b[i], x0[i])
+		}
+	}
+}
+
+func TestGemvSub(t *testing.T) {
+	a := []float64{1, 2, 3, 4, 5, 6} // 2×3
+	x := []float64{1, 1, 1}
+	y := []float64{10, 20}
+	GemvSub(2, 3, a, 3, x, y)
+	if y[0] != 10-6 || y[1] != 20-15 {
+		t.Fatalf("y=%v", y)
+	}
+	yt := []float64{1, 1, 1}
+	xt := []float64{1, 2}
+	GemvTransSub(2, 3, a, 3, xt, yt)
+	// yt[j] -= sum_i a[i][j]*x[i] → [1-(1+8), 1-(2+10), 1-(3+12)]
+	if yt[0] != -8 || yt[1] != -11 || yt[2] != -14 {
+		t.Fatalf("yt=%v", yt)
+	}
+}
+
+// Property: gemm and its reference agree on random shapes.
+func TestGemmQuickAgainstReference(t *testing.T) {
+	rng := xrand.New(10)
+	f := func(mu, nu, ku uint8) bool {
+		m, n, k := int(mu)%12+1, int(nu)%12+1, int(ku)%12+1
+		a := randMat(&rng, m*k)
+		b := randMat(&rng, n*k)
+		c1 := randMat(&rng, m*n)
+		c2 := append([]float64(nil), c1...)
+		GemmNT(m, n, k, a, k, b, k, c1, n)
+		RefGemmNT(m, n, k, a, k, b, k, c2, n)
+		return maxDiff(c1, c2) < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,63 @@
+package blas
+
+import "math"
+
+// This file holds deliberately naive reference implementations of every
+// optimized kernel, used only by tests (and kept in the non-test build so
+// other packages' tests can call them).
+
+// RefGemmNT is the reference for GemmNT.
+func RefGemmNT(m, n, k int, a []float64, lda int, b []float64, ldb int, c []float64, ldc int) {
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			for t := 0; t < k; t++ {
+				c[i*ldc+j] -= a[i*lda+t] * b[j*ldb+t]
+			}
+		}
+	}
+}
+
+// RefSyrkLN is the reference for SyrkLN.
+func RefSyrkLN(n, k int, a []float64, lda int, c []float64, ldc int) {
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			for t := 0; t < k; t++ {
+				c[i*ldc+j] -= a[i*lda+t] * a[j*lda+t]
+			}
+		}
+	}
+}
+
+// RefTrsmRLTN is the reference for TrsmRLTN: column-by-column substitution.
+func RefTrsmRLTN(m, n int, l []float64, ldl int, b []float64, ldb int) {
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			s := b[i*ldb+j]
+			for t := 0; t < j; t++ {
+				s -= b[i*ldb+t] * l[j*ldl+t]
+			}
+			b[i*ldb+j] = s / l[j*ldl+j]
+		}
+	}
+}
+
+// RefPotrfLower is the reference for PotrfLower (outer-product form).
+func RefPotrfLower(n int, a []float64, lda int) error {
+	for k := 0; k < n; k++ {
+		d := a[k*lda+k]
+		if d <= 0 || math.IsNaN(d) {
+			return ErrNotSPD
+		}
+		d = math.Sqrt(d)
+		a[k*lda+k] = d
+		for i := k + 1; i < n; i++ {
+			a[i*lda+k] /= d
+		}
+		for i := k + 1; i < n; i++ {
+			for j := k + 1; j <= i; j++ {
+				a[i*lda+j] -= a[i*lda+k] * a[j*lda+k]
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,103 @@
+package core
+
+import "sync/atomic"
+
+// Adaptive is the handle a running task publishes to make its remaining work
+// divisible (§II-D of the paper). While a worker has an Adaptive installed
+// (see Worker.SetAdaptive), thieves that find the worker's deque empty invoke
+// Split to carve tasks out of the running computation instead of failing.
+//
+// Split executes on the thief, concurrently with the victim's task body; the
+// two coordinate through whatever shared state the adaptive computation uses
+// (for loops, an Interval). The runtime guarantees that at most one thief
+// runs Split for a given victim at a time — it is called under the victim's
+// combiner lock — which the paper notes "allows for simple and efficient
+// synchronization protocols".
+type Adaptive struct {
+	// Split returns at most n ready-to-run tasks representing work removed
+	// from the running task. It must tolerate the victim concurrently
+	// draining the work to zero and simply return fewer (or no) tasks.
+	Split func(thief *Worker, n int) []*Task
+}
+
+// Interval is a half-open iteration range [Lo,Hi) supporting concurrent
+// front extraction by its owner and back extraction by a splitter. Both
+// bounds live in one 64-bit word updated by compare-and-swap, giving the
+// atomicity the paper obtains with a T.H.E.-like two-bound protocol on the
+// loop indices (§II-E): the owner advances the front, thieves retreat the
+// back, and a failed CAS replays the (cheap) extraction.
+//
+// The width of the interval must fit in 31 bits; parallel loops over larger
+// spaces are pre-partitioned into slices (see loop.go), so the limit is
+// never user-visible.
+type Interval struct {
+	base int64
+	bits atomic.Uint64 // high 32 bits: lo offset; low 32 bits: hi offset
+}
+
+const intervalMaxWidth = 1<<31 - 1
+
+func packBounds(lo, hi uint32) uint64 { return uint64(lo)<<32 | uint64(hi) }
+
+func unpackBounds(b uint64) (lo, hi uint32) { return uint32(b >> 32), uint32(b) }
+
+// Reset reinitializes the interval to [lo, hi). hi-lo must fit in 31 bits.
+func (iv *Interval) Reset(lo, hi int64) {
+	if hi < lo {
+		hi = lo
+	}
+	if hi-lo > intervalMaxWidth {
+		panic("core: interval wider than 2^31-1 iterations")
+	}
+	iv.base = lo
+	iv.bits.Store(packBounds(0, uint32(hi-lo)))
+}
+
+// Remaining returns a snapshot of the number of unclaimed iterations.
+func (iv *Interval) Remaining() int64 {
+	lo, hi := unpackBounds(iv.bits.Load())
+	if hi <= lo {
+		return 0
+	}
+	return int64(hi - lo)
+}
+
+// ExtractFront atomically claims up to n iterations from the front and
+// returns the claimed range. ok is false when the interval is empty.
+func (iv *Interval) ExtractFront(n int64) (lo, hi int64, ok bool) {
+	for {
+		b := iv.bits.Load()
+		l, h := unpackBounds(b)
+		if l >= h {
+			return 0, 0, false
+		}
+		take := int64(h - l)
+		if take > n {
+			take = n
+		}
+		nl := l + uint32(take)
+		if iv.bits.CompareAndSwap(b, packBounds(nl, h)) {
+			return iv.base + int64(l), iv.base + int64(nl), true
+		}
+	}
+}
+
+// ExtractBack atomically claims up to n iterations from the back and returns
+// the claimed range. ok is false when the interval is empty.
+func (iv *Interval) ExtractBack(n int64) (lo, hi int64, ok bool) {
+	for {
+		b := iv.bits.Load()
+		l, h := unpackBounds(b)
+		if l >= h {
+			return 0, 0, false
+		}
+		take := int64(h - l)
+		if take > n {
+			take = n
+		}
+		nh := h - uint32(take)
+		if iv.bits.CompareAndSwap(b, packBounds(l, nh)) {
+			return iv.base + int64(nh), iv.base + int64(h), true
+		}
+	}
+}

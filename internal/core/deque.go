@@ -1,0 +1,126 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+const dequeInitCap = 256 // initial slots; must be a power of two
+
+// deque is the per-worker work-stealing deque, synchronized with Cilk's
+// T.H.E. protocol (Frigo, Leiserson, Randall 1998), which the paper reuses to
+// synchronize thief and victim (§II-C). The owner pushes and pops at the
+// bottom without taking the lock in the common case; thieves always hold mu
+// (they are additionally serialized per victim by the combiner lock, see
+// request.go) and steal from the top, oldest task first. Owner and thief
+// only contend on the last remaining task, which is resolved under mu.
+type deque struct {
+	head atomic.Int64 // top: index of the next task to steal
+	tail atomic.Int64 // bottom: index of the next free slot
+	mu   sync.Mutex   // held by thieves; by the owner only on conflict/growth
+	buf  atomic.Pointer[dequeBuf]
+}
+
+type dequeBuf struct {
+	mask int64
+	slot []*Task
+}
+
+func (d *deque) init() {
+	d.buf.Store(&dequeBuf{mask: dequeInitCap - 1, slot: make([]*Task, dequeInitCap)})
+}
+
+// size is a racy estimate of the number of queued tasks; it is used only to
+// probe victims before posting a steal request.
+func (d *deque) size() int64 {
+	n := d.tail.Load() - d.head.Load()
+	if n < 0 {
+		return 0
+	}
+	return n
+}
+
+// push appends t at the bottom. Owner only. The paper reports a ~10 cycle
+// enqueue; this path is two atomic loads, one store into the buffer, and one
+// atomic store of the new bottom.
+func (d *deque) push(t *Task) {
+	b := d.tail.Load()
+	buf := d.buf.Load()
+	if b-d.head.Load() >= buf.mask { // keep one slack slot
+		d.grow(b)
+		buf = d.buf.Load()
+	}
+	buf.slot[b&buf.mask] = t
+	d.tail.Store(b + 1)
+}
+
+// grow doubles the buffer. It runs under mu so concurrent thieves never
+// observe a partially copied buffer; head cannot advance while mu is held
+// because every steal holds mu.
+func (d *deque) grow(b int64) {
+	d.mu.Lock()
+	old := d.buf.Load()
+	nbuf := &dequeBuf{
+		mask: old.mask*2 + 1,
+		slot: make([]*Task, (old.mask+1)*2),
+	}
+	for i := d.head.Load(); i < b; i++ {
+		nbuf.slot[i&nbuf.mask] = old.slot[i&old.mask]
+	}
+	d.buf.Store(nbuf)
+	d.mu.Unlock()
+}
+
+// pop removes and returns the most recently pushed task, or nil if the deque
+// is empty or the task was lost to a thief. Owner only.
+func (d *deque) pop() *Task {
+	b := d.tail.Load() - 1
+	d.tail.Store(b)
+	h := d.head.Load()
+	if b < h {
+		// Deque was empty; restore the canonical empty state.
+		d.tail.Store(h)
+		return nil
+	}
+	buf := d.buf.Load()
+	t := buf.slot[b&buf.mask]
+	if b > h {
+		// At least one task remains above ours: no thief can reach slot b
+		// because every steal checks head < tail and tail is already b.
+		return t
+	}
+	// b == h: a single task is left and a thief may be racing for it.
+	d.mu.Lock()
+	h = d.head.Load()
+	if h <= b {
+		// Still ours; claim it by moving both ends past it.
+		d.head.Store(b + 1)
+		d.tail.Store(b + 1)
+		d.mu.Unlock()
+		return t
+	}
+	// The thief won; leave the deque empty.
+	d.tail.Store(h)
+	d.mu.Unlock()
+	return nil
+}
+
+// stealLocked removes and returns the oldest task, or nil. The caller must
+// hold d.mu. A concurrent owner pop of the same task is detected by
+// re-checking the bottom after advancing the top; on conflict the steal backs
+// off and lets the owner (which always wins ties under mu) take the task.
+func (d *deque) stealLocked() *Task {
+	h := d.head.Load()
+	if h >= d.tail.Load() {
+		return nil
+	}
+	buf := d.buf.Load()
+	t := buf.slot[h&buf.mask]
+	d.head.Store(h + 1)
+	if d.head.Load() > d.tail.Load() {
+		// The owner decremented tail concurrently and is taking this task.
+		d.head.Store(h)
+		return nil
+	}
+	return t
+}

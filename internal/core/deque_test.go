@@ -1,0 +1,229 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func newTestTask(i int) *Task {
+	t := &Task{}
+	t.wait.Store(int32(i)) // tag the task via its wait counter for identity checks
+	return t
+}
+
+func TestDequePushPopLIFO(t *testing.T) {
+	var d deque
+	d.init()
+	ts := make([]*Task, 10)
+	for i := range ts {
+		ts[i] = newTestTask(i)
+		d.push(ts[i])
+	}
+	for i := len(ts) - 1; i >= 0; i-- {
+		got := d.pop()
+		if got != ts[i] {
+			t.Fatalf("pop %d: got %p want %p", i, got, ts[i])
+		}
+	}
+	if d.pop() != nil {
+		t.Fatal("pop on empty deque returned a task")
+	}
+}
+
+func TestDequeStealFIFO(t *testing.T) {
+	var d deque
+	d.init()
+	ts := make([]*Task, 10)
+	for i := range ts {
+		ts[i] = newTestTask(i)
+		d.push(ts[i])
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for i := 0; i < len(ts); i++ {
+		got := d.stealLocked()
+		if got != ts[i] {
+			t.Fatalf("steal %d: got %p want %p", i, got, ts[i])
+		}
+	}
+	if d.stealLocked() != nil {
+		t.Fatal("steal on empty deque returned a task")
+	}
+}
+
+func TestDequeInterleavedPushPopSteal(t *testing.T) {
+	var d deque
+	d.init()
+	a, b, c := newTestTask(0), newTestTask(1), newTestTask(2)
+	d.push(a)
+	d.push(b)
+	d.mu.Lock()
+	got := d.stealLocked() // oldest
+	d.mu.Unlock()
+	if got != a {
+		t.Fatalf("steal: got %p want %p", got, a)
+	}
+	d.push(c)
+	if got := d.pop(); got != c {
+		t.Fatalf("pop: got %p want %p", got, c)
+	}
+	if got := d.pop(); got != b {
+		t.Fatalf("pop: got %p want %p", got, b)
+	}
+	if d.pop() != nil {
+		t.Fatal("deque should be empty")
+	}
+}
+
+func TestDequeGrow(t *testing.T) {
+	var d deque
+	d.init()
+	n := dequeInitCap * 4
+	ts := make([]*Task, n)
+	for i := range ts {
+		ts[i] = newTestTask(i)
+		d.push(ts[i])
+	}
+	if got := d.size(); got != int64(n) {
+		t.Fatalf("size: got %d want %d", got, n)
+	}
+	for i := n - 1; i >= 0; i-- {
+		if got := d.pop(); got != ts[i] {
+			t.Fatalf("pop %d after grow: got %p want %p", i, got, ts[i])
+		}
+	}
+}
+
+func TestDequeGrowPreservesStealOrder(t *testing.T) {
+	var d deque
+	d.init()
+	n := dequeInitCap * 2
+	ts := make([]*Task, n)
+	for i := range ts {
+		ts[i] = newTestTask(i)
+		d.push(ts[i])
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for i := 0; i < n; i++ {
+		if got := d.stealLocked(); got != ts[i] {
+			t.Fatalf("steal %d after grow: got %p want %p", i, got, ts[i])
+		}
+	}
+}
+
+// TestDequeConcurrentOwnerThieves hammers one owner (push/pop) against
+// several thieves (stealLocked) and verifies that every pushed task is
+// obtained exactly once, by exactly one side.
+func TestDequeConcurrentOwnerThieves(t *testing.T) {
+	const (
+		total   = 20000
+		thieves = 4
+	)
+	var d deque
+	d.init()
+	seen := make([]atomic.Int32, total)
+	tasks := make([]Task, total)
+	for i := range tasks {
+		tasks[i].wait.Store(int32(i))
+	}
+
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	for i := 0; i < thieves; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !stop.Load() {
+				d.mu.Lock()
+				task := d.stealLocked()
+				d.mu.Unlock()
+				if task != nil {
+					seen[task.wait.Load()].Add(1)
+				}
+			}
+		}()
+	}
+
+	popped := 0
+	for i := 0; i < total; i++ {
+		d.push(&tasks[i])
+		if i%3 == 0 {
+			if task := d.pop(); task != nil {
+				seen[task.wait.Load()].Add(1)
+				popped++
+			}
+		}
+	}
+	// Drain the rest from the owner side.
+	for {
+		task := d.pop()
+		if task == nil {
+			// The deque can transiently refuse the last task during an
+			// owner/thief conflict; it is only permanently empty when
+			// head==tail.
+			if d.size() == 0 {
+				break
+			}
+			continue
+		}
+		seen[task.wait.Load()].Add(1)
+	}
+	stop.Store(true)
+	wg.Wait()
+	// Final sweep: anything thieves left behind.
+	for {
+		task := d.pop()
+		if task == nil {
+			break
+		}
+		seen[task.wait.Load()].Add(1)
+	}
+
+	for i := range seen {
+		if n := seen[i].Load(); n != 1 {
+			t.Fatalf("task %d delivered %d times", i, n)
+		}
+	}
+}
+
+// Property: for any interleaving of pushes with owner pops, the multiset of
+// delivered tasks equals the multiset pushed (no loss, no duplication).
+func TestDequeQuickNoLossOwnerOnly(t *testing.T) {
+	f := func(ops []bool) bool {
+		var d deque
+		d.init()
+		next := 0
+		live := map[int]bool{}
+		for _, push := range ops {
+			if push {
+				d.push(newTestTask(next))
+				live[next] = true
+				next++
+			} else if task := d.pop(); task != nil {
+				id := int(task.wait.Load())
+				if !live[id] {
+					return false
+				}
+				delete(live, id)
+			}
+		}
+		for {
+			task := d.pop()
+			if task == nil {
+				break
+			}
+			id := int(task.wait.Load())
+			if !live[id] {
+				return false
+			}
+			delete(live, id)
+		}
+		return len(live) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,32 @@
+// Package core implements the X-Kaapi runtime: a work-stealing scheduler for
+// multicore machines that unifies three parallel paradigms — fork-join tasks,
+// dataflow tasks with access-mode dependency analysis, and adaptive parallel
+// loops — exactly as described in "X-Kaapi: a Multi Paradigm Runtime for
+// Multicore Architectures" (Gautier, Lementec, Faucher, Raffin; P2S2/ICPP
+// 2013).
+//
+// The pieces, and where the paper describes them:
+//
+//   - Worker / Runtime (worker.go, runtime.go): one worker per core, each
+//     owning a T.H.E.-protocol deque (§II-C). Idle workers become thieves.
+//   - Steal-request aggregation (request.go): N pending requests to the same
+//     victim are served by a single elected thief, the combiner (§II-C).
+//   - Dataflow tasks (task.go, handle.go): tasks declare accesses to shared
+//     Handles with a mode (read, write, exclusive, cumulative write); the
+//     runtime computes true dependencies and releases successors as their
+//     inputs are produced (§II-B). Ready tasks released by a completing task
+//     land on the completer's own deque — the "ready list" optimization of
+//     §II-C made the default.
+//   - Adaptive tasks (adaptive.go, loop.go): a running task publishes a
+//     splitter that thieves invoke to divide its remaining work on demand;
+//     the runtime guarantees a single concurrent splitter per victim (§II-D).
+//     ForEach builds the kaapic_foreach parallel loop on top (§II-E).
+//
+// The model is fully strict: every task waits (by scheduling other work, not
+// by blocking the thread) for its children before completing, so a program
+// that is never stolen from executes in sequential order, which preserves the
+// sequential semantics the paper inherits from Athapascan.
+//
+// This package is the engine behind the public xkaapi API at the module root
+// as well as the QUARK compatibility layer in package quark.
+package core

@@ -1,0 +1,63 @@
+package core
+
+import "sync"
+
+// Handle identifies a shared memory region tasks synchronize on (§II-B of
+// the paper: "tasks share data if they have access to the same memory
+// region"). The region itself is whatever user data the spawning code
+// associates with the handle; the runtime only tracks the dependency state.
+//
+// The zero value is a valid handle denoting a region nobody has accessed yet.
+// A Handle must not be copied after first use.
+//
+// Internally a handle stores the frontier of the dependency graph for its
+// region: the producer of the current version (writer), the readers of that
+// version, and the open group of cumulative writers. Registering an access
+// only touches this frontier, so dependency computation is O(1) per access —
+// the "when required" cost model of the paper — rather than a traversal of
+// the task graph.
+type Handle struct {
+	mu      sync.Mutex
+	writer  taskRef
+	readers []taskRef
+	cws     []taskRef
+}
+
+// addAccess registers task t as accessing h with mode m and increments t's
+// wait count once per unsatisfied dependency. Called during spawn, possibly
+// from several workers concurrently.
+func (h *Handle) addAccess(t *Task, m Mode) {
+	h.mu.Lock()
+	switch m {
+	case ModeRead:
+		// RAW: wait for the producer of the current version, which is either
+		// the last exclusive writer or the whole open cumulative-write group.
+		depOn(t, h.writer)
+		for _, c := range h.cws {
+			depOn(t, c)
+		}
+		h.readers = append(h.readers, taskRef{t, t.seq})
+	case ModeWrite, ModeReadWrite:
+		// RAW + WAR + WAW: wait for producer, readers and cumulative
+		// writers, then become the producer of the next version.
+		depOn(t, h.writer)
+		for _, r := range h.readers {
+			depOn(t, r)
+		}
+		for _, c := range h.cws {
+			depOn(t, c)
+		}
+		h.writer = taskRef{t, t.seq}
+		h.readers = h.readers[:0]
+		h.cws = h.cws[:0]
+	case ModeCumulWrite:
+		// Concurrent with other cumulative writers of the same generation;
+		// ordered after the previous producer and its readers.
+		depOn(t, h.writer)
+		for _, r := range h.readers {
+			depOn(t, r)
+		}
+		h.cws = append(h.cws, taskRef{t, t.seq})
+	}
+	h.mu.Unlock()
+}

@@ -1,0 +1,216 @@
+package core
+
+import (
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"xkaapi/internal/xrand"
+)
+
+func xrandSeed(base uint64, i int) xrand.Rand {
+	return xrand.New(base + uint64(i)*0x9E3779B97F4A7C15 + 1)
+}
+
+// LoopOpts tunes ForEach. The zero value selects the defaults of
+// kaapic_foreach: the iteration space is pre-partitioned into one reserved
+// slice per worker, owners extract SeqGrain iterations at a time, and
+// splitters leave intervals shorter than ParGrain alone.
+type LoopOpts struct {
+	// SeqGrain is the number of iterations the executing worker claims per
+	// extraction; it bounds the window during which work cannot be stolen.
+	// Zero selects n/(16*workers), at least 1.
+	SeqGrain int64
+	// ParGrain is the minimum remaining width a splitter will divide.
+	// Zero selects SeqGrain.
+	ParGrain int64
+	// Slices is the number of reserved slices the range is pre-partitioned
+	// into ("one slice reserved to each available core", §II-E). Zero
+	// selects the worker count.
+	Slices int
+}
+
+// loopCtx is the shared state of one ForEach invocation.
+type loopCtx struct {
+	body      func(*Worker, int64, int64)
+	seqGrain  int64
+	parGrain  int64
+	pending   atomic.Int64 // iterations not yet executed
+	nextSlice atomic.Int32
+	slices    []Interval
+}
+
+// claimSlice atomically claims the next untouched reserved slice, or nil.
+func (lc *loopCtx) claimSlice() *Interval {
+	for {
+		i := int(lc.nextSlice.Add(1)) - 1
+		if i >= len(lc.slices) {
+			return nil
+		}
+		if lc.slices[i].Remaining() > 0 {
+			return &lc.slices[i]
+		}
+	}
+}
+
+// loopAdaptive couples a loop context with the interval its owner is
+// currently iterating; it provides the splitter thieves call.
+type loopAdaptive struct {
+	lc *loopCtx
+	iv atomic.Pointer[Interval]
+}
+
+// split implements the paper's kaapic_foreach splitter (§II-E). It first
+// hands out whole reserved slices; once those are gone it divides the
+// victim's live interval [bt, e) into k+1 near-equal parts, keeping one for
+// the victim and returning the rest as fresh adaptive tasks, one per
+// requesting thief.
+func (la *loopAdaptive) split(thief *Worker, n int) []*Task {
+	lc := la.lc
+	var out []*Task
+	for len(out) < n {
+		iv := lc.claimSlice()
+		if iv == nil {
+			break
+		}
+		out = append(out, thief.newLoopTask(lc, iv))
+	}
+	if k := n - len(out); k > 0 {
+		if iv := la.iv.Load(); iv != nil {
+			rem := iv.Remaining()
+			take := rem * int64(k) / int64(k+1)
+			if take >= lc.parGrain && take > 0 {
+				if lo, hi, ok := iv.ExtractBack(take); ok {
+					out = thief.appendLoopTasks(out, lc, lo, hi, k)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// newLoopTask wraps an interval into a free-standing adaptive task. Loop
+// tasks have no parent frame: completion of the loop is tracked by the
+// pending counter of the loop context instead.
+func (w *Worker) newLoopTask(lc *loopCtx, iv *Interval) *Task {
+	t := w.alloc()
+	t.flags |= flagLoop
+	t.body = func(w2 *Worker) { w2.loopRun(lc, iv) }
+	w.stats.spawned++
+	return t
+}
+
+// appendLoopTasks partitions [lo,hi) into at most k near-equal intervals and
+// appends one loop task per non-empty part.
+func (w *Worker) appendLoopTasks(out []*Task, lc *loopCtx, lo, hi int64, k int) []*Task {
+	span := hi - lo
+	parts := int64(k)
+	if parts > span {
+		parts = span
+	}
+	for i := int64(0); i < parts; i++ {
+		plo := lo + i*span/parts
+		phi := lo + (i+1)*span/parts
+		if phi <= plo {
+			continue
+		}
+		iv := new(Interval)
+		iv.Reset(plo, phi)
+		out = append(out, w.newLoopTask(lc, iv))
+	}
+	return out
+}
+
+// loopRun drains iv (and then any remaining reserved slices) through the
+// loop body, with the splitter installed so thieves can take work from the
+// active interval at any time.
+func (w *Worker) loopRun(lc *loopCtx, iv *Interval) {
+	if iv == nil {
+		if iv = lc.claimSlice(); iv == nil {
+			return
+		}
+	}
+	la := &loopAdaptive{lc: lc}
+	ad := &Adaptive{Split: la.split}
+	prev := w.SetAdaptive(ad)
+	for iv != nil {
+		la.iv.Store(iv)
+		for {
+			clo, chi, ok := iv.ExtractFront(lc.seqGrain)
+			if !ok {
+				break
+			}
+			lc.body(w, clo, chi)
+			lc.pending.Add(clo - chi)
+		}
+		iv = lc.claimSlice()
+	}
+	w.adaptive.Store(prev)
+}
+
+// ForEach applies body to every index of [lo, hi) in parallel, returning
+// once all iterations have executed. body receives sub-ranges [l, h) and the
+// worker executing them; distinct calls never overlap, every index is
+// delivered exactly once, and no index is delivered twice even in the
+// presence of concurrent splitting.
+//
+// This is the kaapic_foreach of the paper (§II-E): a single adaptive task
+// whose remaining iterations are divided on demand as thieves ask for work,
+// rather than a task per chunk. The caller participates in execution and, if
+// the loop is fully distributed, schedules unrelated ready tasks while
+// waiting for the last iterations.
+func (w *Worker) ForEach(lo, hi int64, opt LoopOpts, body func(w *Worker, lo, hi int64)) {
+	n := hi - lo
+	if n <= 0 {
+		return
+	}
+	p := len(w.rt.workers)
+	if opt.SeqGrain <= 0 {
+		opt.SeqGrain = n / int64(16*p)
+		if opt.SeqGrain < 1 {
+			opt.SeqGrain = 1
+		}
+	}
+	if opt.ParGrain <= 0 {
+		opt.ParGrain = opt.SeqGrain
+	}
+	if p == 1 || n <= opt.SeqGrain {
+		body(w, lo, hi)
+		return
+	}
+	nSlices := opt.Slices
+	if nSlices <= 0 {
+		nSlices = p
+	}
+	if int64(nSlices) > n {
+		nSlices = int(n)
+	}
+	// Keep every slice narrower than the 31-bit interval limit.
+	for n/int64(nSlices) >= intervalMaxWidth {
+		nSlices *= 2
+	}
+	lc := &loopCtx{body: body, seqGrain: opt.SeqGrain, parGrain: opt.ParGrain}
+	lc.pending.Store(n)
+	lc.slices = make([]Interval, nSlices)
+	for i := range lc.slices {
+		slo := lo + int64(i)*n/int64(nSlices)
+		shi := lo + int64(i+1)*n/int64(nSlices)
+		lc.slices[i].Reset(slo, shi)
+	}
+	w.loopRun(lc, nil)
+	// Our share is done; help with (or wait for) iterations stolen by
+	// others. schedOnce keeps the worker useful for unrelated tasks too.
+	idle := 0
+	for lc.pending.Load() != 0 {
+		if w.schedOnce() {
+			idle = 0
+			continue
+		}
+		idle++
+		if idle < idleSpinBeforeSleep {
+			runtime.Gosched()
+		} else {
+			time.Sleep(idleSleep)
+		}
+	}
+}

@@ -1,0 +1,172 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Config parameterizes a Runtime. The zero value gives the defaults the
+// paper uses: one worker per core, threads pinned, steal-request aggregation
+// enabled.
+type Config struct {
+	// Workers is the number of scheduling threads. Zero or negative selects
+	// runtime.GOMAXPROCS(0), the Go analogue of one thread per core.
+	Workers int
+	// NoAggregation disables steal-request aggregation; each thief then
+	// locks the victim's deque itself (ablation of §II-C).
+	NoAggregation bool
+	// DisablePinning keeps workers as ordinary goroutines instead of locking
+	// each to an OS thread.
+	DisablePinning bool
+	// Seed is the base seed for per-worker victim-selection RNGs. Zero
+	// selects a fixed default, making victim sequences reproducible.
+	Seed uint64
+}
+
+// Runtime owns the worker pool. Create one with NewRuntime, submit work with
+// RunRoot, and release the workers with Close. A Runtime may execute many
+// RunRoot calls, but only one at a time.
+type Runtime struct {
+	cfg     Config
+	workers []*Worker
+
+	idle        atomic.Int32
+	parkMu      sync.Mutex
+	parkCond    *sync.Cond
+	wakePending int
+
+	stop  atomic.Bool
+	runMu sync.Mutex
+	wg    sync.WaitGroup
+}
+
+// NewRuntime creates the worker pool: the calling goroutine will act as
+// worker 0 during RunRoot, and cfg.Workers-1 goroutines are started and
+// parked for the remaining workers.
+func NewRuntime(cfg Config) *Runtime {
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	rt := &Runtime{cfg: cfg}
+	rt.parkCond = sync.NewCond(&rt.parkMu)
+	rt.workers = make([]*Worker, cfg.Workers)
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = 0x853C49E6748FEA9B
+	}
+	for i := range rt.workers {
+		w := &Worker{
+			id:         i,
+			rt:         rt,
+			rng:        xrandSeed(seed, i),
+			reqScratch: make([]int, 0, cfg.Workers),
+			reqs:       make([]request, cfg.Workers),
+		}
+		w.deque.init()
+		rt.workers[i] = w
+	}
+	for i := 1; i < cfg.Workers; i++ {
+		rt.wg.Add(1)
+		go rt.workers[i].run()
+	}
+	return rt
+}
+
+// RunRoot executes fn as the root task on the calling goroutine, which acts
+// as worker 0, and returns once fn and every task transitively spawned from
+// it have completed.
+func (rt *Runtime) RunRoot(fn func(*Worker)) {
+	rt.runMu.Lock()
+	defer rt.runMu.Unlock()
+	if rt.stop.Load() {
+		panic("core: RunRoot called after Close")
+	}
+	w := rt.workers[0]
+	t := w.alloc()
+	t.body = fn
+	w.stats.spawned++
+	w.execute(t)
+}
+
+// Close stops and joins all workers. It is safe to call once; work submitted
+// after Close panics.
+func (rt *Runtime) Close() {
+	if !rt.stop.CompareAndSwap(false, true) {
+		return
+	}
+	rt.parkMu.Lock()
+	rt.wakePending += len(rt.workers)
+	rt.parkCond.Broadcast()
+	rt.parkMu.Unlock()
+	rt.wg.Wait()
+}
+
+// NumWorkers returns the size of the worker pool.
+func (rt *Runtime) NumWorkers() int { return len(rt.workers) }
+
+// Config returns the effective configuration.
+func (rt *Runtime) Config() Config { return rt.cfg }
+
+// Stats sums the per-worker counters. Only meaningful while the runtime is
+// quiescent (no RunRoot in flight).
+func (rt *Runtime) Stats() Stats {
+	var s Stats
+	for _, w := range rt.workers {
+		s.Add(w.stats.snapshot())
+	}
+	return s
+}
+
+// ResetStats zeroes all per-worker counters. Only safe while quiescent.
+func (rt *Runtime) ResetStats() {
+	for _, w := range rt.workers {
+		w.stats.reset()
+	}
+}
+
+// String describes the runtime configuration.
+func (rt *Runtime) String() string {
+	return fmt.Sprintf("xkaapi.Runtime{workers: %d, aggregation: %v}",
+		len(rt.workers), !rt.cfg.NoAggregation)
+}
+
+// maybeWake signals one parked worker if any worker is idle. The push it
+// follows is already visible: both the deque bottom and idle counter are
+// sequentially consistent atomics, so either the waker sees idle > 0 or the
+// parker's final anyWork scan sees the pushed task.
+func (rt *Runtime) maybeWake() {
+	if rt.idle.Load() == 0 {
+		return
+	}
+	rt.parkMu.Lock()
+	if rt.wakePending < int(rt.idle.Load()) {
+		rt.wakePending++
+		rt.parkCond.Signal()
+	}
+	rt.parkMu.Unlock()
+}
+
+// wakeAll releases every parked worker, used when an adaptive section opens
+// and work can be created on demand for any number of thieves.
+func (rt *Runtime) wakeAll() {
+	if rt.idle.Load() == 0 {
+		return
+	}
+	rt.parkMu.Lock()
+	rt.wakePending = len(rt.workers)
+	rt.parkCond.Broadcast()
+	rt.parkMu.Unlock()
+}
+
+// anyWork reports whether any worker has queued tasks or an open adaptive
+// section.
+func (rt *Runtime) anyWork() bool {
+	for _, v := range rt.workers {
+		if v.deque.size() > 0 || v.adaptive.Load() != nil {
+			return true
+		}
+	}
+	return false
+}

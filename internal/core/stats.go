@@ -1,0 +1,83 @@
+package core
+
+import "sync/atomic"
+
+// Stats is a snapshot of the scheduler event counters, summed over workers.
+// The counters exist to validate the design experimentally: request
+// aggregation should drive Combines well below StealRequests, and adaptive
+// loops should keep Splits orders of magnitude below the iteration count
+// (§II-C/§II-D of the paper).
+type Stats struct {
+	Spawned       int64 // tasks created (fork-join + dataflow + loop slices)
+	Executed      int64 // task bodies run
+	ReadyReleases int64 // dataflow successors released on completion
+	StealRequests int64 // requests posted to victims
+	StealHits     int64 // requests answered with a task
+	Combines      int64 // combiner passes (aggregated service of N requests)
+	CombineServed int64 // requests answered during combiner passes
+	Splits        int64 // splitter invocations on adaptive tasks
+	SplitTasks    int64 // tasks produced by splitters
+	Parks         int64 // times a worker parked after failing to find work
+}
+
+// Add accumulates other into s.
+func (s *Stats) Add(other Stats) {
+	s.Spawned += other.Spawned
+	s.Executed += other.Executed
+	s.ReadyReleases += other.ReadyReleases
+	s.StealRequests += other.StealRequests
+	s.StealHits += other.StealHits
+	s.Combines += other.Combines
+	s.CombineServed += other.CombineServed
+	s.Splits += other.Splits
+	s.SplitTasks += other.SplitTasks
+	s.Parks += other.Parks
+}
+
+// workerStats holds one worker's counters. Task-path counters (spawned,
+// executed, readyReleases) are plain integers: they are only written while
+// the worker executes tasks, so reading them between RunRoot calls is safe
+// and the task hot path pays nothing. Thief-path counters are atomics
+// because idle workers keep probing (and thus counting) even when the
+// runtime is quiescent from the caller's point of view.
+type workerStats struct {
+	spawned       int64
+	executed      int64
+	readyReleases int64
+
+	stealRequests atomic.Int64
+	stealHits     atomic.Int64
+	combines      atomic.Int64
+	combineServed atomic.Int64
+	splits        atomic.Int64
+	splitTasks    atomic.Int64
+	parks         atomic.Int64
+}
+
+func (ws *workerStats) snapshot() Stats {
+	return Stats{
+		Spawned:       ws.spawned,
+		Executed:      ws.executed,
+		ReadyReleases: ws.readyReleases,
+		StealRequests: ws.stealRequests.Load(),
+		StealHits:     ws.stealHits.Load(),
+		Combines:      ws.combines.Load(),
+		CombineServed: ws.combineServed.Load(),
+		Splits:        ws.splits.Load(),
+		SplitTasks:    ws.splitTasks.Load(),
+		Parks:         ws.parks.Load(),
+	}
+}
+
+func (ws *workerStats) reset() {
+	ws.spawned = 0
+	ws.executed = 0
+	ws.readyReleases = 0
+	ws.stealRequests.Store(0)
+	ws.stealHits.Store(0)
+	ws.combines.Store(0)
+	ws.combineServed.Store(0)
+	ws.splits.Store(0)
+	ws.splitTasks.Store(0)
+	ws.parks.Store(0)
+}

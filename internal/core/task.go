@@ -1,0 +1,104 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Mode describes how a task accesses a Handle. The main access modes of the
+// paper (§II-B) are read, write, exclusive (read-write) and cumulative write
+// (reduction). The runtime uses modes to compute true (read-after-write)
+// dependencies between tasks sharing a memory region.
+type Mode uint8
+
+const (
+	// ModeRead declares a read of the current version of the handle.
+	ModeRead Mode = iota
+	// ModeWrite declares production of a new version. The task must wait for
+	// the previous producer and every reader of the previous version.
+	ModeWrite
+	// ModeReadWrite declares an exclusive in-place update: semantically a
+	// read of the current version plus production of the next one.
+	ModeReadWrite
+	// ModeCumulWrite declares a cumulative (commutative, associative) write.
+	// Cumulative writers of the same generation run concurrently with each
+	// other but are ordered against readers and exclusive writers.
+	ModeCumulWrite
+)
+
+// String returns the conventional short name of the mode.
+func (m Mode) String() string {
+	switch m {
+	case ModeRead:
+		return "R"
+	case ModeWrite:
+		return "W"
+	case ModeReadWrite:
+		return "RW"
+	case ModeCumulWrite:
+		return "CW"
+	}
+	return "?"
+}
+
+// Access pairs a Handle with the Mode a task uses on it.
+type Access struct {
+	Handle *Handle
+	Mode   Mode
+}
+
+const (
+	flagHasAccess uint8 = 1 << iota // task registered dataflow accesses
+	flagLoop                        // task is a loop-slice task (diagnostics)
+)
+
+// Task is the unit of scheduling. Tasks are created by Worker.Spawn (fork-
+// join) or Worker.SpawnTask (dataflow) and recycled through per-worker free
+// lists, so a Task must never be retained after its body has run.
+//
+// Lifecycle: allocated → (wait counter drains) → pushed ready → executed →
+// children drained (fully strict) → completed (successors released, parent
+// decremented) → recycled.
+type Task struct {
+	body   func(*Worker)
+	parent *Task
+	next   *Task // free-list link
+
+	children atomic.Int32 // live direct children (frame counter)
+	wait     atomic.Int32 // outstanding dependencies + creation bias
+	flags    uint8
+
+	// Dataflow state, used only when flags&flagHasAccess != 0.
+	mu   sync.Mutex
+	seq  uint32 // incremented on recycle; guards stale taskRefs in handles
+	done bool
+	succ []*Task
+	accs []Access
+}
+
+// taskRef is a possibly-stale reference to a task held in a Handle's
+// dependency lists. Because tasks are recycled, the reference carries the
+// sequence number observed at registration; a mismatch means the task
+// completed and was reused, i.e. the dependency is already satisfied.
+type taskRef struct {
+	t   *Task
+	seq uint32
+}
+
+// depOn makes t wait for d if d is still live. It returns after either
+// registering t as a successor of d (incrementing t's wait count) or
+// observing that d already completed.
+func depOn(t *Task, ref taskRef) {
+	d := ref.t
+	if d == nil || d == t {
+		// Nil frontier entry, or a second access of the same task to the
+		// same handle: a task never waits on itself.
+		return
+	}
+	d.mu.Lock()
+	if d.seq == ref.seq && !d.done {
+		d.succ = append(d.succ, t)
+		t.wait.Add(1)
+	}
+	d.mu.Unlock()
+}

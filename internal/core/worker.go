@@ -1,0 +1,328 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"xkaapi/internal/xrand"
+)
+
+// Worker is one scheduling thread of the runtime. By default the runtime
+// creates one worker per core (§II of the paper); each worker owns a deque of
+// ready tasks, a request box through which thieves ask it for work, and a
+// free list of recycled Task objects.
+//
+// A Worker is handed to every task body as its execution context: spawning,
+// syncing and parallel loops are methods on it. Task bodies must only use the
+// Worker they were given, and only while they run.
+type Worker struct {
+	id  int
+	rt  *Runtime
+	cur *Task // task currently being executed
+
+	freeList   *Task
+	rng        xrand.Rand
+	reqScratch []int
+
+	stats workerStats
+
+	deque    deque
+	adaptive atomic.Pointer[Adaptive]
+	comb     sync.Mutex // combiner election lock (request.go)
+	reqs     []request  // request box; slot i belongs to worker i
+}
+
+// ID returns the worker index in [0, NumWorkers).
+func (w *Worker) ID() int { return w.id }
+
+// NumWorkers returns the number of workers of the runtime this worker
+// belongs to.
+func (w *Worker) NumWorkers() int { return len(w.rt.workers) }
+
+// Runtime returns the runtime this worker belongs to.
+func (w *Worker) Runtime() *Runtime { return w.rt }
+
+// Spawn creates a child task of the current task and enqueues it on this
+// worker's deque (non-blocking task creation, §II-B: the caller continues
+// immediately). The child has no dataflow accesses; use SpawnTask for
+// dependency-carrying tasks.
+func (w *Worker) Spawn(fn func(*Worker)) {
+	t := w.alloc()
+	t.body = fn
+	t.parent = w.cur
+	if t.parent != nil {
+		t.parent.children.Add(1)
+	}
+	w.stats.spawned++
+	w.deque.push(t)
+	w.rt.maybeWake()
+}
+
+// SpawnTask creates a child task that accesses shared data through the given
+// handles and modes. The task becomes ready once every true dependency
+// implied by the access modes is satisfied; until then it is retained by its
+// predecessors and released onto the completing worker's deque.
+func (w *Worker) SpawnTask(fn func(*Worker), accs ...Access) {
+	t := w.alloc()
+	t.body = fn
+	t.parent = w.cur
+	if t.parent != nil {
+		t.parent.children.Add(1)
+	}
+	w.stats.spawned++
+	if len(accs) == 0 {
+		w.deque.push(t)
+		w.rt.maybeWake()
+		return
+	}
+	t.flags |= flagHasAccess
+	t.accs = append(t.accs[:0], accs...)
+	t.wait.Store(1) // creation bias: not ready while registering
+	for _, a := range t.accs {
+		if a.Handle != nil {
+			a.Handle.addAccess(t, a.Mode)
+		}
+	}
+	if t.wait.Add(-1) == 0 {
+		w.deque.push(t)
+		w.rt.maybeWake()
+	}
+}
+
+// Sync waits until every child task spawned so far by the current task, and
+// transitively all their descendants, have completed. While waiting the
+// worker schedules other ready work instead of blocking (work-first: the
+// thread that would idle becomes a thief).
+func (w *Worker) Sync() {
+	if w.cur == nil {
+		return
+	}
+	w.waitCounter(&w.cur.children)
+}
+
+// execute runs t to completion: body, implicit sync on children (the model
+// is fully strict), then completion processing.
+func (w *Worker) execute(t *Task) {
+	prev := w.cur
+	w.cur = t
+	w.stats.executed++
+	t.body(w)
+	if t.children.Load() != 0 {
+		w.waitCounter(&t.children)
+	}
+	w.cur = prev
+	w.complete(t)
+}
+
+// complete releases t's dataflow successors, credits its parent's frame and
+// recycles the task object.
+func (w *Worker) complete(t *Task) {
+	if t.flags&flagHasAccess != 0 {
+		t.mu.Lock()
+		t.done = true
+		succ := t.succ
+		t.mu.Unlock()
+		for _, s := range succ {
+			if s.wait.Add(-1) == 0 {
+				// The paper's ready-list optimization: a task made ready by
+				// the completion of its last predecessor is enqueued on the
+				// completer's deque, so a subsequent steal (or local pop) is
+				// a constant-time operation rather than a stack traversal.
+				w.stats.readyReleases++
+				w.deque.push(s)
+				w.rt.maybeWake()
+			}
+		}
+	}
+	if p := t.parent; p != nil {
+		p.children.Add(-1)
+	}
+	w.recycle(t)
+}
+
+// waitCounter schedules ready work until *c drains to zero.
+func (w *Worker) waitCounter(c *atomic.Int32) {
+	idle := 0
+	for c.Load() != 0 {
+		if w.schedOnce() {
+			idle = 0
+			continue
+		}
+		idle++
+		if idle < idleSpinBeforeSleep {
+			runtime.Gosched()
+		} else {
+			time.Sleep(idleSleep)
+		}
+	}
+}
+
+const (
+	idleSpinBeforeSleep = 128
+	idleSleep           = 20 * time.Microsecond
+)
+
+// schedOnce executes at most one ready task, preferring local work (pop,
+// LIFO) and falling back to stealing (oldest task of a random victim). It
+// reports whether a task was executed.
+func (w *Worker) schedOnce() bool {
+	if t := w.deque.pop(); t != nil {
+		w.execute(t)
+		return true
+	}
+	if t := w.trySteal(); t != nil {
+		w.execute(t)
+		return true
+	}
+	return false
+}
+
+// trySteal performs one round of steal attempts on randomly selected victims
+// and returns a stolen task, or nil if the round failed.
+func (w *Worker) trySteal() *Task {
+	rt := w.rt
+	n := len(rt.workers)
+	if n == 1 {
+		return nil
+	}
+	for attempt := 0; attempt < 2*n; attempt++ {
+		v := rt.workers[w.rng.Intn(n)]
+		if v == w {
+			continue
+		}
+		// Cheap probe before posting a request.
+		if v.deque.size() == 0 && v.adaptive.Load() == nil {
+			continue
+		}
+		if rt.cfg.NoAggregation {
+			if t := w.stealDirect(v); t != nil {
+				return t
+			}
+			continue
+		}
+		if t, _ := w.stealFrom(v); t != nil {
+			return t
+		}
+	}
+	return nil
+}
+
+// SetAdaptive installs ad as the splitter target for the task currently
+// running on w and returns the previously installed value, which the caller
+// must restore when the adaptive section ends. While installed, thieves that
+// find w's deque empty call ad.Split to extract work from the running task
+// (§II-D).
+func (w *Worker) SetAdaptive(ad *Adaptive) *Adaptive {
+	prev := w.adaptive.Load()
+	w.adaptive.Store(ad)
+	if ad != nil {
+		w.rt.wakeAll()
+	}
+	return prev
+}
+
+// NewAdaptiveTask wraps fn into a free-standing ready task, for returning
+// from an Adaptive splitter. The task has no parent frame: user-level
+// adaptive algorithms must track completion themselves (typically with a
+// pending counter, as ForEach does), because the victim whose work was
+// split may complete before the split-off tasks do.
+func (w *Worker) NewAdaptiveTask(fn func(*Worker)) *Task {
+	t := w.alloc()
+	t.flags |= flagLoop
+	t.body = fn
+	w.stats.spawned++
+	return t
+}
+
+// alloc takes a task from the worker-local free list, falling back to the
+// heap. Tasks recycle through the list of whichever worker completes them.
+func (w *Worker) alloc() *Task {
+	t := w.freeList
+	if t == nil {
+		return new(Task)
+	}
+	w.freeList = t.next
+	t.next = nil
+	return t
+}
+
+// recycle resets t and returns it to the local free list. The sequence
+// number bump invalidates any stale taskRef still held by a Handle frontier.
+func (w *Worker) recycle(t *Task) {
+	if t.flags&flagHasAccess != 0 {
+		t.mu.Lock()
+		t.seq++
+		t.done = false
+		t.succ = t.succ[:0]
+		t.mu.Unlock()
+		t.accs = t.accs[:0]
+	}
+	t.body = nil
+	t.parent = nil
+	t.flags = 0
+	// wait and children need no reset: a task only completes once wait
+	// reached zero (it became ready) and children drained to zero (fully
+	// strict execution), so both counters are already zero here.
+	t.next = w.freeList
+	w.freeList = t
+}
+
+// run is the main loop of a spawned (non-master) worker.
+func (w *Worker) run() {
+	rt := w.rt
+	if !rt.cfg.DisablePinning {
+		// One worker per core, pinned to an OS thread for the lifetime of
+		// the runtime, mirroring the paper's thread-per-core pool. The Go
+		// scheduler still owns thread placement, but a locked goroutine
+		// never migrates or shares its thread.
+		runtime.LockOSThread()
+		defer runtime.UnlockOSThread()
+	}
+	defer rt.wg.Done()
+	fails := 0
+	for {
+		if rt.stop.Load() {
+			return
+		}
+		if t := w.deque.pop(); t != nil {
+			w.execute(t)
+			fails = 0
+			continue
+		}
+		if t := w.trySteal(); t != nil {
+			w.execute(t)
+			fails = 0
+			continue
+		}
+		fails++
+		if fails < 4 {
+			runtime.Gosched()
+			continue
+		}
+		w.park()
+		fails = 0
+	}
+}
+
+// park blocks the worker until new work may exist. A final scan of all
+// deques after advertising idleness closes the race with concurrent pushes.
+func (w *Worker) park() {
+	rt := w.rt
+	rt.idle.Add(1)
+	w.stats.parks.Add(1)
+	if rt.anyWork() || rt.stop.Load() {
+		rt.idle.Add(-1)
+		return
+	}
+	rt.parkMu.Lock()
+	for rt.wakePending == 0 && !rt.stop.Load() {
+		rt.parkCond.Wait()
+	}
+	if rt.wakePending > 0 {
+		rt.wakePending--
+	}
+	rt.parkMu.Unlock()
+	rt.idle.Add(-1)
+}

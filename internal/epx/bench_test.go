@@ -1,0 +1,51 @@
+package epx
+
+import "testing"
+
+func benchState(b *testing.B) (*State, *Repera) {
+	b.Helper()
+	mesh := NewBox(16, 16, 8, 1)
+	st := NewState(mesh, Material{E: 100, Yield: 0.02, Hard: 0.3})
+	st.Kick(0.4, 0.8)
+	st.Integrate()
+	rep := NewRepera(mesh, 12)
+	rep.Build(st.Disp)
+	return st, rep
+}
+
+// BenchmarkLoopelm reports the sequential per-sweep cost of the element
+// force kernel (2048 elements, 8 Gauss points each).
+func BenchmarkLoopelm(b *testing.B) {
+	st, _ := benchState(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st.ElemForceRange(0, st.M.NumElems())
+	}
+}
+
+// BenchmarkRepera reports the sequential per-sweep cost of the contact
+// candidate sort (2601 nodes against 256 facets).
+func BenchmarkRepera(b *testing.B) {
+	st, rep := benchState(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep.SortRange(st.Disp, 0, st.M.NumNodes())
+	}
+}
+
+func BenchmarkAssemble(b *testing.B) {
+	st, _ := benchState(b)
+	st.ElemForceRange(0, st.M.NumElems())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st.Assemble()
+	}
+}
+
+func BenchmarkGridBuild(b *testing.B) {
+	st, rep := benchState(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep.Build(st.Disp)
+	}
+}

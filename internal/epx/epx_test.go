@@ -1,0 +1,249 @@
+package epx
+
+import (
+	"math"
+	"testing"
+
+	"xkaapi/gomp"
+)
+
+func TestNewBoxTopology(t *testing.T) {
+	m := NewBox(3, 2, 4, 0.5)
+	if got, want := m.NumNodes(), 4*3*5; got != want {
+		t.Fatalf("nodes=%d want %d", got, want)
+	}
+	if got, want := m.NumElems(), 3*2*4; got != want {
+		t.Fatalf("elems=%d want %d", got, want)
+	}
+	if got, want := len(m.Facets), 3*2; got != want {
+		t.Fatalf("facets=%d want %d", got, want)
+	}
+	// Every element must reference 8 distinct valid nodes.
+	for e, el := range m.Elems {
+		seen := map[int32]bool{}
+		for _, n := range el {
+			if n < 0 || int(n) >= m.NumNodes() {
+				t.Fatalf("elem %d references node %d", e, n)
+			}
+			if seen[n] {
+				t.Fatalf("elem %d repeats node %d", e, n)
+			}
+			seen[n] = true
+		}
+	}
+	// Facets lie on the top surface.
+	zTop := float64(m.NZ) * m.DX
+	for f, fac := range m.Facets {
+		for _, n := range fac {
+			if m.Nodes[n][2] != zTop {
+				t.Fatalf("facet %d node %d not on top surface", f, n)
+			}
+		}
+	}
+}
+
+func TestElemForceZeroDisplacement(t *testing.T) {
+	m := NewBox(4, 4, 2, 1)
+	s := NewState(m, Material{E: 10, Yield: 0.1, Hard: 0.3})
+	s.ElemForceRange(0, m.NumElems())
+	s.Assemble()
+	if n := s.ForceNorm(); n != 0 {
+		t.Fatalf("forces on undeformed mesh: %g", n)
+	}
+}
+
+func TestElemForceDeterministicAndChunkable(t *testing.T) {
+	m := NewBox(6, 5, 3, 1)
+	s1 := NewState(m, Material{E: 10, Yield: 0.02, Hard: 0.3})
+	s2 := NewState(m, Material{E: 10, Yield: 0.02, Hard: 0.3})
+	s1.Kick(0.5, 1)
+	s2.Kick(0.5, 1)
+	s1.Integrate()
+	s2.Integrate()
+	// One full sweep vs many small chunks must agree bitwise.
+	s1.ElemForceRange(0, m.NumElems())
+	for lo := 0; lo < m.NumElems(); lo += 7 {
+		hi := lo + 7
+		if hi > m.NumElems() {
+			hi = m.NumElems()
+		}
+		s2.ElemForceRange(lo, hi)
+	}
+	for e := range s1.EForce {
+		if s1.EForce[e] != s2.EForce[e] {
+			t.Fatalf("element %d force differs between chunkings", e)
+		}
+	}
+}
+
+func TestPlasticityAccumulates(t *testing.T) {
+	m := NewBox(2, 2, 2, 1)
+	s := NewState(m, Material{E: 10, Yield: 1e-6, Hard: 0.5})
+	for i := range s.Disp {
+		s.Disp[i] = [3]float64{0.3 * m.Nodes[i][0], -0.1 * m.Nodes[i][1], 0.05 * m.Nodes[i][2]}
+	}
+	s.ElemForceRange(0, m.NumElems())
+	var any bool
+	for _, p := range s.PStrain {
+		if p > 0 {
+			any = true
+		}
+	}
+	if !any {
+		t.Fatal("large strain with tiny yield produced no plastic strain")
+	}
+}
+
+func TestReperaFindsNearbyFacets(t *testing.T) {
+	m := NewBox(6, 6, 3, 1)
+	s := NewState(m, Material{E: 10, Yield: 0.02, Hard: 0.3})
+	r := NewRepera(m, 4)
+	r.Build(s.Disp)
+	r.SortRange(s.Disp, 0, m.NumNodes())
+	if r.CandCount() == 0 {
+		t.Fatal("no contact candidates found on an intact mesh")
+	}
+	// Candidate lists must be sorted by distance and bounded.
+	for v := range r.candPerNode {
+		l := r.candPerNode[v]
+		if len(l) > maxCand {
+			t.Fatalf("node %d keeps %d candidates (max %d)", v, len(l), maxCand)
+		}
+		for i := 1; i < len(l); i++ {
+			if l[i].Dist < l[i-1].Dist {
+				t.Fatalf("node %d candidates unsorted", v)
+			}
+		}
+	}
+	// Top-surface nodes must see at least one facet at distance ~0.
+	top := m.NumNodes() - 1
+	if len(r.candPerNode[top]) == 0 {
+		t.Fatal("top corner node found no candidate facet")
+	}
+}
+
+func TestReperaDeterministicAcrossChunkings(t *testing.T) {
+	m := NewBox(5, 5, 3, 1)
+	s := NewState(m, Material{E: 10, Yield: 0.02, Hard: 0.3})
+	s.Kick(0.5, 0.7)
+	s.Integrate()
+	r1 := NewRepera(m, 8)
+	r2 := NewRepera(m, 8)
+	r1.Build(s.Disp)
+	r2.Build(s.Disp)
+	r1.SortRange(s.Disp, 0, m.NumNodes())
+	for lo := 0; lo < m.NumNodes(); lo += 11 {
+		hi := lo + 11
+		if hi > m.NumNodes() {
+			hi = m.NumNodes()
+		}
+		r2.SortRange(s.Disp, lo, hi)
+	}
+	if r1.CandChecksum() != r2.CandChecksum() {
+		t.Fatal("repera checksum differs between chunkings")
+	}
+}
+
+func TestInsertCandOrderAndCap(t *testing.T) {
+	var l []Cand
+	for i := 20; i > 0; i-- {
+		l = insertCand(l, Cand{Facet: int32(i), Dist: float64(i)})
+	}
+	if len(l) != maxCand {
+		t.Fatalf("len=%d want %d", len(l), maxCand)
+	}
+	for i := 0; i < maxCand; i++ {
+		if l[i].Dist != float64(i+1) {
+			t.Fatalf("slot %d has dist %g want %d", i, l[i].Dist, i+1)
+		}
+	}
+}
+
+func TestSimBackendsBitwiseAgree(t *testing.T) {
+	inst := Instance{
+		Name: "mini", NX: 5, NY: 5, NZ: 3, Steps: 2, Refine: 4,
+		HN: 96, HFill: 0.15, HBS: 16, HScale: 1, HSkip: 1, Seed: 7,
+	}
+	run := func(b Backend) *Sim {
+		s, err := NewSim(inst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.Run(b); err != nil {
+			t.Fatal(err)
+		}
+		b.Close()
+		return s
+	}
+	ref := run(NewSeqBackend())
+	kaapi := run(NewKaapiBackend(4))
+	ompS := run(NewGompBackend(4, gomp.Static, 0))
+	ompD := run(NewGompBackend(4, gomp.Dynamic, 8))
+
+	for _, pair := range []struct {
+		name string
+		got  *Sim
+	}{{"kaapi", kaapi}, {"omp-static", ompS}, {"omp-dynamic", ompD}} {
+		if pair.got.ForceNorm != ref.ForceNorm {
+			t.Errorf("%s: ForceNorm %g != seq %g", pair.name, pair.got.ForceNorm, ref.ForceNorm)
+		}
+		if pair.got.CandSum != ref.CandSum {
+			t.Errorf("%s: CandSum %g != seq %g", pair.name, pair.got.CandSum, ref.CandSum)
+		}
+		if pair.got.SolNorm != ref.SolNorm {
+			t.Errorf("%s: SolNorm %g != seq %g", pair.name, pair.got.SolNorm, ref.SolNorm)
+		}
+	}
+	if ref.ForceNorm == 0 || math.IsNaN(ref.ForceNorm) {
+		t.Fatalf("degenerate simulation: force norm %g", ref.ForceNorm)
+	}
+}
+
+func TestPhaseTimesAccounting(t *testing.T) {
+	inst := MEPPEN(1)
+	inst.NX, inst.NY, inst.NZ = 6, 6, 3 // shrink for test speed
+	inst.Steps = 2
+	inst.HN = 64
+	s, err := NewSim(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt, err := s.Run(NewSeqBackend())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pt.Total() <= 0 {
+		t.Fatal("no time accounted")
+	}
+	if pt.Loopelm <= 0 || pt.Repera <= 0 || pt.Cholesky <= 0 || pt.Other <= 0 {
+		t.Fatalf("phase missing: %v", pt)
+	}
+	var sum PhaseTimes
+	sum.Add(pt)
+	sum.Add(pt)
+	if sum.Total() != 2*pt.Total() {
+		t.Fatal("Add is not additive")
+	}
+	if s := pt.String(); s == "" {
+		t.Fatal("empty String()")
+	}
+}
+
+func TestInstancePresets(t *testing.T) {
+	mep := MEPPEN(1)
+	maxp := MAXPLANE(1)
+	if mep.Name != "MEPPEN" || maxp.Name != "MAXPLANE" {
+		t.Fatal("bad names")
+	}
+	// The defining contrast of the two instances (Fig. 8): MEPPEN has many
+	// more elements than MAXPLANE; MAXPLANE's H system is much larger.
+	if mep.NX*mep.NY*mep.NZ <= maxp.NX*maxp.NY*maxp.NZ {
+		t.Fatal("MEPPEN should have the bigger mesh")
+	}
+	if maxp.HN <= mep.HN {
+		t.Fatal("MAXPLANE should have the bigger H matrix")
+	}
+	if MEPPEN(0).NX != MEPPEN(1).NX {
+		t.Fatal("scale 0 must clamp to 1")
+	}
+}

@@ -1,0 +1,222 @@
+package epx
+
+import "math"
+
+// Material is a simplified elasto-plastic law with linear isotropic
+// hardening — enough nonlinearity to make element forces state-dependent,
+// as in EPX's material models.
+type Material struct {
+	E     float64 // Young-like stiffness
+	Yield float64 // initial yield strain
+	Hard  float64 // hardening ratio in (0,1)
+}
+
+// State carries the nodal and element fields of the explicit solver.
+type State struct {
+	M   *Mesh
+	Mat Material
+
+	Disp  [][3]float64 // nodal displacements
+	Vel   [][3]float64 // nodal velocities
+	Force [][3]float64 // assembled nodal internal forces
+
+	// EForce is the per-element block of nodal forces produced by LOOPELM.
+	// Each element writes only its own entry, which is what makes the loop
+	// iterations independent (the scatter into Force is a separate,
+	// sequential assembly pass).
+	EForce  [][8][3]float64
+	PStrain []float64 // per-element accumulated plastic strain
+
+	Mass float64 // lumped nodal mass
+	Dt   float64
+}
+
+// NewState allocates the fields for mesh m.
+func NewState(m *Mesh, mat Material) *State {
+	return &State{
+		M: m, Mat: mat,
+		Disp:    make([][3]float64, m.NumNodes()),
+		Vel:     make([][3]float64, m.NumNodes()),
+		Force:   make([][3]float64, m.NumNodes()),
+		EForce:  make([][8][3]float64, m.NumElems()),
+		PStrain: make([]float64, m.NumElems()),
+		Mass:    1,
+		Dt:      1e-3,
+	}
+}
+
+// hexSign holds the reference-cube corner signs of the 8-node brick.
+var hexSign = [8][3]float64{
+	{-1, -1, -1}, {1, -1, -1}, {1, 1, -1}, {-1, 1, -1},
+	{-1, -1, 1}, {1, -1, 1}, {1, 1, 1}, {-1, 1, 1},
+}
+
+// gaussPt holds the 2×2×2 Gauss quadrature points of the reference cube
+// (coordinates ±1/√3), the standard integration rule for trilinear bricks.
+var gaussPt = func() [8][3]float64 {
+	g := 1 / math.Sqrt(3)
+	var pts [8][3]float64
+	for a := 0; a < 8; a++ {
+		pts[a] = [3]float64{hexSign[a][0] * g, hexSign[a][1] * g, hexSign[a][2] * g}
+	}
+	return pts
+}()
+
+// shapeGrad holds, for each Gauss point g and node a, the gradient of the
+// trilinear shape function N_a at g in reference coordinates:
+// dN_a/dξ_d = sign_a[d]/8 · Π_{e≠d} (1 + sign_a[e]·ξ_g[e]).
+var shapeGrad = func() [8][8][3]float64 {
+	var grad [8][8][3]float64
+	for g := 0; g < 8; g++ {
+		for a := 0; a < 8; a++ {
+			for d := 0; d < 3; d++ {
+				v := hexSign[a][d] / 8
+				for e := 0; e < 3; e++ {
+					if e != d {
+						v *= 1 + hexSign[a][e]*gaussPt[g][e]
+					}
+				}
+				grad[g][a][d] = v
+			}
+		}
+	}
+	return grad
+}()
+
+// ElemForceRange is the LOOPELM kernel: for every element in [lo, hi) it
+// gathers the displacements of its 8 nodes (indirect, memory-bound
+// accesses), integrates the strain over the 8 Gauss points of the brick,
+// applies the elasto-plastic law at each point and accumulates the nodal
+// internal forces. Iterations are independent: element e writes only
+// EForce[e] and PStrain[e], which is exactly the property that makes
+// LOOPELM a parallel independent loop in EPX.
+func (s *State) ElemForceRange(lo, hi int) {
+	invH := 2 / s.M.DX                   // reference-to-physical gradient scale
+	wVol := s.M.DX * s.M.DX * s.M.DX / 8 // Gauss weight × Jacobian
+	for e := lo; e < hi; e++ {
+		elem := &s.M.Elems[e]
+		// Gather the 8 nodal displacements once (24 indirect loads).
+		var d [8][3]float64
+		for a := 0; a < 8; a++ {
+			d[a] = s.Disp[elem[a]]
+		}
+		ef := &s.EForce[e]
+		*ef = [8][3]float64{}
+		var effSum float64
+		p := s.PStrain[e]
+		yield := s.Mat.Yield * (1 + s.Mat.Hard*p)
+		for g := 0; g < 8; g++ {
+			grad := &shapeGrad[g]
+			// Small-strain tensor at the Gauss point.
+			var exx, eyy, ezz, exy, eyz, ezx float64
+			for a := 0; a < 8; a++ {
+				bx := grad[a][0] * invH
+				by := grad[a][1] * invH
+				bz := grad[a][2] * invH
+				exx += d[a][0] * bx
+				eyy += d[a][1] * by
+				ezz += d[a][2] * bz
+				exy += d[a][0]*by + d[a][1]*bx
+				eyz += d[a][1]*bz + d[a][2]*by
+				ezx += d[a][2]*bx + d[a][0]*bz
+			}
+			eff := math.Sqrt(exx*exx + eyy*eyy + ezz*ezz + 0.5*(exy*exy+eyz*eyz+ezx*ezx))
+			effSum += eff
+
+			// Elasto-plastic secant stress at this point.
+			var sig float64
+			if eff > yield {
+				sig = s.Mat.E * (yield + s.Mat.Hard*(eff-yield))
+			} else {
+				sig = s.Mat.E * eff
+			}
+
+			// f_a -= w · σ : B_a  (internal force contribution).
+			w := -sig * wVol
+			for a := 0; a < 8; a++ {
+				bx := grad[a][0] * invH
+				by := grad[a][1] * invH
+				bz := grad[a][2] * invH
+				ef[a][0] += w * (exx*bx + 0.5*(exy*by+ezx*bz))
+				ef[a][1] += w * (eyy*by + 0.5*(exy*bx+eyz*bz))
+				ef[a][2] += w * (ezz*bz + 0.5*(eyz*by+ezx*bx))
+			}
+		}
+		// Plastic strain accumulates from the mean effective strain.
+		if mean := effSum / 8; mean > yield {
+			s.PStrain[e] = p + (mean - yield)
+		}
+	}
+}
+
+// Assemble scatters the per-element force blocks into the nodal Force
+// array. The scatter races on shared nodes, so it stays sequential and is
+// accounted to the "other" fraction, as the nodal assembly is in EPX.
+func (s *State) Assemble() {
+	for i := range s.Force {
+		s.Force[i] = [3]float64{}
+	}
+	for e := range s.EForce {
+		elem := &s.M.Elems[e]
+		ef := &s.EForce[e]
+		for a := 0; a < 8; a++ {
+			n := elem[a]
+			s.Force[n][0] += ef[a][0]
+			s.Force[n][1] += ef[a][1]
+			s.Force[n][2] += ef[a][2]
+		}
+	}
+}
+
+// Integrate advances velocities and displacements one central-difference
+// step from the assembled forces (sequential "other" work).
+func (s *State) Integrate() {
+	c := s.Dt / s.Mass
+	for i := range s.Vel {
+		s.Vel[i][0] += c * s.Force[i][0]
+		s.Vel[i][1] += c * s.Force[i][1]
+		s.Vel[i][2] += c * s.Force[i][2]
+		s.Disp[i][0] += s.Dt * s.Vel[i][0]
+		s.Disp[i][1] += s.Dt * s.Vel[i][1]
+		s.Disp[i][2] += s.Dt * s.Vel[i][2]
+	}
+}
+
+// Kick applies an initial impact velocity field: nodes in the x < frac
+// portion of the box move toward the plate, seeding the transient.
+func (s *State) Kick(frac, v0 float64) {
+	xmax := float64(s.M.NX) * s.M.DX
+	for i, n := range s.M.Nodes {
+		if n[0] < frac*xmax {
+			s.Vel[i] = [3]float64{v0, 0, -v0}
+		}
+	}
+}
+
+// Diagnostics performs the sequential per-step bookkeeping EPX does outside
+// the three parallel kernels: kinetic/internal energy balance, plastic
+// dissipation tallies, and stability (CFL) monitoring. reps scales the
+// number of passes, calibrating the "other" fraction of an instance.
+func (s *State) Diagnostics(reps int) (kinetic, plastic float64) {
+	for r := 0; r < max(1, reps); r++ {
+		kinetic, plastic = 0, 0
+		for i := range s.Vel {
+			v := &s.Vel[i]
+			kinetic += 0.5 * s.Mass * (v[0]*v[0] + v[1]*v[1] + v[2]*v[2])
+		}
+		for e := range s.PStrain {
+			plastic += s.PStrain[e] * s.Mat.Yield
+		}
+	}
+	return kinetic, plastic
+}
+
+// ForceNorm returns the L2 norm of the assembled nodal forces, used as a
+// deterministic checksum in tests.
+func (s *State) ForceNorm() float64 {
+	var t float64
+	for i := range s.Force {
+		t += s.Force[i][0]*s.Force[i][0] + s.Force[i][1]*s.Force[i][1] + s.Force[i][2]*s.Force[i][2]
+	}
+	return math.Sqrt(t)
+}

@@ -1,0 +1,80 @@
+// Package epx is a surrogate for EUROPLEXUS (EPX), the industrial
+// fast-transient-dynamics code of the paper's case study (§IV). EPX itself
+// is 600k lines of proprietary Fortran co-owned by CEA and the EC, so this
+// package rebuilds the three algorithmic kernels the paper identifies as
+// >70% of a typical run, with the same computational character:
+//
+//   - LOOPELM (loopelm.go): the independent loop over finite elements
+//     computing nodal internal forces from the local mechanical behaviour —
+//     gather-heavy and therefore memory-intensive, which is why the paper's
+//     Fig. 6 shows limited LOOPELM speedup on the smaller MEPPEN instance;
+//   - REPERA (repera.go): the independent loop sorting candidates for
+//     node-to-facet unilateral contact — compute-intensive geometry tests,
+//     good speedup;
+//   - CHOLESKY: factorization of the condensed H matrix in skyline storage
+//     (package skyline), dominating the MAXPLANE instance;
+//
+// plus an explicit central-difference time integrator whose remaining
+// sequential work plays the paper's "other" fraction (Fig. 8, ~30%).
+//
+// The MEPPEN (missile crash) and MAXPLANE (ice impact on composite plate)
+// instances are synthetic: meshes, contact densities and H-matrix profiles
+// are sized so the sequential time split between the three kernels matches
+// the character the paper describes for each simulation.
+package epx
+
+// Mesh is a structured hexahedral box mesh: nx×ny×nz 8-node brick elements,
+// with the top surface (z = max) triangulated into quad facets that serve as
+// contact targets for REPERA.
+type Mesh struct {
+	NX, NY, NZ int
+	DX         float64 // uniform spacing
+
+	Nodes  [][3]float64
+	Elems  [][8]int32
+	Facets [][4]int32 // top-surface quads, contact targets
+}
+
+// NewBox builds an nx×ny×nz element box with spacing dx.
+func NewBox(nx, ny, nz int, dx float64) *Mesh {
+	m := &Mesh{NX: nx, NY: ny, NZ: nz, DX: dx}
+	nxn, nyn, nzn := nx+1, ny+1, nz+1
+	node := func(i, j, k int) int32 { return int32((i*nyn+j)*nzn + k) }
+
+	m.Nodes = make([][3]float64, nxn*nyn*nzn)
+	for i := 0; i < nxn; i++ {
+		for j := 0; j < nyn; j++ {
+			for k := 0; k < nzn; k++ {
+				m.Nodes[node(i, j, k)] = [3]float64{float64(i) * dx, float64(j) * dx, float64(k) * dx}
+			}
+		}
+	}
+
+	m.Elems = make([][8]int32, 0, nx*ny*nz)
+	for i := 0; i < nx; i++ {
+		for j := 0; j < ny; j++ {
+			for k := 0; k < nz; k++ {
+				m.Elems = append(m.Elems, [8]int32{
+					node(i, j, k), node(i+1, j, k), node(i+1, j+1, k), node(i, j+1, k),
+					node(i, j, k+1), node(i+1, j, k+1), node(i+1, j+1, k+1), node(i, j+1, k+1),
+				})
+			}
+		}
+	}
+
+	m.Facets = make([][4]int32, 0, nx*ny)
+	for i := 0; i < nx; i++ {
+		for j := 0; j < ny; j++ {
+			m.Facets = append(m.Facets, [4]int32{
+				node(i, j, nz), node(i+1, j, nz), node(i+1, j+1, nz), node(i, j+1, nz),
+			})
+		}
+	}
+	return m
+}
+
+// NumNodes returns the node count.
+func (m *Mesh) NumNodes() int { return len(m.Nodes) }
+
+// NumElems returns the element count.
+func (m *Mesh) NumElems() int { return len(m.Elems) }

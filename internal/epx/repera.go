@@ -1,0 +1,250 @@
+package epx
+
+import "math"
+
+// maxCand is the number of closest facets kept per node, as EPX keeps a
+// short list of unilateral-contact candidates per striker node.
+const maxCand = 8
+
+// Cand is one contact candidate: a facet and the squared distance from the
+// node to its (refined) projection point.
+type Cand struct {
+	Facet int32
+	Dist  float64
+}
+
+// Repera implements the REPERA kernel: for every striker node, find the
+// nearby target facets and sort them by distance. A uniform spatial hash
+// over facet centers bounds the search; per-candidate refinement iterations
+// (a fixed-point projection onto the facet plane) make the loop
+// compute-intensive, matching the paper's observation that REPERA speeds up
+// well where the memory-bound LOOPELM does not.
+type Repera struct {
+	M      *Mesh
+	Refine int     // refinement iterations per candidate
+	Radius float64 // search radius
+
+	// hash grid over facet centers (rebuilt each step in "other")
+	cell          float64
+	gx, gy, gz    int
+	ox, oy, oz    float64
+	cellStart     []int32
+	cellItems     []int32
+	centers       [][3]float64
+	normals       [][3]float64
+	candPerNode   [][]Cand
+	totalCand     int
+	scratchCounts []int32
+}
+
+// NewRepera sizes the contact structure for mesh m.
+func NewRepera(m *Mesh, refine int) *Repera {
+	r := &Repera{
+		M:      m,
+		Refine: refine,
+		Radius: 2.5 * m.DX,
+		cell:   2.5 * m.DX,
+	}
+	r.centers = make([][3]float64, len(m.Facets))
+	r.normals = make([][3]float64, len(m.Facets))
+	r.candPerNode = make([][]Cand, m.NumNodes())
+	for i := range r.candPerNode {
+		r.candPerNode[i] = make([]Cand, 0, maxCand)
+	}
+	return r
+}
+
+// Build recomputes facet centers/normals in the deformed configuration and
+// rebuilds the spatial hash. Sequential; accounted to "other".
+func (r *Repera) Build(disp [][3]float64) {
+	m := r.M
+	minC := [3]float64{math.Inf(1), math.Inf(1), math.Inf(1)}
+	maxC := [3]float64{math.Inf(-1), math.Inf(-1), math.Inf(-1)}
+	for f, fac := range m.Facets {
+		var c [3]float64
+		for _, n := range fac {
+			for d := 0; d < 3; d++ {
+				c[d] += (m.Nodes[n][d] + disp[n][d]) * 0.25
+			}
+		}
+		r.centers[f] = c
+		// Pseudo-normal from two edges of the deformed quad.
+		p0, p1, p3 := fac[0], fac[1], fac[3]
+		var e1, e2 [3]float64
+		for d := 0; d < 3; d++ {
+			e1[d] = m.Nodes[p1][d] + disp[p1][d] - m.Nodes[p0][d] - disp[p0][d]
+			e2[d] = m.Nodes[p3][d] + disp[p3][d] - m.Nodes[p0][d] - disp[p0][d]
+		}
+		n := [3]float64{
+			e1[1]*e2[2] - e1[2]*e2[1],
+			e1[2]*e2[0] - e1[0]*e2[2],
+			e1[0]*e2[1] - e1[1]*e2[0],
+		}
+		l := math.Sqrt(n[0]*n[0]+n[1]*n[1]+n[2]*n[2]) + 1e-30
+		r.normals[f] = [3]float64{n[0] / l, n[1] / l, n[2] / l}
+		for d := 0; d < 3; d++ {
+			if c[d] < minC[d] {
+				minC[d] = c[d]
+			}
+			if c[d] > maxC[d] {
+				maxC[d] = c[d]
+			}
+		}
+	}
+	r.ox, r.oy, r.oz = minC[0], minC[1], minC[2]
+	dim := func(lo, hi float64) int {
+		n := int((hi-lo)/r.cell) + 1
+		if n < 1 {
+			n = 1
+		}
+		return n
+	}
+	r.gx, r.gy, r.gz = dim(minC[0], maxC[0]), dim(minC[1], maxC[1]), dim(minC[2], maxC[2])
+	ncell := r.gx * r.gy * r.gz
+
+	// Counting-sort facets into cells (CSR layout).
+	if cap(r.scratchCounts) < ncell+1 {
+		r.scratchCounts = make([]int32, ncell+1)
+	}
+	counts := r.scratchCounts[:ncell+1]
+	for i := range counts {
+		counts[i] = 0
+	}
+	cellOf := func(c [3]float64) int {
+		ix := int((c[0] - r.ox) / r.cell)
+		iy := int((c[1] - r.oy) / r.cell)
+		iz := int((c[2] - r.oz) / r.cell)
+		return (ix*r.gy+iy)*r.gz + iz
+	}
+	for f := range r.centers {
+		counts[cellOf(r.centers[f])+1]++
+	}
+	for i := 1; i <= ncell; i++ {
+		counts[i] += counts[i-1]
+	}
+	if cap(r.cellStart) < ncell+1 {
+		r.cellStart = make([]int32, ncell+1)
+	}
+	r.cellStart = r.cellStart[:ncell+1]
+	copy(r.cellStart, counts)
+	if cap(r.cellItems) < len(r.centers) {
+		r.cellItems = make([]int32, len(r.centers))
+	}
+	r.cellItems = r.cellItems[:len(r.centers)]
+	fill := append([]int32(nil), counts...)
+	for f := range r.centers {
+		c := cellOf(r.centers[f])
+		r.cellItems[fill[c]] = int32(f)
+		fill[c]++
+	}
+}
+
+// SortRange is the parallel REPERA loop body: for every node in [lo, hi),
+// search the 27 neighbouring cells, refine the distance to each nearby
+// facet, and keep the maxCand closest candidates sorted by distance. Node v
+// writes only its own candidate list, so iterations are independent.
+func (r *Repera) SortRange(disp [][3]float64, lo, hi int) {
+	m := r.M
+	rad2 := r.Radius * r.Radius
+	for v := lo; v < hi; v++ {
+		p := [3]float64{
+			m.Nodes[v][0] + disp[v][0],
+			m.Nodes[v][1] + disp[v][1],
+			m.Nodes[v][2] + disp[v][2],
+		}
+		cand := r.candPerNode[v][:0]
+		ix := int((p[0] - r.ox) / r.cell)
+		iy := int((p[1] - r.oy) / r.cell)
+		iz := int((p[2] - r.oz) / r.cell)
+		for dx := -1; dx <= 1; dx++ {
+			cx := ix + dx
+			if cx < 0 || cx >= r.gx {
+				continue
+			}
+			for dy := -1; dy <= 1; dy++ {
+				cy := iy + dy
+				if cy < 0 || cy >= r.gy {
+					continue
+				}
+				for dz := -1; dz <= 1; dz++ {
+					cz := iz + dz
+					if cz < 0 || cz >= r.gz {
+						continue
+					}
+					c := (cx*r.gy+cy)*r.gz + cz
+					for it := r.cellStart[c]; it < r.cellStart[c+1]; it++ {
+						f := r.cellItems[it]
+						ctr := &r.centers[f]
+						dxv := p[0] - ctr[0]
+						dyv := p[1] - ctr[1]
+						dzv := p[2] - ctr[2]
+						d2 := dxv*dxv + dyv*dyv + dzv*dzv
+						if d2 >= rad2 {
+							continue
+						}
+						// Refinement: iterate the projection of the node
+						// onto the facet plane (deterministic fixed-point,
+						// the compute-intensive part of REPERA).
+						nrm := &r.normals[f]
+						h := dxv*nrm[0] + dyv*nrm[1] + dzv*nrm[2]
+						proj := d2 - h*h
+						if proj < 0 {
+							proj = 0
+						}
+						for it2 := 0; it2 < r.Refine; it2++ {
+							h = 0.5 * (h + (d2-proj)/(h+math.Copysign(1e-12, h)))
+							w := 1 / (1 + h*h)
+							proj = (proj + (d2-h*h)*w) * 0.5 * (1 + w)
+							if proj < 0 {
+								proj = 0
+							}
+						}
+						dist := proj + h*h
+						cand = insertCand(cand, Cand{Facet: f, Dist: dist})
+					}
+				}
+			}
+		}
+		r.candPerNode[v] = cand
+	}
+}
+
+// insertCand inserts c into the distance-sorted candidate list, keeping at
+// most maxCand entries.
+func insertCand(list []Cand, c Cand) []Cand {
+	pos := len(list)
+	for pos > 0 && list[pos-1].Dist > c.Dist {
+		pos--
+	}
+	if pos >= maxCand {
+		return list
+	}
+	if len(list) < maxCand {
+		list = append(list, Cand{})
+	}
+	copy(list[pos+1:], list[pos:])
+	list[pos] = c
+	return list
+}
+
+// CandCount returns the total number of retained candidates, a
+// deterministic checksum for tests.
+func (r *Repera) CandCount() int {
+	t := 0
+	for i := range r.candPerNode {
+		t += len(r.candPerNode[i])
+	}
+	return t
+}
+
+// CandChecksum folds facet ids and distances into a single float, used to
+// verify parallel and sequential executions produce identical results.
+func (r *Repera) CandChecksum() float64 {
+	var t float64
+	for i := range r.candPerNode {
+		for _, c := range r.candPerNode[i] {
+			t += float64(c.Facet+1)*1e-6 + c.Dist
+		}
+	}
+	return t
+}

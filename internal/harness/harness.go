@@ -1,0 +1,149 @@
+// Package harness provides the shared machinery of the experiment drivers
+// in cmd/: timing with repetitions, core-count sweeps, speedup/GFlops
+// series, and aligned-table output matching the rows and curves of the
+// paper's figures.
+package harness
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Time runs f reps times (after one untimed warmup when warm is true) and
+// returns the median wall-clock duration. The paper averages 30 runs; the
+// median is used here because laptop-class machines have heavier tails.
+func Time(reps int, warm bool, f func()) time.Duration {
+	if reps < 1 {
+		reps = 1
+	}
+	if warm {
+		f()
+	}
+	ds := make([]time.Duration, reps)
+	for i := range ds {
+		t0 := time.Now()
+		f()
+		ds[i] = time.Since(t0)
+	}
+	sort.Slice(ds, func(i, j int) bool { return ds[i] < ds[j] })
+	return ds[len(ds)/2]
+}
+
+// TimeSetup is Time with a per-repetition untimed setup phase (e.g. cloning
+// the input an in-place factorization will destroy), so the reported median
+// covers only the measured computation. One warmup pair runs first.
+func TimeSetup(reps int, setup, f func()) time.Duration {
+	if reps < 1 {
+		reps = 1
+	}
+	setup()
+	f()
+	ds := make([]time.Duration, reps)
+	for i := range ds {
+		setup()
+		t0 := time.Now()
+		f()
+		ds[i] = time.Since(t0)
+	}
+	sort.Slice(ds, func(i, j int) bool { return ds[i] < ds[j] })
+	return ds[len(ds)/2]
+}
+
+// CoreCounts returns the sweep {1, 2, 4, ...} up to max, always including
+// max itself; the paper sweeps 1..48 on its 48-core machine.
+func CoreCounts(max int) []int {
+	if max < 1 {
+		max = runtime.GOMAXPROCS(0)
+	}
+	var cs []int
+	for c := 1; c < max; c *= 2 {
+		cs = append(cs, c)
+	}
+	cs = append(cs, max)
+	return cs
+}
+
+// ParseCores parses a comma-separated core list ("1,2,4"), or, when empty,
+// returns CoreCounts(GOMAXPROCS).
+func ParseCores(s string) ([]int, error) {
+	if strings.TrimSpace(s) == "" {
+		return CoreCounts(runtime.GOMAXPROCS(0)), nil
+	}
+	var cs []int
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || v < 1 {
+			return nil, fmt.Errorf("harness: bad core count %q", part)
+		}
+		cs = append(cs, v)
+	}
+	return cs, nil
+}
+
+// Series is one curve of a figure: a name and a value per x position.
+type Series struct {
+	Name   string
+	Values []float64
+}
+
+// Table prints an aligned table: header, then one row per x value with one
+// column per series. fmtv formats each cell value.
+func Table(w io.Writer, xlabel string, xs []int, series []Series, fmtv func(float64) string) {
+	cols := []string{xlabel}
+	for _, s := range series {
+		cols = append(cols, s.Name)
+	}
+	widths := make([]int, len(cols))
+	for i, c := range cols {
+		widths[i] = len(c)
+	}
+	rows := make([][]string, len(xs))
+	for r, x := range xs {
+		row := make([]string, len(cols))
+		row[0] = strconv.Itoa(x)
+		for i, s := range series {
+			if r < len(s.Values) {
+				row[i+1] = fmtv(s.Values[r])
+			} else {
+				row[i+1] = "-"
+			}
+		}
+		for i, cell := range row {
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+		rows[r] = row
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = fmt.Sprintf("%*s", widths[i], c)
+		}
+		fmt.Fprintln(w, strings.Join(parts, "  "))
+	}
+	line(cols)
+	sep := make([]string, len(cols))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range rows {
+		line(row)
+	}
+}
+
+// Seconds formats a duration value (in seconds) the way the paper's Fig. 1
+// table does.
+func Seconds(v float64) string { return fmt.Sprintf("%.4f", v) }
+
+// Ratio formats a speedup or slowdown.
+func Ratio(v float64) string { return fmt.Sprintf("%.2f", v) }
+
+// Gf formats GFlop/s.
+func Gf(v float64) string { return fmt.Sprintf("%.3f", v) }

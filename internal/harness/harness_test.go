@@ -1,0 +1,96 @@
+package harness
+
+import (
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestTimeReturnsPlausibleMedian(t *testing.T) {
+	d := Time(3, true, func() { time.Sleep(2 * time.Millisecond) })
+	if d < time.Millisecond || d > 200*time.Millisecond {
+		t.Fatalf("median %v implausible for a 2ms body", d)
+	}
+}
+
+func TestTimeClampsReps(t *testing.T) {
+	calls := 0
+	Time(0, false, func() { calls++ })
+	if calls != 1 {
+		t.Fatalf("reps=0 ran body %d times, want 1", calls)
+	}
+}
+
+func TestTimeSetupExcludesSetup(t *testing.T) {
+	d := TimeSetup(3, func() { time.Sleep(5 * time.Millisecond) }, func() {})
+	if d > 2*time.Millisecond {
+		t.Fatalf("setup leaked into measurement: %v", d)
+	}
+}
+
+func TestCoreCountsDoublingAndMax(t *testing.T) {
+	cs := CoreCounts(6)
+	want := []int{1, 2, 4, 6}
+	if len(cs) != len(want) {
+		t.Fatalf("CoreCounts(6)=%v", cs)
+	}
+	for i := range cs {
+		if cs[i] != want[i] {
+			t.Fatalf("CoreCounts(6)=%v want %v", cs, want)
+		}
+	}
+	if got := CoreCounts(1); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("CoreCounts(1)=%v", got)
+	}
+	if got := CoreCounts(0); got[len(got)-1] != runtime.GOMAXPROCS(0) {
+		t.Fatalf("CoreCounts(0)=%v must end at GOMAXPROCS", got)
+	}
+}
+
+func TestParseCores(t *testing.T) {
+	cs, err := ParseCores(" 1, 2 ,8 ")
+	if err != nil || len(cs) != 3 || cs[0] != 1 || cs[1] != 2 || cs[2] != 8 {
+		t.Fatalf("ParseCores: %v %v", cs, err)
+	}
+	if _, err := ParseCores("1,x"); err == nil {
+		t.Fatal("bad list accepted")
+	}
+	if _, err := ParseCores("0"); err == nil {
+		t.Fatal("zero cores accepted")
+	}
+	def, err := ParseCores("")
+	if err != nil || len(def) == 0 {
+		t.Fatalf("empty list: %v %v", def, err)
+	}
+}
+
+func TestTableFormatsAllCells(t *testing.T) {
+	var sb strings.Builder
+	Table(&sb, "cores", []int{1, 2}, []Series{
+		{Name: "A", Values: []float64{1.5, 3.25}},
+		{Name: "Blong", Values: []float64{0.5}},
+	}, Ratio)
+	out := sb.String()
+	for _, want := range []string{"cores", "A", "Blong", "1.50", "3.25", "0.50", "-"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("table missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 { // header, separator, 2 rows
+		t.Fatalf("table has %d lines:\n%s", len(lines), out)
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if Seconds(1.23456) != "1.2346" {
+		t.Fatalf("Seconds: %s", Seconds(1.23456))
+	}
+	if Ratio(2.5) != "2.50" {
+		t.Fatalf("Ratio: %s", Ratio(2.5))
+	}
+	if Gf(1.23456) != "1.235" {
+		t.Fatalf("Gf: %s", Gf(1.23456))
+	}
+}

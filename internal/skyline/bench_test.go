@@ -1,0 +1,56 @@
+package skyline
+
+import "testing"
+
+func benchMatrix(b *testing.B) *Matrix {
+	b.Helper()
+	env := GenEnvelope(1024, 0.0359, 59462)
+	m, err := NewSPD(env, 88, 7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return m
+}
+
+func BenchmarkFactorSeq(b *testing.B) {
+	src := benchMatrix(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		m := src.Clone()
+		b.StartTimer()
+		if err := FactorSeq(m); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSolve(b *testing.B) {
+	src := benchMatrix(b)
+	m := src.Clone()
+	if err := FactorSeq(m); err != nil {
+		b.Fatal(err)
+	}
+	rhs := make([]float64, m.N)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := range rhs {
+			rhs[j] = 1
+		}
+		m.SolveInPlace(rhs)
+	}
+}
+
+func BenchmarkFillSPD(b *testing.B) {
+	src := benchMatrix(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		src.FillSPD(uint64(i))
+	}
+}
+
+func BenchmarkGenEnvelope(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		GenEnvelope(4096, 0.0359, uint64(i)+1)
+	}
+}

@@ -1,0 +1,456 @@
+// Package skyline implements symmetric sparse matrices in skyline (profile /
+// envelope) storage and their blocked LLᵀ Cholesky factorization — the
+// CHOLESKY kernel of EUROPLEXUS that the paper parallelizes in §IV-B: the H
+// matrix obtained by condensing the dynamic equilibrium equations onto the
+// Lagrange multipliers is stored as a skyline and factored at every time
+// step.
+//
+// The matrix is partitioned into BS×BS blocks; a block (I,J) is present
+// exactly when the envelope reaches it (is_empty in the paper's pseudo-code,
+// Fig. 7). Because the envelope of the Cholesky factor equals the envelope
+// of the matrix — profile storage admits no fill outside the skyline — the
+// block structure is closed under factorization, and the blocked algorithm
+// visits present blocks only:
+//
+//	for k { potrf(k); for m { trsm(k,m) }; for m { syrk(k,m); for n { gemm(k,m,n) } } }
+//
+// Three execution strategies mirror the paper's comparison: FactorSeq,
+// FactorKaapi (dataflow tasks, one handle per block, no barriers) and
+// FactorGomp (OpenMP-style: sequential potrf, a taskwait barrier after the
+// trsm loop and another after the syrk/gemm loop — the extra synchronization
+// the paper blames for OpenMP's lower speedup).
+package skyline
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+
+	"xkaapi"
+	"xkaapi/gomp"
+	"xkaapi/internal/blas"
+	"xkaapi/internal/xrand"
+)
+
+// Matrix is a symmetric matrix of order N in blocked skyline storage: only
+// the lower triangle within the envelope is stored, as dense BS×BS blocks
+// (edge blocks are zero-padded to BS but computed at their live size).
+type Matrix struct {
+	N  int // order
+	BS int // block size
+	NB int // number of block rows, ceil(N/BS)
+
+	rowStart []int       // envelope: first stored column of each row
+	blocks   [][]float64 // blocks[I*NB+J], nil when empty
+}
+
+// NewFromEnvelope allocates a zero matrix with the given envelope
+// (rowStart[i] is the first nonzero column of row i; rowStart[i] <= i) and
+// block size bs. Block (I,J), J < I, is allocated when some row of block
+// row I starts at or before the last column of block column J; diagonal
+// blocks always exist.
+func NewFromEnvelope(rowStart []int, bs int) (*Matrix, error) {
+	n := len(rowStart)
+	if n == 0 {
+		return nil, errors.New("skyline: empty envelope")
+	}
+	if bs < 1 {
+		return nil, errors.New("skyline: block size must be positive")
+	}
+	for i, s := range rowStart {
+		if s < 0 || s > i {
+			return nil, fmt.Errorf("skyline: rowStart[%d]=%d out of range [0,%d]", i, s, i)
+		}
+	}
+	nb := (n + bs - 1) / bs
+	m := &Matrix{N: n, BS: bs, NB: nb,
+		rowStart: append([]int(nil), rowStart...),
+		blocks:   make([][]float64, nb*nb)}
+	for bi := 0; bi < nb; bi++ {
+		minStart := n
+		for r := bi * bs; r < min((bi+1)*bs, n); r++ {
+			if rowStart[r] < minStart {
+				minStart = rowStart[r]
+			}
+		}
+		firstBlk := minStart / bs
+		for bj := firstBlk; bj <= bi; bj++ {
+			m.blocks[bi*nb+bj] = make([]float64, bs*bs)
+		}
+	}
+	return m, nil
+}
+
+// Rows returns the live dimension of block row I.
+func (m *Matrix) Rows(i int) int {
+	if i == m.NB-1 {
+		return m.N - i*m.BS
+	}
+	return m.BS
+}
+
+// IsEmpty reports whether block (I,J) is absent from the envelope — the
+// is_empty test of the paper's Fig. 7 pseudo-code.
+func (m *Matrix) IsEmpty(i, j int) bool { return m.blocks[i*m.NB+j] == nil }
+
+// Block returns block (I,J) or nil.
+func (m *Matrix) Block(i, j int) []float64 { return m.blocks[i*m.NB+j] }
+
+// RowStart returns the envelope column of row i.
+func (m *Matrix) RowStart(i int) int { return m.rowStart[i] }
+
+// InEnvelope reports whether entry (i,j), j <= i, lies inside the stored
+// profile.
+func (m *Matrix) InEnvelope(i, j int) bool {
+	return j <= i && j >= m.rowStart[i]
+}
+
+// At returns entry (i,j) of the lower triangle (0 outside the envelope).
+func (m *Matrix) At(i, j int) float64 {
+	if j > i {
+		i, j = j, i
+	}
+	b := m.blocks[(i/m.BS)*m.NB+j/m.BS]
+	if b == nil {
+		return 0
+	}
+	return b[(i%m.BS)*m.BS+j%m.BS]
+}
+
+// Set assigns entry (i,j); it panics if (i,j) is outside the envelope,
+// which would silently break symmetry of the implied full matrix.
+func (m *Matrix) Set(i, j int, v float64) {
+	if j > i {
+		i, j = j, i
+	}
+	if !m.InEnvelope(i, j) {
+		panic(fmt.Sprintf("skyline: Set(%d,%d) outside envelope", i, j))
+	}
+	m.blocks[(i/m.BS)*m.NB+j/m.BS][(i%m.BS)*m.BS+j%m.BS] = v
+}
+
+// NNZ returns the number of entries inside the envelope (lower triangle).
+func (m *Matrix) NNZ() int {
+	nnz := 0
+	for i := 0; i < m.N; i++ {
+		nnz += i - m.rowStart[i] + 1
+	}
+	return nnz
+}
+
+// Fill returns the envelope density relative to the full lower triangle of
+// the matrix, comparable to the paper's "3.59% of non zero elements".
+func (m *Matrix) Fill() float64 {
+	full := float64(m.N) * float64(m.N+1) / 2
+	return float64(m.NNZ()) / full
+}
+
+// BlockCount returns the number of present blocks.
+func (m *Matrix) BlockCount() int {
+	c := 0
+	for _, b := range m.blocks {
+		if b != nil {
+			c++
+		}
+	}
+	return c
+}
+
+// Clone deep-copies the matrix.
+func (m *Matrix) Clone() *Matrix {
+	c := &Matrix{N: m.N, BS: m.BS, NB: m.NB,
+		rowStart: append([]int(nil), m.rowStart...),
+		blocks:   make([][]float64, len(m.blocks))}
+	for i, b := range m.blocks {
+		if b != nil {
+			c.blocks[i] = append([]float64(nil), b...)
+		}
+	}
+	return c
+}
+
+// GenEnvelope builds a synthetic envelope of order n whose shape follows the
+// H matrices EPX condenses: a narrow base band (local couplings) plus
+// clustered long-range connections (contact constraints), tuned by
+// targetFill (fraction of the lower triangle inside the envelope). The
+// result is deterministic in seed.
+func GenEnvelope(n int, targetFill float64, seed uint64) []int {
+	rng := xrand.New(seed | 1)
+	rowStart := make([]int, n)
+	// Base band sized to contribute roughly half the target fill
+	// (a band of width b covers ~2b/n of the lower triangle).
+	base := int(targetFill*float64(n)/4) + 1
+	for i := range rowStart {
+		s := i - base
+		if s < 0 {
+			s = 0
+		}
+		rowStart[i] = s
+	}
+	nnz := 0
+	for i := range rowStart {
+		nnz += i - rowStart[i] + 1
+	}
+	// Grow clustered long-range reaches while a comfortable budget remains.
+	// The random phase must stop early: once the remaining budget forces
+	// reaches shorter than the base band, no random cluster can extend any
+	// row and the loop would spin forever.
+	want := int(targetFill * float64(n) * float64(n+1) / 2)
+	margin := 32*(base+1) + 256
+	for nnz+margin < want {
+		i := 1 + rng.Intn(n-1)
+		cluster := 1 + rng.Intn(min(16, n-i))
+		maxReach := (want - nnz) / cluster
+		if maxReach > i {
+			maxReach = i
+		}
+		if maxReach < 1 {
+			break
+		}
+		reach := 1 + rng.Intn(maxReach)
+		s := i - reach
+		if s < 0 {
+			s = 0
+		}
+		for c := 0; c < cluster && i+c < n; c++ {
+			r := i + c
+			if s < rowStart[r] {
+				nnz += rowStart[r] - s
+				rowStart[r] = s
+			}
+		}
+	}
+	// Deterministic tail: widen rows one column at a time until the target
+	// is met exactly (or the envelope is full).
+	for nnz < want {
+		progressed := false
+		for r := 1; r < n && nnz < want; r++ {
+			if rowStart[r] > 0 {
+				rowStart[r]--
+				nnz++
+				progressed = true
+			}
+		}
+		if !progressed {
+			break
+		}
+	}
+	return rowStart
+}
+
+// NewSPD builds an SPD matrix on the given envelope: symmetric
+// pseudo-random off-diagonal entries with a strictly dominant diagonal.
+func NewSPD(rowStart []int, bs int, seed uint64) (*Matrix, error) {
+	m, err := NewFromEnvelope(rowStart, bs)
+	if err != nil {
+		return nil, err
+	}
+	m.FillSPD(seed)
+	return m, nil
+}
+
+// FillSPD (re)fills the matrix values in place, keeping the envelope: the
+// EPX surrogate uses it to refresh H each time step without reallocating.
+func (m *Matrix) FillSPD(seed uint64) {
+	rng := xrand.New(seed | 1)
+	rowSum := make([]float64, m.N)
+	for i := 0; i < m.N; i++ {
+		for j := m.rowStart[i]; j < i; j++ {
+			v := float64(rng.Next()%2000)/1000 - 1
+			m.Set(i, j, v)
+			rowSum[i] += math.Abs(v)
+			rowSum[j] += math.Abs(v)
+		}
+	}
+	for i := 0; i < m.N; i++ {
+		m.Set(i, i, rowSum[i]+1)
+	}
+}
+
+// factorStep runs one right-looking elimination step k with the given
+// executors for the three phases; the sequential, kaapi and gomp variants
+// share this skeleton so they perform identical arithmetic.
+//
+// The four kernel calls below are the paper's potrf/trsm/syrk/gemm on the
+// skyline (Fig. 7), with the is_empty guards.
+
+// Kernels on blocks.
+
+func (m *Matrix) potrf(k int) error {
+	return blas.PotrfLower(m.Rows(k), m.Block(k, k), m.BS)
+}
+
+func (m *Matrix) trsm(k, i int) {
+	blas.TrsmRLTN(m.Rows(i), m.Rows(k), m.Block(k, k), m.BS, m.Block(i, k), m.BS)
+}
+
+func (m *Matrix) syrk(k, i int) {
+	blas.SyrkLN(m.Rows(i), m.Rows(k), m.Block(i, k), m.BS, m.Block(i, i), m.BS)
+}
+
+func (m *Matrix) gemm(k, i, j int) {
+	blas.GemmNT(m.Rows(i), m.Rows(j), m.Rows(k),
+		m.Block(i, k), m.BS, m.Block(j, k), m.BS, m.Block(i, j), m.BS)
+}
+
+// FactorSeq factors m in place (L replaces the lower triangle).
+func FactorSeq(m *Matrix) error {
+	nb := m.NB
+	for k := 0; k < nb; k++ {
+		if err := m.potrf(k); err != nil {
+			return err
+		}
+		for i := k + 1; i < nb; i++ {
+			if m.IsEmpty(i, k) {
+				continue
+			}
+			m.trsm(k, i)
+		}
+		for i := k + 1; i < nb; i++ {
+			if m.IsEmpty(i, k) {
+				continue
+			}
+			m.syrk(k, i)
+			for j := k + 1; j < i; j++ {
+				if m.IsEmpty(j, k) || m.IsEmpty(i, j) {
+					continue
+				}
+				m.gemm(k, i, j)
+			}
+		}
+	}
+	return nil
+}
+
+// FactorKaapi factors m in place with X-Kaapi dataflow tasks: every present
+// block gets a Handle, every kernel call of the paper's pseudo-code becomes
+// a task whose access modes encode its block reads/writes, and no explicit
+// synchronization exists — "the parallel data flow version only specifies
+// tasks with access modes" (§IV-B).
+func FactorKaapi(rt *xkaapi.Runtime, m *Matrix) error {
+	nb := m.NB
+	handles := make([]xkaapi.Handle, nb*nb)
+	h := func(i, j int) *xkaapi.Handle { return &handles[i*nb+j] }
+	var errOnce sync.Once
+	var ferr error
+	rt.Run(func(p *xkaapi.Proc) {
+		for k := 0; k < nb; k++ {
+			k := k
+			p.SpawnTask(func(*xkaapi.Proc) {
+				if err := m.potrf(k); err != nil {
+					errOnce.Do(func() { ferr = err })
+				}
+			}, xkaapi.ReadWrite(h(k, k)))
+			for i := k + 1; i < nb; i++ {
+				if m.IsEmpty(i, k) {
+					continue
+				}
+				i := i
+				p.SpawnTask(func(*xkaapi.Proc) { m.trsm(k, i) },
+					xkaapi.Read(h(k, k)), xkaapi.ReadWrite(h(i, k)))
+			}
+			for i := k + 1; i < nb; i++ {
+				if m.IsEmpty(i, k) {
+					continue
+				}
+				i := i
+				p.SpawnTask(func(*xkaapi.Proc) { m.syrk(k, i) },
+					xkaapi.Read(h(i, k)), xkaapi.ReadWrite(h(i, i)))
+				for j := k + 1; j < i; j++ {
+					if m.IsEmpty(j, k) || m.IsEmpty(i, j) {
+						continue
+					}
+					j := j
+					p.SpawnTask(func(*xkaapi.Proc) { m.gemm(k, i, j) },
+						xkaapi.Read(h(i, k)), xkaapi.Read(h(j, k)), xkaapi.ReadWrite(h(i, j)))
+				}
+			}
+		}
+		p.Sync()
+	})
+	if ferr != nil {
+		return ferr
+	}
+	return nil
+}
+
+// FactorGomp factors m in place the way the paper parallelizes EPX's
+// sparse Cholesky with OpenMP (§IV-B): potrf stays on the master thread
+// ("only calls at line 7, 12 and 17 create tasks"), the trsm loop is a batch
+// of tasks closed by a taskwait, and the syrk/gemm loop is another batch
+// closed by a second taskwait. The two barriers per elimination step
+// serialize independent steps and bound the speedup, which is the point of
+// the Fig. 7 comparison.
+func FactorGomp(team *gomp.Team, m *Matrix) error {
+	nb := m.NB
+	var ferr error
+	team.Parallel(func(tc *gomp.TC) {
+		tc.Single(func() {
+			for k := 0; k < nb; k++ {
+				if err := m.potrf(k); err != nil {
+					ferr = err
+					return
+				}
+				for i := k + 1; i < nb; i++ {
+					if m.IsEmpty(i, k) {
+						continue
+					}
+					i := i
+					tc.Task(func(*gomp.TC) { m.trsm(k, i) })
+				}
+				tc.Taskwait()
+				for i := k + 1; i < nb; i++ {
+					if m.IsEmpty(i, k) {
+						continue
+					}
+					i := i
+					tc.Task(func(*gomp.TC) { m.syrk(k, i) })
+					for j := k + 1; j < i; j++ {
+						if m.IsEmpty(j, k) || m.IsEmpty(i, j) {
+							continue
+						}
+						j := j
+						tc.Task(func(*gomp.TC) { m.gemm(k, i, j) })
+					}
+				}
+				tc.Taskwait()
+			}
+		})
+	})
+	return ferr
+}
+
+// SolveInPlace solves L·Lᵀ·x = b given the factored matrix, overwriting b
+// with x. Block forward substitution, then block backward substitution.
+func (m *Matrix) SolveInPlace(b []float64) {
+	nb, bs := m.NB, m.BS
+	for i := 0; i < nb; i++ {
+		bi := b[i*bs : i*bs+m.Rows(i)]
+		for j := 0; j < i; j++ {
+			if m.IsEmpty(i, j) {
+				continue
+			}
+			blas.GemvSub(m.Rows(i), m.Rows(j), m.Block(i, j), bs, b[j*bs:j*bs+m.Rows(j)], bi)
+		}
+		blas.TrsvLowerNoTrans(m.Rows(i), m.Block(i, i), bs, bi)
+	}
+	for i := nb - 1; i >= 0; i-- {
+		bi := b[i*bs : i*bs+m.Rows(i)]
+		for j := i + 1; j < nb; j++ {
+			if m.IsEmpty(j, i) {
+				continue
+			}
+			// x_i -= L(j,i)ᵀ · x_j
+			blas.GemvTransSub(m.Rows(j), m.Rows(i), m.Block(j, i), bs, b[j*bs:j*bs+m.Rows(j)], bi)
+		}
+		blas.TrsvLowerTrans(m.Rows(i), m.Block(i, i), bs, bi)
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

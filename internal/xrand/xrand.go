@@ -1,0 +1,43 @@
+// Package xrand provides a tiny, allocation-free xorshift* pseudo random
+// number generator used by the scheduler for victim selection.
+//
+// math/rand is avoided on the steal path: the package-level functions take a
+// global lock and a per-worker rand.Rand costs a heap allocation plus
+// interface indirection. Victim selection only needs speed and rough
+// uniformity, not statistical quality.
+package xrand
+
+// Rand is an xorshift64* generator. The zero value is usable (it is seeded
+// lazily with a fixed constant), but callers normally seed it with New so
+// distinct workers draw distinct victim sequences.
+type Rand struct {
+	s uint64
+}
+
+// New returns a generator seeded with seed. A zero seed is replaced with a
+// fixed odd constant because the xorshift state must never be zero.
+func New(seed uint64) Rand {
+	if seed == 0 {
+		seed = 0x9E3779B97F4A7C15
+	}
+	return Rand{s: seed}
+}
+
+// Next returns the next 64-bit value in the sequence.
+func (r *Rand) Next() uint64 {
+	s := r.s
+	if s == 0 {
+		s = 0x9E3779B97F4A7C15
+	}
+	s ^= s >> 12
+	s ^= s << 25
+	s ^= s >> 27
+	r.s = s
+	return s * 2685821657736338717
+}
+
+// Intn returns a value in [0, n). n must be positive. The slight modulo bias
+// is irrelevant for victim selection.
+func (r *Rand) Intn(n int) int {
+	return int(r.Next() % uint64(n))
+}

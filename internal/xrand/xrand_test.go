@@ -1,0 +1,81 @@
+package xrand
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestZeroSeedIsUsable(t *testing.T) {
+	r := New(0)
+	if r.Next() == 0 {
+		t.Fatal("zero state produced zero output")
+	}
+	var z Rand // zero value
+	if z.Next() == 0 {
+		t.Fatal("zero-value generator produced zero output")
+	}
+}
+
+func TestDistinctSeedsDistinctSequences(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 64; i++ {
+		if a.Next() == b.Next() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("%d/64 collisions between distinct seeds", same)
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 100; i++ {
+		if a.Next() != b.Next() {
+			t.Fatal("same seed diverged")
+		}
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	r := New(7)
+	for _, n := range []int{1, 2, 3, 10, 1000} {
+		for i := 0; i < 200; i++ {
+			v := r.Intn(n)
+			if v < 0 || v >= n {
+				t.Fatalf("Intn(%d)=%d out of range", n, v)
+			}
+		}
+	}
+}
+
+func TestIntnRoughUniformity(t *testing.T) {
+	r := New(9)
+	const n, draws = 8, 8000
+	var buckets [n]int
+	for i := 0; i < draws; i++ {
+		buckets[r.Intn(n)]++
+	}
+	for b, c := range buckets {
+		if c < draws/n/2 || c > draws/n*2 {
+			t.Fatalf("bucket %d has %d/%d draws", b, c, draws)
+		}
+	}
+}
+
+func TestQuickNoShortCycles(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := New(seed)
+		first := r.Next()
+		for i := 0; i < 32; i++ {
+			if r.Next() == first {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

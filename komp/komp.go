@@ -1,0 +1,107 @@
+// Package komp is libKOMP: the OpenMP-style API of package gomp re-hosted
+// on the X-Kaapi scheduler, as the paper describes in §V ("X-KAAPI provides
+// a binary compatible libGOMP library called libKOMP", Broquedis, Gautier,
+// Danjean, IWOMP 2012). Programs written against teams, worksharing loops
+// and tasks run unchanged, but:
+//
+//   - explicit tasks map to X-Kaapi fork-join tasks on per-worker deques
+//     instead of gomp's central queue — fine-grain tasking stops collapsing
+//     (compare TestKompBeatsGompOnFineGrainTasks);
+//   - worksharing loops map to the adaptive foreach, i.e. the paper's
+//     adaptive loop scheduler inside an OpenMP runtime (Durand et al.,
+//     IWOMP 2013, referenced as [11]);
+//   - taskwait maps to Sync.
+//
+// The "team" is virtual: OpenMP thread i is an X-Kaapi task, so a region's
+// threads are balanced by work stealing like any other tasks.
+package komp
+
+import (
+	"runtime"
+
+	"xkaapi"
+)
+
+// Team mirrors gomp.Team but owns an X-Kaapi runtime.
+type Team struct {
+	rt *xkaapi.Runtime
+	p  int
+}
+
+// NewTeam creates a team of n OpenMP-style threads (GOMAXPROCS(0) if
+// n <= 0).
+func NewTeam(n int) *Team {
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	return &Team{rt: xkaapi.New(xkaapi.WithWorkers(n)), p: n}
+}
+
+// Close releases the runtime.
+func (tm *Team) Close() { tm.rt.Close() }
+
+// Threads returns the team size.
+func (tm *Team) Threads() int { return tm.p }
+
+// TC is the per-thread context inside a parallel region.
+type TC struct {
+	team *Team
+	proc *xkaapi.Proc
+	tid  int
+}
+
+// TID returns the OpenMP thread number.
+func (tc *TC) TID() int { return tc.tid }
+
+// NumThreads returns the team size.
+func (tc *TC) NumThreads() int { return tc.team.p }
+
+// Parallel executes fn once per virtual thread (SPMD) and returns after
+// all of them — and every task they created — completed. Each virtual
+// thread is an X-Kaapi task, so an idle core steals whole threads as well
+// as their tasks.
+func (tm *Team) Parallel(fn func(tc *TC)) {
+	tm.rt.Run(func(p *xkaapi.Proc) {
+		for tid := 1; tid < tm.p; tid++ {
+			tid := tid
+			p.Spawn(func(wp *xkaapi.Proc) {
+				fn(&TC{team: tm, proc: wp, tid: tid})
+			})
+		}
+		fn(&TC{team: tm, proc: p, tid: 0})
+		p.Sync()
+	})
+}
+
+// Single runs fn on thread 0 only.
+func (tc *TC) Single(fn func()) {
+	if tc.tid == 0 {
+		fn()
+	}
+}
+
+// Task creates an explicit task (#pragma omp task) on the X-Kaapi deque of
+// the executing worker.
+func (tc *TC) Task(fn func(tc *TC)) {
+	team := tc.team
+	tid := tc.tid
+	tc.proc.Spawn(func(wp *xkaapi.Proc) {
+		fn(&TC{team: team, proc: wp, tid: tid})
+	})
+}
+
+// Taskwait waits for the current task's children (#pragma omp taskwait).
+func (tc *TC) Taskwait() { tc.proc.Sync() }
+
+// ParallelFor runs body over [lo, hi) with the adaptive loop scheduler;
+// the OpenMP schedule clause disappears — adaptivity replaces it, which is
+// conclusion 1 of the paper ("the OpenMP static and dynamic schedulers ...
+// would benefit from being extended to match application characteristics").
+// body receives the id of the X-Kaapi worker executing the chunk.
+func (tm *Team) ParallelFor(lo, hi int, body func(tid, lo, hi int)) {
+	tm.rt.Run(func(p *xkaapi.Proc) {
+		xkaapi.Foreach(p, lo, hi, func(wp *xkaapi.Proc, l, h int) {
+			body(wp.ID(), l, h)
+		})
+	})
+}

@@ -1,0 +1,161 @@
+package komp_test
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"xkaapi/gomp"
+	"xkaapi/komp"
+)
+
+func fibKomp(tc *komp.TC, r *int64, n int) {
+	if n < 2 {
+		*r = int64(n)
+		return
+	}
+	var r1, r2 int64
+	tc.Task(func(tc *komp.TC) { fibKomp(tc, &r1, n-1) })
+	fibKomp(tc, &r2, n-2)
+	tc.Taskwait()
+	*r = r1 + r2
+}
+
+func TestParallelRunsOncePerThread(t *testing.T) {
+	tm := komp.NewTeam(4)
+	defer tm.Close()
+	var seen [4]int32
+	tm.Parallel(func(tc *komp.TC) {
+		atomic.AddInt32(&seen[tc.TID()], 1)
+	})
+	for tid, n := range seen {
+		if n != 1 {
+			t.Fatalf("thread %d ran %d times", tid, n)
+		}
+	}
+}
+
+func TestTasksFib(t *testing.T) {
+	tm := komp.NewTeam(4)
+	defer tm.Close()
+	var r int64
+	tm.Parallel(func(tc *komp.TC) {
+		tc.Single(func() { fibKomp(tc, &r, 20) })
+	})
+	if r != 6765 {
+		t.Fatalf("fib(20)=%d want 6765", r)
+	}
+}
+
+func TestParallelForCoversRange(t *testing.T) {
+	tm := komp.NewTeam(4)
+	defer tm.Close()
+	const n = 100000
+	hits := make([]int32, n)
+	tm.ParallelFor(0, n, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			atomic.AddInt32(&hits[i], 1)
+		}
+	})
+	for i, h := range hits {
+		if h != 1 {
+			t.Fatalf("iteration %d ran %d times", i, h)
+		}
+	}
+}
+
+func TestNestedTasksCompleteBeforeRegionEnds(t *testing.T) {
+	tm := komp.NewTeam(3)
+	defer tm.Close()
+	var cnt atomic.Int32
+	tm.Parallel(func(tc *komp.TC) {
+		if tc.TID() == 0 {
+			for i := 0; i < 100; i++ {
+				tc.Task(func(tc *komp.TC) {
+					tc.Task(func(*komp.TC) { cnt.Add(1) })
+				})
+			}
+		}
+	})
+	if cnt.Load() != 100 {
+		t.Fatalf("cnt=%d want 100", cnt.Load())
+	}
+}
+
+func TestTeamReuse(t *testing.T) {
+	tm := komp.NewTeam(2)
+	defer tm.Close()
+	for i := 0; i < 10; i++ {
+		var n atomic.Int32
+		tm.Parallel(func(*komp.TC) { n.Add(1) })
+		if n.Load() != 2 {
+			t.Fatalf("region %d ran on %d threads", i, n.Load())
+		}
+	}
+}
+
+// TestKompBeatsGompOnFineGrainTasks reproduces the libKOMP claim of the
+// paper (§V / [5]): the same OpenMP task program runs much faster on the
+// X-Kaapi scheduler than on the central-queue runtime once the grain is
+// fine and several threads contend.
+func TestKompBeatsGompOnFineGrainTasks(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing comparison in -short mode")
+	}
+	const n = 22
+	timeFib := func(run func(r *int64)) time.Duration {
+		var r int64
+		run(&r) // warmup
+		best := time.Duration(1 << 62)
+		for i := 0; i < 3; i++ {
+			t0 := time.Now()
+			run(&r)
+			if d := time.Since(t0); d < best {
+				best = d
+			}
+		}
+		if r != 17711 {
+			t.Fatalf("fib(%d)=%d", n, r)
+		}
+		return best
+	}
+
+	km := komp.NewTeam(0)
+	kompT := timeFib(func(r *int64) {
+		km.Parallel(func(tc *komp.TC) { tc.Single(func() { fibKomp(tc, r, n) }) })
+	})
+	km.Close()
+
+	gm := gomp.NewTeam(0)
+	gm.Throttle = false // isolate the scheduler, not the cutoff heuristic
+	gompT := timeFib(func(r *int64) {
+		gm.Parallel(func(tc *gomp.TC) {
+			tc.Single(func() {
+				var fg func(tc *gomp.TC, r *int64, n int)
+				fg = func(tc *gomp.TC, r *int64, n int) {
+					if n < 2 {
+						*r = int64(n)
+						return
+					}
+					var r1, r2 int64
+					tc.Task(func(tc *gomp.TC) { fg(tc, &r1, n-1) })
+					fg(tc, &r2, n-2)
+					tc.Taskwait()
+					*r = r1 + r2
+				}
+				fg(tc, r, n)
+			})
+		})
+	})
+	gm.Close()
+
+	if kompT >= gompT {
+		t.Logf("komp %v vs gomp %v — expected komp faster; tolerated on tiny machines", kompT, gompT)
+		if kompT > 2*gompT {
+			t.Fatalf("komp (%v) much slower than gomp (%v)", kompT, gompT)
+		}
+	} else {
+		t.Logf("komp %v vs gomp %v (%.1fx faster)", kompT, gompT,
+			gompT.Seconds()/kompT.Seconds())
+	}
+}

@@ -1,0 +1,16 @@
+package par
+
+import "sync/atomic"
+
+// atomicLoad reads *p atomically.
+func atomicLoad(p *int64) int64 { return atomic.LoadInt64(p) }
+
+// atomicMin lowers *p to v if v is smaller, atomically.
+func atomicMin(p *int64, v int64) {
+	for {
+		cur := atomic.LoadInt64(p)
+		if v >= cur || atomic.CompareAndSwapInt64(p, cur, v) {
+			return
+		}
+	}
+}

@@ -1,0 +1,228 @@
+package par_test
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"xkaapi"
+	"xkaapi/internal/xrand"
+	"xkaapi/par"
+)
+
+var rt *xkaapi.Runtime
+
+func TestMain(m *testing.M) {
+	rt = xkaapi.New(xkaapi.WithWorkers(4))
+	defer rt.Close()
+	m.Run()
+}
+
+func run(t *testing.T, fn func(p *xkaapi.Proc)) {
+	t.Helper()
+	rt.Run(fn)
+}
+
+func ints(n int, seed uint64) []int64 {
+	rng := xrand.New(seed)
+	xs := make([]int64, n)
+	for i := range xs {
+		xs[i] = int64(rng.Next()%2000) - 1000
+	}
+	return xs
+}
+
+func TestMap(t *testing.T) {
+	src := ints(10000, 1)
+	dst := make([]int64, len(src))
+	run(t, func(p *xkaapi.Proc) {
+		par.Map(p, dst, src, func(v int64) int64 { return v * 3 })
+	})
+	for i := range src {
+		if dst[i] != src[i]*3 {
+			t.Fatalf("dst[%d]=%d want %d", i, dst[i], src[i]*3)
+		}
+	}
+}
+
+func TestMapLengthMismatchPanics(t *testing.T) {
+	run(t, func(p *xkaapi.Proc) {
+		defer func() {
+			if recover() == nil {
+				t.Error("no panic on length mismatch")
+			}
+		}()
+		par.Map(p, make([]int, 3), []int{1, 2}, func(v int) int { return v })
+	})
+}
+
+func TestSumMatchesSequential(t *testing.T) {
+	xs := ints(100001, 2)
+	var want int64
+	for _, v := range xs {
+		want += v
+	}
+	var got int64
+	run(t, func(p *xkaapi.Proc) { got = par.Sum(p, xs) })
+	if got != want {
+		t.Fatalf("Sum=%d want %d", got, want)
+	}
+}
+
+func TestReduceEmpty(t *testing.T) {
+	var got int64
+	run(t, func(p *xkaapi.Proc) {
+		got = par.Reduce(p, nil, int64(-7), func(a, b int64) int64 { return a + b })
+	})
+	if got != -7 {
+		t.Fatalf("empty Reduce=%d want identity -7", got)
+	}
+}
+
+func TestCount(t *testing.T) {
+	xs := ints(50000, 3)
+	want := 0
+	for _, v := range xs {
+		if v%3 == 0 {
+			want++
+		}
+	}
+	got := -1
+	run(t, func(p *xkaapi.Proc) {
+		got = par.Count(p, xs, func(v int64) bool { return v%3 == 0 })
+	})
+	if got != want {
+		t.Fatalf("Count=%d want %d", got, want)
+	}
+}
+
+func TestMinIndexDeterministicTies(t *testing.T) {
+	xs := []int64{5, 1, 9, 1, 7, 1}
+	got := -1
+	run(t, func(p *xkaapi.Proc) {
+		got = par.MinIndex(p, xs, func(a, b int64) bool { return a < b })
+	})
+	if got != 1 {
+		t.Fatalf("MinIndex=%d want 1 (first of the ties)", got)
+	}
+	run(t, func(p *xkaapi.Proc) {
+		if e := par.MinIndex(p, nil, func(a, b int64) bool { return a < b }); e != -1 {
+			t.Errorf("empty MinIndex=%d want -1", e)
+		}
+	})
+}
+
+func TestMinIndexLarge(t *testing.T) {
+	xs := ints(200000, 4)
+	xs[123456] = -5000
+	got := -1
+	run(t, func(p *xkaapi.Proc) {
+		got = par.MinIndex(p, xs, func(a, b int64) bool { return a < b })
+	})
+	if got != 123456 {
+		t.Fatalf("MinIndex=%d want 123456", got)
+	}
+}
+
+func TestFindFirst(t *testing.T) {
+	xs := ints(100000, 5)
+	for i := range xs {
+		if xs[i] == 777 {
+			xs[i] = 778
+		}
+	}
+	xs[60000] = 777
+	xs[90000] = 777
+	got := -2
+	run(t, func(p *xkaapi.Proc) {
+		got = par.FindFirst(p, xs, func(v int64) bool { return v == 777 })
+	})
+	if got != 60000 {
+		t.Fatalf("FindFirst=%d want 60000", got)
+	}
+	run(t, func(p *xkaapi.Proc) {
+		if e := par.FindFirst(p, xs, func(v int64) bool { return v == 123456789 }); e != -1 {
+			t.Errorf("absent FindFirst=%d want -1", e)
+		}
+	})
+}
+
+func TestScanMatchesSequential(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 5, 1000, 65537} {
+		src := ints(n, uint64(n)+6)
+		dst := make([]int64, n)
+		run(t, func(p *xkaapi.Proc) {
+			par.Scan(p, dst, src, 0, func(a, b int64) int64 { return a + b })
+		})
+		var acc int64
+		for i := range src {
+			acc += src[i]
+			if dst[i] != acc {
+				t.Fatalf("n=%d: dst[%d]=%d want %d", n, i, dst[i], acc)
+			}
+		}
+	}
+}
+
+func TestSortMatchesStdlib(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 100, 4096, 4097, 100000} {
+		xs := ints(n, uint64(n)+7)
+		want := append([]int64(nil), xs...)
+		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+		run(t, func(p *xkaapi.Proc) {
+			par.Sort(p, xs, func(a, b int64) bool { return a < b })
+		})
+		for i := range xs {
+			if xs[i] != want[i] {
+				t.Fatalf("n=%d: xs[%d]=%d want %d", n, i, xs[i], want[i])
+			}
+		}
+	}
+}
+
+func TestSortQuickProperty(t *testing.T) {
+	f := func(xs []int16) bool {
+		work := make([]int64, len(xs))
+		for i, v := range xs {
+			work[i] = int64(v)
+		}
+		want := append([]int64(nil), work...)
+		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+		rt.Run(func(p *xkaapi.Proc) {
+			par.Sort(p, work, func(a, b int64) bool { return a < b })
+		})
+		for i := range work {
+			if work[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScanQuickProperty(t *testing.T) {
+	f := func(xs []int32) bool {
+		src := make([]int64, len(xs))
+		for i, v := range xs {
+			src[i] = int64(v)
+		}
+		dst := make([]int64, len(src))
+		rt.Run(func(p *xkaapi.Proc) {
+			par.Scan(p, dst, src, 0, func(a, b int64) int64 { return a + b })
+		})
+		var acc int64
+		for i := range src {
+			acc += src[i]
+			if dst[i] != acc {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

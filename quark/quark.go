@@ -1,0 +1,329 @@
+// Package quark is a Go clone of QUARK (QUeueing And Runtime for Kernels;
+// YarKhan, Kurzak, Dongarra, UT-ICL tech report ICL-UT-11-02), the dataflow
+// runtime beneath the PLASMA dense linear algebra library. Tasks are
+// inserted sequentially by a master thread with INPUT/OUTPUT/INOUT argument
+// flags keyed by data pointer; the runtime infers dependencies and executes
+// ready tasks on a pool of worker threads.
+//
+// Two engines are provided, matching the paper's Fig. 2 experiment:
+//
+//   - EngineNative schedules ready tasks through one centralized list
+//     protected by a single lock, QUARK's design. The paper attributes
+//     QUARK's losses at fine grain (NB=128) to contention on this list and
+//     predicts it worsens with core count.
+//   - EngineKaapi maps InsertTask onto the X-Kaapi runtime of this module —
+//     the "binary compatible QUARK library" the authors linked against
+//     PLASMA: same insertion API, but ready tasks are distributed over
+//     per-worker deques with work stealing.
+//
+// Limitations shared with QUARK and documented here: tasks must be inserted
+// from the master function only (the task model is flat — worker tasks must
+// not insert tasks), and the SCRATCH flag declares no dependency.
+package quark
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"xkaapi"
+)
+
+// Flag classifies a task argument, as in QUARK's quark_direction_t.
+type Flag int
+
+const (
+	// VALUE arguments carry no dependency (captured by the task closure).
+	VALUE Flag = iota
+	// INPUT arguments are read; the task waits for their last producer.
+	INPUT
+	// OUTPUT arguments are overwritten; the task waits for the previous
+	// producer and all of its readers.
+	OUTPUT
+	// INOUT arguments are updated in place (read + write).
+	INOUT
+	// SCRATCH arguments are task-private temporaries with no dependency.
+	SCRATCH
+)
+
+// Arg declares one task argument: the pointer identifies the data region
+// (as in QUARK, the address is the dependency key), the flag its direction.
+type Arg struct {
+	Ptr  any
+	Flag Flag
+}
+
+// Engine selects the scheduler behind the QUARK API.
+type Engine int
+
+const (
+	// EngineNative is QUARK's own design: a centralized ready list.
+	EngineNative Engine = iota
+	// EngineKaapi schedules through the X-Kaapi runtime (work stealing over
+	// distributed deques).
+	EngineKaapi
+)
+
+// Quark is a QUARK context. Create with New, submit work inside Run via
+// InsertTask, wait with Barrier, release with Delete.
+type Quark struct {
+	engine Engine
+	nw     int
+
+	// native engine state
+	nat *nativeSched
+
+	// kaapi engine state
+	krt     *xkaapi.Runtime
+	kproc   *xkaapi.Proc
+	handles map[any]*xkaapi.Handle
+}
+
+// New creates a QUARK context with n worker threads (GOMAXPROCS(0) if
+// n <= 0) and the given engine.
+func New(n int, engine Engine) *Quark {
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	q := &Quark{engine: engine, nw: n}
+	switch engine {
+	case EngineNative:
+		q.nat = newNativeSched(n)
+	case EngineKaapi:
+		q.krt = xkaapi.New(xkaapi.WithWorkers(n))
+		q.handles = make(map[any]*xkaapi.Handle)
+	}
+	return q
+}
+
+// Workers returns the worker thread count.
+func (q *Quark) Workers() int { return q.nw }
+
+// Run executes master — the sequential task-insertion code — and returns
+// after an implicit Barrier.
+func (q *Quark) Run(master func(q *Quark)) {
+	switch q.engine {
+	case EngineNative:
+		master(q)
+		q.Barrier()
+	case EngineKaapi:
+		q.krt.Run(func(p *xkaapi.Proc) {
+			q.kproc = p
+			master(q)
+			p.Sync()
+			q.kproc = nil
+		})
+	}
+}
+
+// InsertTask submits fn with the given argument directions. Dependencies
+// against previously inserted tasks touching the same pointers are inferred
+// from the flags (sequential consistency: the parallel execution computes
+// what the insertion order would).
+func (q *Quark) InsertTask(fn func(), args ...Arg) {
+	switch q.engine {
+	case EngineNative:
+		q.nat.insert(fn, args)
+	case EngineKaapi:
+		if q.kproc == nil {
+			panic("quark: InsertTask outside Run (kaapi engine)")
+		}
+		accs := make([]xkaapi.Access, 0, len(args))
+		for _, a := range args {
+			var m xkaapi.Mode
+			switch a.Flag {
+			case INPUT:
+				m = xkaapi.ModeRead
+			case OUTPUT:
+				m = xkaapi.ModeWrite
+			case INOUT:
+				m = xkaapi.ModeReadWrite
+			default:
+				continue // VALUE, SCRATCH: no dependency
+			}
+			h, ok := q.handles[a.Ptr]
+			if !ok {
+				h = new(xkaapi.Handle)
+				q.handles[a.Ptr] = h
+			}
+			accs = append(accs, xkaapi.Access{Handle: h, Mode: m})
+		}
+		q.kproc.SpawnTask(func(*xkaapi.Proc) { fn() }, accs...)
+	}
+}
+
+// Barrier waits until every inserted task has completed.
+func (q *Quark) Barrier() {
+	switch q.engine {
+	case EngineNative:
+		q.nat.barrier()
+	case EngineKaapi:
+		if q.kproc != nil {
+			q.kproc.Sync()
+		}
+	}
+}
+
+// Delete releases the worker threads. The context must be quiescent.
+func (q *Quark) Delete() {
+	switch q.engine {
+	case EngineNative:
+		q.nat.close()
+	case EngineKaapi:
+		q.krt.Close()
+	}
+}
+
+// --- native engine: centralized ready list ---
+
+// ntask is a task of the native engine.
+type ntask struct {
+	fn   func()
+	wait atomic.Int32
+
+	mu   sync.Mutex
+	done bool
+	succ []*ntask
+}
+
+// frontier is the per-pointer dependency frontier (last writer + readers of
+// the current version). Only the master touches frontiers, so no lock.
+type frontier struct {
+	writer  *ntask
+	readers []*ntask
+}
+
+// nativeSched is the centralized scheduler: one mutex guards the ready
+// list, the pending count and the wake-ups of all workers. This contention
+// point is the experimental subject of Fig. 2, not an implementation
+// shortcut.
+type nativeSched struct {
+	mu      sync.Mutex
+	cond    *sync.Cond // workers wait here for ready tasks
+	barCond *sync.Cond // Barrier waits here for pending == 0
+	ready   []*ntask
+	pending int64
+	stopped bool
+	wg      sync.WaitGroup
+
+	fronts map[any]*frontier
+}
+
+func newNativeSched(n int) *nativeSched {
+	s := &nativeSched{fronts: make(map[any]*frontier)}
+	s.cond = sync.NewCond(&s.mu)
+	s.barCond = sync.NewCond(&s.mu)
+	for i := 0; i < n; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+func (s *nativeSched) insert(fn func(), args []Arg) {
+	t := &ntask{fn: fn}
+	t.wait.Store(1) // creation bias
+	for _, a := range args {
+		switch a.Flag {
+		case INPUT:
+			f := s.front(a.Ptr)
+			t.dependOn(f.writer)
+			f.readers = append(f.readers, t)
+		case OUTPUT, INOUT:
+			f := s.front(a.Ptr)
+			t.dependOn(f.writer)
+			for _, r := range f.readers {
+				t.dependOn(r)
+			}
+			f.writer = t
+			f.readers = f.readers[:0]
+		}
+	}
+	s.mu.Lock()
+	s.pending++
+	s.mu.Unlock()
+	if t.wait.Add(-1) == 0 {
+		s.push(t)
+	}
+}
+
+func (s *nativeSched) front(key any) *frontier {
+	f, ok := s.fronts[key]
+	if !ok {
+		f = &frontier{}
+		s.fronts[key] = f
+	}
+	return f
+}
+
+// dependOn makes t wait for d unless d is nil, already complete, or t
+// itself (repeated pointer in one task's argument list).
+func (t *ntask) dependOn(d *ntask) {
+	if d == nil || d == t {
+		return
+	}
+	d.mu.Lock()
+	if !d.done {
+		d.succ = append(d.succ, t)
+		t.wait.Add(1)
+	}
+	d.mu.Unlock()
+}
+
+func (s *nativeSched) push(t *ntask) {
+	s.mu.Lock()
+	s.ready = append(s.ready, t)
+	s.cond.Signal()
+	s.mu.Unlock()
+}
+
+func (s *nativeSched) worker() {
+	defer s.wg.Done()
+	for {
+		s.mu.Lock()
+		for len(s.ready) == 0 && !s.stopped {
+			s.cond.Wait()
+		}
+		if s.stopped && len(s.ready) == 0 {
+			s.mu.Unlock()
+			return
+		}
+		t := s.ready[len(s.ready)-1]
+		s.ready = s.ready[:len(s.ready)-1]
+		s.mu.Unlock()
+
+		t.fn()
+
+		t.mu.Lock()
+		t.done = true
+		succ := t.succ
+		t.mu.Unlock()
+		for _, n := range succ {
+			if n.wait.Add(-1) == 0 {
+				s.push(n)
+			}
+		}
+		s.mu.Lock()
+		s.pending--
+		if s.pending == 0 {
+			s.barCond.Broadcast()
+		}
+		s.mu.Unlock()
+	}
+}
+
+func (s *nativeSched) barrier() {
+	s.mu.Lock()
+	for s.pending != 0 {
+		s.barCond.Wait()
+	}
+	s.mu.Unlock()
+}
+
+func (s *nativeSched) close() {
+	s.mu.Lock()
+	s.stopped = true
+	s.cond.Broadcast()
+	s.mu.Unlock()
+	s.wg.Wait()
+}

@@ -1,0 +1,157 @@
+package quark
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func engines() []Engine { return []Engine{EngineNative, EngineKaapi} }
+
+func TestChainOrdering(t *testing.T) {
+	for _, e := range engines() {
+		q := New(4, e)
+		x := 0
+		q.Run(func(q *Quark) {
+			q.InsertTask(func() { x = 2 }, Arg{&x, OUTPUT})
+			q.InsertTask(func() { x *= 10 }, Arg{&x, INOUT})
+			q.InsertTask(func() { x += 3 }, Arg{&x, INOUT})
+		})
+		q.Delete()
+		if x != 23 {
+			t.Fatalf("engine %d: x=%d want 23", e, x)
+		}
+	}
+}
+
+func TestReadersRunBetweenWriters(t *testing.T) {
+	for _, e := range engines() {
+		q := New(4, e)
+		var x int
+		var r1, r2 int
+		q.Run(func(q *Quark) {
+			q.InsertTask(func() { x = 7 }, Arg{&x, OUTPUT})
+			q.InsertTask(func() { r1 = x }, Arg{&x, INPUT})
+			q.InsertTask(func() { r2 = x }, Arg{&x, INPUT})
+			q.InsertTask(func() { x = 100 }, Arg{&x, OUTPUT})
+		})
+		q.Delete()
+		if r1 != 7 || r2 != 7 || x != 100 {
+			t.Fatalf("engine %d: r1=%d r2=%d x=%d", e, r1, r2, x)
+		}
+	}
+}
+
+func TestIndependentTasksAllRun(t *testing.T) {
+	for _, e := range engines() {
+		q := New(4, e)
+		var n atomic.Int32
+		data := make([]int, 64)
+		q.Run(func(q *Quark) {
+			for i := range data {
+				i := i
+				q.InsertTask(func() { n.Add(1) }, Arg{&data[i], INOUT})
+			}
+		})
+		q.Delete()
+		if n.Load() != 64 {
+			t.Fatalf("engine %d: ran %d/64 tasks", e, n.Load())
+		}
+	}
+}
+
+func TestValueAndScratchNoDependency(t *testing.T) {
+	for _, e := range engines() {
+		q := New(2, e)
+		var n atomic.Int32
+		v := 42
+		q.Run(func(q *Quark) {
+			for i := 0; i < 16; i++ {
+				q.InsertTask(func() { n.Add(1) }, Arg{&v, VALUE}, Arg{&v, SCRATCH})
+			}
+		})
+		q.Delete()
+		if n.Load() != 16 {
+			t.Fatalf("engine %d: ran %d/16", e, n.Load())
+		}
+	}
+}
+
+func TestBarrierInsideRun(t *testing.T) {
+	for _, e := range engines() {
+		q := New(4, e)
+		var phase1 atomic.Int32
+		ok := true
+		q.Run(func(q *Quark) {
+			data := make([]int, 16)
+			for i := range data {
+				q.InsertTask(func() { phase1.Add(1) }, Arg{&data[i], INOUT})
+			}
+			q.Barrier()
+			if phase1.Load() != 16 {
+				ok = false
+			}
+		})
+		q.Delete()
+		if !ok {
+			t.Fatalf("engine %d: barrier returned before tasks completed", e)
+		}
+	}
+}
+
+func TestMixedDag(t *testing.T) {
+	// b and c depend on a; d depends on b and c. Classic diamond via flags.
+	for _, e := range engines() {
+		q := New(4, e)
+		var a, b, c, d int
+		q.Run(func(q *Quark) {
+			q.InsertTask(func() { a = 1 }, Arg{&a, OUTPUT})
+			q.InsertTask(func() { b = a + 1 }, Arg{&a, INPUT}, Arg{&b, OUTPUT})
+			q.InsertTask(func() { c = a + 2 }, Arg{&a, INPUT}, Arg{&c, OUTPUT})
+			q.InsertTask(func() { d = b + c }, Arg{&b, INPUT}, Arg{&c, INPUT}, Arg{&d, OUTPUT})
+		})
+		q.Delete()
+		if d != 5 {
+			t.Fatalf("engine %d: d=%d want 5", e, d)
+		}
+	}
+}
+
+func TestLongChainStress(t *testing.T) {
+	for _, e := range engines() {
+		q := New(4, e)
+		x := 0
+		q.Run(func(q *Quark) {
+			for i := 0; i < 2000; i++ {
+				q.InsertTask(func() { x++ }, Arg{&x, INOUT})
+			}
+		})
+		q.Delete()
+		if x != 2000 {
+			t.Fatalf("engine %d: x=%d want 2000", e, x)
+		}
+	}
+}
+
+func TestMultipleRuns(t *testing.T) {
+	for _, e := range engines() {
+		q := New(2, e)
+		total := 0
+		for i := 0; i < 5; i++ {
+			q.Run(func(q *Quark) {
+				q.InsertTask(func() { total++ }, Arg{&total, INOUT})
+			})
+		}
+		q.Delete()
+		if total != 5 {
+			t.Fatalf("engine %d: total=%d want 5", e, total)
+		}
+	}
+}
+
+func TestWorkersCount(t *testing.T) {
+	q := New(3, EngineNative)
+	defer q.Delete()
+	if q.Workers() != 3 {
+		t.Fatalf("Workers()=%d want 3", q.Workers())
+	}
+}

@@ -1,0 +1,105 @@
+package tbbsched
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func fibTBB(c *Context, r *int64, n int) {
+	if n < 2 {
+		*r = int64(n)
+		return
+	}
+	var r1, r2 int64
+	c.Spawn(FuncTask(func(c *Context) { fibTBB(c, &r1, n-1) }))
+	fibTBB(c, &r2, n-2)
+	c.Wait()
+	*r = r1 + r2
+}
+
+func TestFib(t *testing.T) {
+	for _, n := range []int{1, 2, 4} {
+		s := NewScheduler(n)
+		var r int64
+		s.Run(func(c *Context) { fibTBB(c, &r, 20) })
+		s.Close()
+		if r != 6765 {
+			t.Fatalf("workers=%d: fib(20)=%d want 6765", n, r)
+		}
+	}
+}
+
+func TestImplicitWaitForAll(t *testing.T) {
+	s := NewScheduler(3)
+	defer s.Close()
+	var n atomic.Int32
+	s.Run(func(c *Context) {
+		for i := 0; i < 50; i++ {
+			c.Spawn(FuncTask(func(c *Context) {
+				c.Spawn(FuncTask(func(*Context) { n.Add(1) }))
+			}))
+		}
+	})
+	if n.Load() != 50 {
+		t.Fatalf("n=%d want 50", n.Load())
+	}
+}
+
+func TestParallelForCoversRange(t *testing.T) {
+	s := NewScheduler(4)
+	defer s.Close()
+	const n = 100000
+	hits := make([]int32, n)
+	s.Run(func(c *Context) {
+		ParallelFor(c, 0, n, 0, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				atomic.AddInt32(&hits[i], 1)
+			}
+		})
+	})
+	for i, h := range hits {
+		if h != 1 {
+			t.Fatalf("iteration %d executed %d times", i, h)
+		}
+	}
+}
+
+func TestParallelForExplicitGrain(t *testing.T) {
+	s := NewScheduler(2)
+	defer s.Close()
+	var maxChunk atomic.Int64
+	s.Run(func(c *Context) {
+		ParallelFor(c, 0, 1000, 10, func(lo, hi int) {
+			if sz := int64(hi - lo); sz > maxChunk.Load() {
+				maxChunk.Store(sz)
+			}
+		})
+	})
+	if maxChunk.Load() > 10 {
+		t.Fatalf("chunk %d exceeds grain 10", maxChunk.Load())
+	}
+}
+
+func TestParallelForEmpty(t *testing.T) {
+	s := NewScheduler(2)
+	defer s.Close()
+	ran := false
+	s.Run(func(c *Context) {
+		ParallelFor(c, 5, 5, 1, func(lo, hi int) { ran = true })
+	})
+	if ran {
+		t.Fatal("body ran for empty range")
+	}
+}
+
+func TestMultipleRuns(t *testing.T) {
+	s := NewScheduler(2)
+	defer s.Close()
+	for i := 0; i < 10; i++ {
+		var r int64
+		s.Run(func(c *Context) { fibTBB(c, &r, 12) })
+		if r != 144 {
+			t.Fatalf("run %d: fib(12)=%d", i, r)
+		}
+	}
+}

@@ -1,0 +1,177 @@
+// Package xkaapi is a Go implementation of the X-Kaapi runtime described in
+// "X-Kaapi: a Multi Paradigm Runtime for Multicore Architectures" (Gautier,
+// Lementec, Faucher, Raffin; P2S2 workshop, ICPP 2013). It unifies three
+// parallel paradigms over one low-overhead work-stealing scheduler:
+//
+//   - fork-join tasks: Proc.Spawn / Proc.Sync, Cilk-style;
+//   - dataflow tasks: Proc.SpawnTask with Read/Write/ReadWrite/CumulWrite
+//     accesses to shared Handles; the runtime computes true dependencies and
+//     schedules tasks as their inputs are produced;
+//   - adaptive parallel loops: Foreach, which creates work on demand as
+//     cores become idle instead of a task per chunk.
+//
+// # Quick start
+//
+//	rt := xkaapi.New()
+//	defer rt.Close()
+//	rt.Run(func(p *xkaapi.Proc) {
+//	    var a, b int
+//	    p.Spawn(func(p *xkaapi.Proc) { a = work1(p) })
+//	    b = work2()
+//	    p.Sync()
+//	    fmt.Println(a + b)
+//	})
+//
+// The semantics are sequential (as in Athapascan): a program whose tasks are
+// never stolen executes in program order, and dataflow dependencies make any
+// parallel execution equivalent to that order.
+//
+// Tasks are created non-blockingly and cost a few tens of nanoseconds; the
+// scheduler follows the work-first principle, pays for parallelism only when
+// idle cores actually ask for work (steal-request aggregation, adaptive
+// splitting), and keeps task objects on per-worker free lists.
+package xkaapi
+
+import "xkaapi/internal/core"
+
+// Proc is the execution context handed to every task body: spawning,
+// syncing and parallel loops are methods on it. See the methods of the
+// underlying scheduler worker: Spawn, SpawnTask, Sync, ForEach, ID,
+// NumWorkers.
+type Proc = core.Worker
+
+// Handle identifies a shared memory region for dataflow synchronization.
+// The zero value is ready to use; a Handle must not be copied after use.
+type Handle = core.Handle
+
+// Access pairs a Handle with an access Mode; build them with Read, Write,
+// ReadWrite and CumulWrite.
+type Access = core.Access
+
+// Mode is a dataflow access mode.
+type Mode = core.Mode
+
+// Access modes (§II-B of the paper).
+const (
+	ModeRead       = core.ModeRead
+	ModeWrite      = core.ModeWrite
+	ModeReadWrite  = core.ModeReadWrite
+	ModeCumulWrite = core.ModeCumulWrite
+)
+
+// Stats aggregates scheduler event counters; see Runtime.Stats.
+type Stats = core.Stats
+
+// LoopOpts tunes Foreach grains and slicing; the zero value selects the
+// kaapic_foreach defaults.
+type LoopOpts = core.LoopOpts
+
+// Adaptive lets a task publish a splitter so thieves can divide its
+// remaining work on demand; see Proc.SetAdaptive and the paper's §II-D.
+type Adaptive = core.Adaptive
+
+// Task is an opaque scheduled task; splitters return tasks built with
+// Proc.NewAdaptiveTask.
+type Task = core.Task
+
+// Interval is a concurrently divisible iteration range used by adaptive
+// tasks.
+type Interval = core.Interval
+
+// Read declares that the task reads the region behind h.
+func Read(h *Handle) Access { return Access{Handle: h, Mode: core.ModeRead} }
+
+// Write declares that the task overwrites the region behind h, producing a
+// new version.
+func Write(h *Handle) Access { return Access{Handle: h, Mode: core.ModeWrite} }
+
+// ReadWrite declares an exclusive in-place update of the region behind h.
+func ReadWrite(h *Handle) Access { return Access{Handle: h, Mode: core.ModeReadWrite} }
+
+// CumulWrite declares a cumulative (commutative and associative) update;
+// concurrent CumulWrite tasks on the same handle may run in parallel, so the
+// body must make its update thread-safe (e.g. per-worker accumulators or an
+// atomic add).
+func CumulWrite(h *Handle) Access { return Access{Handle: h, Mode: core.ModeCumulWrite} }
+
+// Option configures New.
+type Option func(*core.Config)
+
+// WithWorkers sets the number of scheduling threads; the default is
+// runtime.GOMAXPROCS(0), i.e. one per core.
+func WithWorkers(n int) Option { return func(c *core.Config) { c.Workers = n } }
+
+// WithoutAggregation disables steal-request aggregation (one combiner
+// answering all concurrent thieves); each thief then steals for itself.
+// Provided for the ablation benchmarks.
+func WithoutAggregation() Option { return func(c *core.Config) { c.NoAggregation = true } }
+
+// WithoutPinning keeps workers as ordinary goroutines instead of locking
+// each one to an OS thread.
+func WithoutPinning() Option { return func(c *core.Config) { c.DisablePinning = true } }
+
+// WithSeed sets the base seed of the victim-selection RNGs, for reproducible
+// schedules in tests.
+func WithSeed(seed uint64) Option { return func(c *core.Config) { c.Seed = seed } }
+
+// Runtime owns a pool of workers, one per core by default. It is created
+// idle; Run submits a root task and returns when the whole computation has
+// completed. A Runtime may run many successive computations; Close releases
+// the workers.
+type Runtime struct {
+	rt *core.Runtime
+}
+
+// New creates a runtime with the given options.
+func New(opts ...Option) *Runtime {
+	var cfg core.Config
+	for _, o := range opts {
+		o(&cfg)
+	}
+	return &Runtime{rt: core.NewRuntime(cfg)}
+}
+
+// Close stops and joins the workers. The runtime must be quiescent.
+func (r *Runtime) Close() { r.rt.Close() }
+
+// Workers returns the number of scheduling threads.
+func (r *Runtime) Workers() int { return r.rt.NumWorkers() }
+
+// Run executes root as the root task on the calling goroutine (which acts
+// as worker 0) and returns once every transitively spawned task completed.
+// Only one Run may be in flight per Runtime.
+func (r *Runtime) Run(root func(*Proc)) { r.rt.RunRoot(root) }
+
+// Stats returns the summed scheduler counters; call it between Runs.
+func (r *Runtime) Stats() Stats { return r.rt.Stats() }
+
+// ResetStats zeroes the scheduler counters; call it between Runs.
+func (r *Runtime) ResetStats() { r.rt.ResetStats() }
+
+// Foreach runs body over [lo, hi) in parallel on r and returns when every
+// index has been processed. It is shorthand for Run + Proc.ForEach with
+// default grains.
+func (r *Runtime) Foreach(lo, hi int, body func(p *Proc, lo, hi int)) {
+	r.Run(func(p *Proc) { Foreach(p, lo, hi, body) })
+}
+
+// Foreach applies body to sub-ranges of [lo, hi) from within a running task,
+// using the adaptive loop of the paper (§II-E): the range is pre-partitioned
+// into one reserved slice per worker and further divided on demand when
+// thieves ask for work.
+func Foreach(p *Proc, lo, hi int, body func(p *Proc, lo, hi int)) {
+	ForeachOpts(p, lo, hi, LoopOpts{}, body)
+}
+
+// ForeachGrain is Foreach with an explicit sequential grain: the executing
+// worker claims chunks of exactly grain iterations (except the last).
+func ForeachGrain(p *Proc, lo, hi, grain int, body func(p *Proc, lo, hi int)) {
+	ForeachOpts(p, lo, hi, LoopOpts{SeqGrain: int64(grain)}, body)
+}
+
+// ForeachOpts is Foreach with full control over grains and slicing.
+func ForeachOpts(p *Proc, lo, hi int, opt LoopOpts, body func(p *Proc, lo, hi int)) {
+	p.ForEach(int64(lo), int64(hi), opt, func(w *Proc, l, h int64) {
+		body(w, int(l), int(h))
+	})
+}

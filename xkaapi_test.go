@@ -1,0 +1,175 @@
+package xkaapi_test
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"xkaapi"
+)
+
+func newRT(t *testing.T, opts ...xkaapi.Option) *xkaapi.Runtime {
+	t.Helper()
+	rt := xkaapi.New(opts...)
+	t.Cleanup(rt.Close)
+	return rt
+}
+
+func TestRunExecutesRoot(t *testing.T) {
+	rt := newRT(t, xkaapi.WithWorkers(2))
+	ran := false
+	rt.Run(func(p *xkaapi.Proc) { ran = true })
+	if !ran {
+		t.Fatal("root did not run")
+	}
+}
+
+func TestWorkersOption(t *testing.T) {
+	rt := newRT(t, xkaapi.WithWorkers(3))
+	if got := rt.Workers(); got != 3 {
+		t.Fatalf("Workers()=%d want 3", got)
+	}
+}
+
+func TestDefaultWorkers(t *testing.T) {
+	rt := newRT(t)
+	if rt.Workers() < 1 {
+		t.Fatalf("Workers()=%d", rt.Workers())
+	}
+}
+
+func fib(p *xkaapi.Proc, r *int64, n int) {
+	if n < 2 {
+		*r = int64(n)
+		return
+	}
+	var r1, r2 int64
+	p.Spawn(func(p *xkaapi.Proc) { fib(p, &r1, n-1) })
+	fib(p, &r2, n-2)
+	p.Sync()
+	*r = r1 + r2
+}
+
+func TestFibPaperProgram(t *testing.T) {
+	// The exact program of the paper's Fig. 1: one spawned task per node,
+	// one inline recursive call, one sync.
+	rt := newRT(t, xkaapi.WithWorkers(4))
+	var r int64
+	rt.Run(func(p *xkaapi.Proc) { fib(p, &r, 22) })
+	if r != 17711 {
+		t.Fatalf("fib(22)=%d want 17711", r)
+	}
+}
+
+func TestProcIDWithinRange(t *testing.T) {
+	rt := newRT(t, xkaapi.WithWorkers(4))
+	var bad atomic.Int32
+	rt.Run(func(p *xkaapi.Proc) {
+		for i := 0; i < 200; i++ {
+			p.Spawn(func(p *xkaapi.Proc) {
+				if p.ID() < 0 || p.ID() >= p.NumWorkers() {
+					bad.Add(1)
+				}
+			})
+		}
+	})
+	if bad.Load() != 0 {
+		t.Fatal("worker IDs out of range")
+	}
+}
+
+func TestDataflowAccessBuilders(t *testing.T) {
+	rt := newRT(t, xkaapi.WithWorkers(4))
+	var h xkaapi.Handle
+	v := 0
+	rt.Run(func(p *xkaapi.Proc) {
+		p.SpawnTask(func(*xkaapi.Proc) { v = 3 }, xkaapi.Write(&h))
+		p.SpawnTask(func(*xkaapi.Proc) { v *= 7 }, xkaapi.ReadWrite(&h))
+		got := 0
+		p.SpawnTask(func(*xkaapi.Proc) { got = v }, xkaapi.Read(&h))
+		p.Sync()
+		if got != 21 {
+			t.Errorf("dataflow result %d want 21", got)
+		}
+	})
+}
+
+func TestCumulWriteBuilder(t *testing.T) {
+	rt := newRT(t, xkaapi.WithWorkers(4))
+	var h xkaapi.Handle
+	var acc atomic.Int64
+	var got int64
+	rt.Run(func(p *xkaapi.Proc) {
+		for i := 0; i < 64; i++ {
+			p.SpawnTask(func(*xkaapi.Proc) { acc.Add(1) }, xkaapi.CumulWrite(&h))
+		}
+		p.SpawnTask(func(*xkaapi.Proc) { got = acc.Load() }, xkaapi.Read(&h))
+		p.Sync()
+	})
+	if got != 64 {
+		t.Fatalf("got %d want 64", got)
+	}
+}
+
+func TestRuntimeForeach(t *testing.T) {
+	rt := newRT(t, xkaapi.WithWorkers(4))
+	const n = 50000
+	hits := make([]int32, n)
+	rt.Foreach(0, n, func(_ *xkaapi.Proc, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			atomic.AddInt32(&hits[i], 1)
+		}
+	})
+	for i, h := range hits {
+		if h != 1 {
+			t.Fatalf("iteration %d executed %d times", i, h)
+		}
+	}
+}
+
+func TestForeachGrain(t *testing.T) {
+	rt := newRT(t, xkaapi.WithWorkers(2))
+	var maxChunk atomic.Int64
+	rt.Run(func(p *xkaapi.Proc) {
+		xkaapi.ForeachGrain(p, 0, 10000, 16, func(_ *xkaapi.Proc, lo, hi int) {
+			if sz := int64(hi - lo); sz > maxChunk.Load() {
+				maxChunk.Store(sz)
+			}
+		})
+	})
+	if maxChunk.Load() > 16 {
+		t.Fatalf("chunk %d exceeds grain 16", maxChunk.Load())
+	}
+}
+
+func TestStatsAndReset(t *testing.T) {
+	rt := newRT(t, xkaapi.WithWorkers(2), xkaapi.WithSeed(7))
+	var r int64
+	rt.Run(func(p *xkaapi.Proc) { fib(p, &r, 15) })
+	if s := rt.Stats(); s.Spawned == 0 {
+		t.Fatalf("no spawns recorded: %+v", s)
+	}
+	rt.ResetStats()
+	if s := rt.Stats(); s.Spawned != 0 {
+		t.Fatalf("reset did not clear spawns: %+v", s)
+	}
+}
+
+func TestWithoutAggregationAndPinning(t *testing.T) {
+	rt := newRT(t, xkaapi.WithWorkers(4), xkaapi.WithoutAggregation(), xkaapi.WithoutPinning())
+	var r int64
+	rt.Run(func(p *xkaapi.Proc) { fib(p, &r, 18) })
+	if r != 2584 {
+		t.Fatalf("fib(18)=%d want 2584", r)
+	}
+}
+
+func TestNestedRunsSequentially(t *testing.T) {
+	rt := newRT(t, xkaapi.WithWorkers(2))
+	total := 0
+	for i := 0; i < 5; i++ {
+		rt.Run(func(p *xkaapi.Proc) { total++ })
+	}
+	if total != 5 {
+		t.Fatalf("total=%d want 5", total)
+	}
+}
