@@ -1,0 +1,27 @@
+GO ?= go
+
+# Tier-1 verify: everything must build and every package's tests must pass.
+.PHONY: build test
+build:
+	$(GO) build ./...
+test:
+	$(GO) test ./...
+
+# Race tier: the concurrency-critical packages (scheduler core and the
+# parallel algorithms that hammer it) under the race detector, -short so the
+# stress tests use their trimmed sizes.
+.PHONY: race
+race:
+	$(GO) test -race -short ./internal/core ./par
+
+.PHONY: vet
+vet:
+	$(GO) vet ./...
+
+# check is the local CI entry point: tier-1 plus the race tier.
+.PHONY: check
+check: build test race
+
+.PHONY: bench
+bench:
+	$(GO) test -bench=. -benchtime=1x ./internal/core

@@ -1,0 +1,15 @@
+#!/bin/sh
+# Minimal CI: tier-1 verify (build + full test suite) followed by the race
+# tier over the concurrency-critical packages. Mirrors `make check`.
+set -eu
+
+echo "== tier-1: go build ./..."
+go build ./...
+
+echo "== tier-1: go test ./..."
+go test ./...
+
+echo "== race tier: go test -race -short ./internal/core ./par"
+go test -race -short ./internal/core ./par
+
+echo "CI OK"

@@ -11,6 +11,10 @@
 // heap-allocated per spawn (Cilk allocates frames), there is no steal-request
 // aggregation (each thief locks the victim's deque), and no splitter
 // machinery exists.
+//
+// Like the X-Kaapi runtime in this module, the pool accepts concurrent root
+// submissions: Pool.Submit injects independent computations from any
+// goroutine and Pool.Run is Submit plus Job.Wait.
 package cilk
 
 import (
@@ -25,20 +29,41 @@ type task struct {
 	fn       func(*Worker)
 	parent   *task
 	children atomic.Int32
+	job      *Job // non-nil only on submitted roots
 }
 
-// Pool is a set of workers executing fork-join computations.
+// Job is the completion handle of one submitted root computation.
+type Job struct {
+	done chan struct{}
+}
+
+// Wait blocks until the job's task tree has fully drained. Call it only
+// from outside the pool; a task body blocking here stalls its worker.
+func (j *Job) Wait() { <-j.done }
+
+// Pool is a set of workers executing fork-join computations. Many root
+// computations may be submitted concurrently from any goroutines; they all
+// share the same workers.
 type Pool struct {
 	workers []*Worker
+
+	inboxMu   sync.Mutex
+	inboxQ    []*task
+	inboxHead int
+	inboxN    atomic.Int64
+
+	jobsMu   sync.Mutex
+	jobsCond *sync.Cond
+	jobsLive int
+	closing  bool // guarded by jobsMu
 
 	idle        atomic.Int32
 	parkMu      sync.Mutex
 	parkCond    *sync.Cond
 	wakePending int
 
-	stop  atomic.Bool
-	runMu sync.Mutex
-	wg    sync.WaitGroup
+	stop atomic.Bool
+	wg   sync.WaitGroup
 }
 
 // Worker is the execution context passed to task bodies.
@@ -54,14 +79,15 @@ type Worker struct {
 	buf  atomic.Pointer[[]*task]
 }
 
-// NewPool creates a pool with n workers (GOMAXPROCS(0) if n <= 0). The
-// calling goroutine acts as worker 0 during Run.
+// NewPool creates a pool with n workers (GOMAXPROCS(0) if n <= 0), each a
+// pinned goroutine; work reaches them through Submit or Run.
 func NewPool(n int) *Pool {
 	if n <= 0 {
 		n = runtime.GOMAXPROCS(0)
 	}
 	p := &Pool{}
 	p.parkCond = sync.NewCond(&p.parkMu)
+	p.jobsCond = sync.NewCond(&p.jobsMu)
 	p.workers = make([]*Worker, n)
 	for i := range p.workers {
 		w := &Worker{id: i, pool: p, rng: uint64(i)*0x9E3779B97F4A7C15 + 0x853C49E6748FEA9B}
@@ -69,18 +95,28 @@ func NewPool(n int) *Pool {
 		w.buf.Store(&buf)
 		p.workers[i] = w
 	}
-	for i := 1; i < n; i++ {
+	for i := 0; i < n; i++ {
 		p.wg.Add(1)
 		go p.workers[i].loop()
 	}
 	return p
 }
 
-// Close stops and joins the workers.
+// Close drains in-flight jobs, then stops and joins the workers. The
+// closing flag flips under jobsMu so a racing Submit either registers
+// before the drain or panics — it can never strand a job in a dead pool.
 func (p *Pool) Close() {
-	if !p.stop.CompareAndSwap(false, true) {
+	p.jobsMu.Lock()
+	if p.closing {
+		p.jobsMu.Unlock()
 		return
 	}
+	p.closing = true
+	for p.jobsLive > 0 {
+		p.jobsCond.Wait()
+	}
+	p.jobsMu.Unlock()
+	p.stop.Store(true)
 	p.parkMu.Lock()
 	p.wakePending += len(p.workers)
 	p.parkCond.Broadcast()
@@ -91,13 +127,54 @@ func (p *Pool) Close() {
 // Workers returns the pool size.
 func (p *Pool) Workers() int { return len(p.workers) }
 
-// Run executes root on the calling goroutine as worker 0 and returns when
-// the whole computation (root plus all transitively spawned tasks) is done.
+// Run submits root as an independent computation and waits for it; see
+// Submit. Concurrent Runs share the pool.
 func (p *Pool) Run(root func(*Worker)) {
-	p.runMu.Lock()
-	defer p.runMu.Unlock()
-	w := p.workers[0]
-	w.execute(&task{fn: root})
+	p.Submit(root).Wait()
+}
+
+// Submit enqueues root as an independent root computation and returns its
+// handle without waiting. Any goroutine outside the pool may call it
+// concurrently: roots are injected through an MPSC inbox (external callers
+// must not touch the owner end of a worker deque) and claimed by idle
+// workers.
+func (p *Pool) Submit(root func(*Worker)) *Job {
+	j := &Job{done: make(chan struct{})}
+	p.jobsMu.Lock()
+	if p.closing {
+		p.jobsMu.Unlock()
+		panic("cilk: Submit called after Close")
+	}
+	p.jobsLive++
+	p.jobsMu.Unlock()
+	p.inboxMu.Lock()
+	p.inboxQ = append(p.inboxQ, &task{fn: root, job: j})
+	p.inboxN.Add(1)
+	p.inboxMu.Unlock()
+	p.maybeWake()
+	return j
+}
+
+// takeSubmitted claims the oldest submitted root, or returns nil. The
+// head index makes each take O(1); the buffer resets when it drains.
+func (p *Pool) takeSubmitted() *task {
+	if p.inboxN.Load() == 0 {
+		return nil
+	}
+	p.inboxMu.Lock()
+	var t *task
+	if p.inboxHead < len(p.inboxQ) {
+		t = p.inboxQ[p.inboxHead]
+		p.inboxQ[p.inboxHead] = nil
+		p.inboxHead++
+		if p.inboxHead == len(p.inboxQ) {
+			p.inboxQ = p.inboxQ[:0]
+			p.inboxHead = 0
+		}
+		p.inboxN.Add(-1)
+	}
+	p.inboxMu.Unlock()
+	return t
 }
 
 // ID returns the worker index.
@@ -134,6 +211,16 @@ func (w *Worker) execute(t *task) {
 	if t.parent != nil {
 		t.parent.children.Add(-1)
 	}
+	if t.job != nil {
+		close(t.job.done)
+		p := w.pool
+		p.jobsMu.Lock()
+		p.jobsLive--
+		if p.jobsLive == 0 {
+			p.jobsCond.Broadcast()
+		}
+		p.jobsMu.Unlock()
+	}
 }
 
 func (w *Worker) waitChildren(t *task) {
@@ -158,6 +245,10 @@ func (w *Worker) schedOnce() bool {
 		return true
 	}
 	if t := w.steal(); t != nil {
+		w.execute(t)
+		return true
+	}
+	if t := w.pool.takeSubmitted(); t != nil {
 		w.execute(t)
 		return true
 	}
@@ -243,6 +334,9 @@ func (p *Pool) maybeWake() {
 }
 
 func (p *Pool) anyWork() bool {
+	if p.inboxN.Load() > 0 {
+		return true
+	}
 	for _, v := range p.workers {
 		if v.tail.Load()-v.head.Load() > 0 {
 			return true

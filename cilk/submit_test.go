@@ -1,0 +1,53 @@
+package cilk
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestConcurrentSubmitSharedPool checks that many external goroutines can
+// multiplex root computations over one pool and that Close drains
+// fire-and-forget jobs.
+func TestConcurrentSubmitSharedPool(t *testing.T) {
+	pool := NewPool(4)
+	const clients, jobs = 8, 25
+	want := int64(377) // fib(14)
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < jobs; i++ {
+				var r int64
+				pool.Submit(func(w *Worker) { fibCilk(w, &r, 14) }).Wait()
+				if r != want {
+					t.Errorf("fib=%d want %d", r, want)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	// Fire-and-forget: Close must drain these before joining the workers.
+	ran := make([]int64, 50)
+	for i := range ran {
+		pool.Submit(func(w *Worker) { fibCilk(w, &ran[i], 10) })
+	}
+	pool.Close()
+	for i, v := range ran {
+		if v != 55 {
+			t.Fatalf("job %d: fib=%d want 55 (Close abandoned it)", i, v)
+		}
+	}
+}
+
+func TestSubmitSingleWorker(t *testing.T) {
+	pool := NewPool(1)
+	defer pool.Close()
+	var r int64
+	pool.Submit(func(w *Worker) { fibCilk(w, &r, 12) }).Wait()
+	if r != 144 {
+		t.Fatalf("fib=%d want 144", r)
+	}
+}

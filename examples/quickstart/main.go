@@ -1,14 +1,16 @@
-// Quickstart for the xkaapi runtime: the three paradigms in ~80 lines.
+// Quickstart for the xkaapi runtime: the three paradigms in ~100 lines.
 //
 //	go run ./examples/quickstart
 //
 // It shows (1) fork-join tasks with Spawn/Sync, (2) dataflow tasks whose
-// execution order is derived from declared accesses, and (3) an adaptive
-// parallel loop with a reduction.
+// execution order is derived from declared accesses, (3) an adaptive
+// parallel loop with a reduction, and (4) concurrent job submission: many
+// goroutines sharing one worker pool through Submit/Wait.
 package main
 
 import (
 	"fmt"
+	"sync"
 
 	"xkaapi"
 )
@@ -79,4 +81,20 @@ func main() {
 		) / n
 	})
 	fmt.Println("pi ≈", pi)
+
+	// 4. Concurrent submission: independent clients fire jobs at the same
+	// runtime from their own goroutines — no runtime per client, no
+	// serialization of parallel regions. Each Submit returns a Job handle;
+	// Run is Submit plus Wait.
+	var wg sync.WaitGroup
+	results := make([]int64, 4)
+	for c := range results {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rt.Submit(func(p *xkaapi.Proc) { fib(p, &results[c], 20+c) }).Wait()
+		}()
+	}
+	wg.Wait()
+	fmt.Println("concurrent fib(20..23) =", results)
 }

@@ -1,0 +1,3 @@
+module xkaapi
+
+go 1.24

@@ -1,0 +1,35 @@
+package gomp
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestConcurrentParallelCallers checks that Parallel is safe to call from
+// many goroutines at once: regions serialize over the one team and every
+// region still sees its full complement of threads and tasks.
+func TestConcurrentParallelCallers(t *testing.T) {
+	tm := newTeam(t, 4)
+	const clients, regions = 6, 10
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < regions; i++ {
+				var tasks atomic.Int64
+				tm.Parallel(func(tc *TC) {
+					for k := 0; k < 8; k++ {
+						tc.Task(func(*TC) { tasks.Add(1) })
+					}
+				})
+				if got := tasks.Load(); got != int64(8*tm.Threads()) {
+					t.Errorf("tasks=%d want %d", got, 8*tm.Threads())
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

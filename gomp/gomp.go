@@ -56,9 +56,14 @@ func (s Schedule) String() string {
 const taskThrottle = 64
 
 // Team is a persistent pool of OpenMP-style threads. Parallel regions reuse
-// the same threads, as omp parallel does.
+// the same threads, as omp parallel does. Parallel (and ParallelFor) may be
+// called from concurrent goroutines: regions then serialize over the one
+// team, one after the other, mirroring OpenMP's model of a single program
+// thread encountering regions — concurrent clients share the team's
+// threads instead of needing a team each.
 type Team struct {
 	p        int
+	runMu    sync.Mutex // serializes regions over the team
 	cmds     []chan *region
 	wg       sync.WaitGroup
 	closed   bool
@@ -89,8 +94,12 @@ func NewTeam(n int) *Team {
 	return tm
 }
 
-// Close terminates the team's threads.
+// Close terminates the team's threads. It takes the region lock, so a
+// Close racing a concurrent Parallel waits for the region to finish
+// instead of closing the command channels under it.
 func (tm *Team) Close() {
+	tm.runMu.Lock()
+	defer tm.runMu.Unlock()
 	if tm.closed {
 		return
 	}
@@ -139,8 +148,15 @@ func (tc *TC) NumThreads() int { return tc.team.p }
 
 // Parallel executes fn once per team thread (SPMD, like #pragma omp
 // parallel) and returns after the implicit barrier at region end, which also
-// waits for every explicit task created inside the region.
+// waits for every explicit task created inside the region. Concurrent
+// Parallel calls serialize: the calling goroutine acts as thread 0 of its
+// region once the team is free.
 func (tm *Team) Parallel(fn func(tc *TC)) {
+	tm.runMu.Lock()
+	defer tm.runMu.Unlock()
+	if tm.closed {
+		panic("gomp: Parallel called after Close")
+	}
 	r := &region{team: tm, fn: fn}
 	r.fnsLeft.Store(int32(tm.p))
 	r.done.Add(tm.p)

@@ -1,0 +1,112 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"xkaapi/internal/xrand"
+)
+
+// TestDequeOwnerThiefInterleaving is a randomized torture test of the
+// T.H.E. protocol: one owner goroutine pushes and pops at the bottom while
+// several thieves hammer stealLocked at the top, with random interleavings.
+// Every task must be claimed exactly once — the owner/thief race on the
+// last remaining task (resolved under mu) must never duplicate or lose a
+// task. The new submission inbox leans on exactly these edge cases: a
+// worker that claims an inbox root immediately pushes the root's children
+// onto its deque while freshly woken thieves attack the same deque.
+func TestDequeOwnerThiefInterleaving(t *testing.T) {
+	total := 10_000
+	thieves := 3
+	if testing.Short() {
+		total = 2_000
+	}
+
+	var d deque
+	d.init()
+
+	tasks := make([]Task, total)
+	index := make(map[*Task]int, total)
+	for i := range tasks {
+		index[&tasks[i]] = i
+	}
+	claimed := make([]atomic.Int32, total)
+	var nClaimed atomic.Int64
+
+	claim := func(task *Task, who string) {
+		i, ok := index[task]
+		if !ok {
+			t.Errorf("%s claimed unknown task %p", who, task)
+			return
+		}
+		if n := claimed[i].Add(1); n != 1 {
+			t.Errorf("task %d claimed %d times (last by %s)", i, n, who)
+		}
+		nClaimed.Add(1)
+	}
+
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	for th := 0; th < thieves; th++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			rng := xrand.New(uint64(id)*0x9E3779B97F4A7C15 + 1)
+			for !stop.Load() {
+				d.mu.Lock()
+				task := d.stealLocked()
+				d.mu.Unlock()
+				if task != nil {
+					claim(task, "thief")
+				}
+				if rng.Intn(8) == 0 {
+					runtime.Gosched()
+				}
+			}
+		}(th)
+	}
+
+	// Owner: push tasks in random bursts, pop in random bursts, so the
+	// bottom keeps crossing the top (the b == h conflict path) and the
+	// buffer repeatedly empties, refills and grows.
+	rng := xrand.New(0xDECAFBAD)
+	next := 0
+	for next < total || nClaimed.Load() < int64(total) {
+		for burst := rng.Intn(4) + 1; burst > 0 && next < total; burst-- {
+			d.push(&tasks[next])
+			next++
+		}
+		for burst := rng.Intn(3); burst > 0; burst-- {
+			if task := d.pop(); task != nil {
+				claim(task, "owner")
+			}
+		}
+		if next == total {
+			// Everything pushed: drain the rest against the thieves.
+			if task := d.pop(); task != nil {
+				claim(task, "owner")
+			} else if nClaimed.Load() < int64(total) {
+				runtime.Gosched()
+			}
+		}
+		if rng.Intn(16) == 0 {
+			runtime.Gosched()
+		}
+	}
+	stop.Store(true)
+	wg.Wait()
+
+	if got := nClaimed.Load(); got != int64(total) {
+		t.Fatalf("claimed %d tasks, want %d", got, total)
+	}
+	for i := range claimed {
+		if n := claimed[i].Load(); n != 1 {
+			t.Errorf("task %d claimed %d times", i, n)
+		}
+	}
+	if sz := d.size(); sz != 0 {
+		t.Fatalf("deque not empty at end: size=%d", sz)
+	}
+}

@@ -21,11 +21,36 @@
 //     splitter that thieves invoke to divide its remaining work on demand;
 //     the runtime guarantees a single concurrent splitter per victim (§II-D).
 //     ForEach builds the kaapic_foreach parallel loop on top (§II-E).
+//   - Concurrent submission (job.go): any goroutine outside the pool may
+//     call Runtime.Submit to inject an independent root job; the pool
+//     multiplexes all live jobs over the same workers. This extends the
+//     paper's single-parallel-region model to a shared service pool.
+//
+// # Submit/Wait lifecycle and external-submission rules
+//
+// Runtime.Submit(fn) enqueues fn as a root task on an MPSC inbox and
+// returns a *Job immediately; workers claim inbox roots when they run out
+// of local and stolen work, so external threads never touch the owner-only
+// ends of the T.H.E. deques. Job.Wait blocks until the root and every task
+// transitively spawned from it completed; Runtime.Wait drains all jobs
+// submitted so far; Runtime.Close drains in-flight jobs before joining the
+// workers. RunRoot is Submit followed by Job.Wait, so legacy callers keep
+// their blocking semantics while new callers share the pool concurrently.
+//
+// The rules for code outside the pool: Submit, Job.Wait, Runtime.Wait and
+// Close may be called from any non-worker goroutine, concurrently. A task
+// body may fire-and-forget Submit (the new job is an unrelated root, not a
+// child of the submitter), but must never block in Job.Wait, Runtime.Wait
+// or Close — a blocked body stalls its worker and can deadlock the pool;
+// use Spawn + Sync for work the task depends on. Worker methods (Spawn,
+// SpawnTask, Sync, ForEach) remain callable only from the task body's own
+// Worker.
 //
 // The model is fully strict: every task waits (by scheduling other work, not
 // by blocking the thread) for its children before completing, so a program
 // that is never stolen from executes in sequential order, which preserves the
-// sequential semantics the paper inherits from Athapascan.
+// sequential semantics the paper inherits from Athapascan. Independent jobs
+// are unordered with respect to each other.
 //
 // This package is the engine behind the public xkaapi API at the module root
 // as well as the QUARK compatibility layer in package quark.

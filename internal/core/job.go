@@ -1,0 +1,135 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Job is the handle of one externally submitted root task. A Job is created
+// by Runtime.Submit, completes when the root body and every task
+// transitively spawned from it have finished, and can be waited on by any
+// goroutine outside the pool.
+type Job struct {
+	rt   *Runtime
+	done chan struct{}
+}
+
+// Wait blocks until the job's whole task tree has completed. It must be
+// called from outside the worker pool: a task body that blocks in Wait
+// stalls its worker and can deadlock the runtime. From inside a task, spawn
+// the work as a child and use Worker.Sync instead.
+func (j *Job) Wait() { <-j.done }
+
+// Done reports (without blocking) whether the job has completed.
+func (j *Job) Done() bool {
+	select {
+	case <-j.done:
+		return true
+	default:
+		return false
+	}
+}
+
+// finish marks the job complete and credits the runtime's live-job count.
+// It is called exactly once, by the worker completing the root task.
+func (j *Job) finish() {
+	close(j.done)
+	rt := j.rt
+	rt.jobsMu.Lock()
+	rt.jobsLive--
+	if rt.jobsLive == 0 {
+		rt.jobsCond.Broadcast()
+	}
+	rt.jobsMu.Unlock()
+}
+
+// inbox is the MPSC queue through which goroutines outside the pool inject
+// root tasks. External submitters must not touch the owner end of any
+// worker deque (push/pop are owner-only under the T.H.E. protocol), so new
+// roots land here and are claimed by whichever worker runs out of local and
+// stolen work first.
+//
+// The count n is a sequentially consistent atomic and is updated before the
+// submitter reads Runtime.idle (in maybeWake), mirroring the deque-bottom /
+// idle-counter protocol: either the submitter observes a parked worker and
+// wakes it, or the parker's final anyWork scan observes n > 0 and aborts
+// the park.
+type inbox struct {
+	mu   sync.Mutex
+	q    []*Task
+	head int
+	n    atomic.Int64
+}
+
+// put appends t. Any goroutine may call it.
+func (ib *inbox) put(t *Task) {
+	ib.mu.Lock()
+	ib.q = append(ib.q, t)
+	ib.n.Add(1)
+	ib.mu.Unlock()
+}
+
+// take removes the oldest submitted task, or returns nil. Any worker may
+// call it; the atomic count makes the empty probe lock-free.
+func (ib *inbox) take() *Task {
+	if ib.n.Load() == 0 {
+		return nil
+	}
+	ib.mu.Lock()
+	var t *Task
+	if ib.head < len(ib.q) {
+		t = ib.q[ib.head]
+		ib.q[ib.head] = nil
+		ib.head++
+		if ib.head == len(ib.q) {
+			ib.q = ib.q[:0]
+			ib.head = 0
+		}
+		ib.n.Add(-1)
+	}
+	ib.mu.Unlock()
+	return t
+}
+
+// size is the current number of queued roots (racy, for probes and stats).
+func (ib *inbox) size() int64 { return ib.n.Load() }
+
+// Submit enqueues fn as an independent root job on the pool and returns
+// immediately with its handle. Any goroutine may call Submit, concurrently
+// with other Submits and with running jobs: the task is injected through
+// the runtime's inbox, never through a worker deque, so external callers
+// obey the owner-only deque protocol. The job's task tree executes under
+// the same fully strict model as RunRoot.
+func (rt *Runtime) Submit(fn func(*Worker)) *Job {
+	if fn == nil {
+		panic("core: Submit with nil function")
+	}
+	j := &Job{rt: rt, done: make(chan struct{})}
+	t := new(Task) // external path: worker free lists are owner-only
+	t.body = fn
+	t.job = j
+	// The closing check and the live-job registration are one critical
+	// section: a Submit racing Close either registers before the drain
+	// (Close then waits for this job too) or sees closing and panics.
+	rt.jobsMu.Lock()
+	if rt.closing {
+		rt.jobsMu.Unlock()
+		panic("core: Submit called after Close")
+	}
+	rt.jobsLive++
+	rt.jobsMu.Unlock()
+	rt.extSpawned.Add(1)
+	rt.inbox.put(t)
+	rt.maybeWake()
+	return j
+}
+
+// Wait blocks until every job submitted so far has completed. Like
+// Job.Wait it must be called from outside the pool.
+func (rt *Runtime) Wait() {
+	rt.jobsMu.Lock()
+	for rt.jobsLive > 0 {
+		rt.jobsCond.Wait()
+	}
+	rt.jobsMu.Unlock()
+}

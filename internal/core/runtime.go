@@ -26,31 +26,40 @@ type Config struct {
 }
 
 // Runtime owns the worker pool. Create one with NewRuntime, submit work with
-// RunRoot, and release the workers with Close. A Runtime may execute many
-// RunRoot calls, but only one at a time.
+// Submit (any number of concurrent jobs, from any goroutines) or the
+// blocking RunRoot wrapper, and release the workers with Close. All jobs
+// multiplex over the same workers: independent roots flow through one MPSC
+// inbox and are scheduled side by side by work stealing.
 type Runtime struct {
 	cfg     Config
 	workers []*Worker
+
+	inbox      inbox
+	extSpawned atomic.Int64 // roots injected by Submit (external spawn count)
+
+	jobsMu   sync.Mutex
+	jobsCond *sync.Cond
+	jobsLive int  // submitted jobs whose task trees have not drained
+	closing  bool // Close entered: reject new submissions (guarded by jobsMu)
 
 	idle        atomic.Int32
 	parkMu      sync.Mutex
 	parkCond    *sync.Cond
 	wakePending int
 
-	stop  atomic.Bool
-	runMu sync.Mutex
-	wg    sync.WaitGroup
+	stop atomic.Bool // drain finished: workers may exit
+	wg   sync.WaitGroup
 }
 
-// NewRuntime creates the worker pool: the calling goroutine will act as
-// worker 0 during RunRoot, and cfg.Workers-1 goroutines are started and
-// parked for the remaining workers.
+// NewRuntime creates the worker pool: cfg.Workers goroutines are started
+// (and park when idle); work reaches them through Submit or RunRoot.
 func NewRuntime(cfg Config) *Runtime {
 	if cfg.Workers <= 0 {
 		cfg.Workers = runtime.GOMAXPROCS(0)
 	}
 	rt := &Runtime{cfg: cfg}
 	rt.parkCond = sync.NewCond(&rt.parkMu)
+	rt.jobsCond = sync.NewCond(&rt.jobsMu)
 	rt.workers = make([]*Worker, cfg.Workers)
 	seed := cfg.Seed
 	if seed == 0 {
@@ -67,35 +76,40 @@ func NewRuntime(cfg Config) *Runtime {
 		w.deque.init()
 		rt.workers[i] = w
 	}
-	for i := 1; i < cfg.Workers; i++ {
+	for i := 0; i < cfg.Workers; i++ {
 		rt.wg.Add(1)
 		go rt.workers[i].run()
 	}
 	return rt
 }
 
-// RunRoot executes fn as the root task on the calling goroutine, which acts
-// as worker 0, and returns once fn and every task transitively spawned from
-// it have completed.
+// RunRoot executes fn as a root task on the pool and returns once fn and
+// every task transitively spawned from it have completed. It is Submit
+// followed by Job.Wait; unlike the original single-region design, multiple
+// RunRoot calls from different goroutines proceed concurrently over the
+// same workers.
 func (rt *Runtime) RunRoot(fn func(*Worker)) {
-	rt.runMu.Lock()
-	defer rt.runMu.Unlock()
-	if rt.stop.Load() {
-		panic("core: RunRoot called after Close")
-	}
-	w := rt.workers[0]
-	t := w.alloc()
-	t.body = fn
-	w.stats.spawned++
-	w.execute(t)
+	rt.Submit(fn).Wait()
 }
 
-// Close stops and joins all workers. It is safe to call once; work submitted
-// after Close panics.
+// Close drains every in-flight job, then stops and joins all workers. It is
+// safe to call more than once; work submitted after Close panics. The
+// closing flag flips under jobsMu — the same lock Submit registers under —
+// so a Submit either lands before the drain (and is executed) or observes
+// closing and panics; it can never slip a job past the drain into a dead
+// pool.
 func (rt *Runtime) Close() {
-	if !rt.stop.CompareAndSwap(false, true) {
+	rt.jobsMu.Lock()
+	if rt.closing {
+		rt.jobsMu.Unlock()
 		return
 	}
+	rt.closing = true
+	for rt.jobsLive > 0 { // drain jobs submitted before Close
+		rt.jobsCond.Wait()
+	}
+	rt.jobsMu.Unlock()
+	rt.stop.Store(true)
 	rt.parkMu.Lock()
 	rt.wakePending += len(rt.workers)
 	rt.parkCond.Broadcast()
@@ -109,18 +123,20 @@ func (rt *Runtime) NumWorkers() int { return len(rt.workers) }
 // Config returns the effective configuration.
 func (rt *Runtime) Config() Config { return rt.cfg }
 
-// Stats sums the per-worker counters. Only meaningful while the runtime is
-// quiescent (no RunRoot in flight).
+// Stats sums the per-worker counters plus the externally submitted root
+// count. Only meaningful while the runtime is quiescent (no job in flight).
 func (rt *Runtime) Stats() Stats {
-	var s Stats
+	s := Stats{Spawned: rt.extSpawned.Load()}
 	for _, w := range rt.workers {
 		s.Add(w.stats.snapshot())
 	}
 	return s
 }
 
-// ResetStats zeroes all per-worker counters. Only safe while quiescent.
+// ResetStats zeroes all per-worker counters and the external root count.
+// Only safe while quiescent.
 func (rt *Runtime) ResetStats() {
+	rt.extSpawned.Store(0)
 	for _, w := range rt.workers {
 		w.stats.reset()
 	}
@@ -160,9 +176,12 @@ func (rt *Runtime) wakeAll() {
 	rt.parkMu.Unlock()
 }
 
-// anyWork reports whether any worker has queued tasks or an open adaptive
-// section.
+// anyWork reports whether any worker has queued tasks, an open adaptive
+// section, or a submitted root is waiting in the inbox.
 func (rt *Runtime) anyWork() bool {
+	if rt.inbox.size() > 0 {
+		return true
+	}
 	for _, v := range rt.workers {
 		if v.deque.size() > 0 || v.adaptive.Load() != nil {
 			return true

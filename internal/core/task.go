@@ -63,6 +63,7 @@ type Task struct {
 	body   func(*Worker)
 	parent *Task
 	next   *Task // free-list link
+	job    *Job  // non-nil only on externally submitted roots
 
 	children atomic.Int32 // live direct children (frame counter)
 	wait     atomic.Int32 // outstanding dependencies + creation bias

@@ -116,8 +116,9 @@ func (w *Worker) execute(t *Task) {
 	w.complete(t)
 }
 
-// complete releases t's dataflow successors, credits its parent's frame and
-// recycles the task object.
+// complete releases t's dataflow successors, credits its parent's frame,
+// signals the job handle of an externally submitted root, and recycles the
+// task object.
 func (w *Worker) complete(t *Task) {
 	if t.flags&flagHasAccess != 0 {
 		t.mu.Lock()
@@ -138,6 +139,10 @@ func (w *Worker) complete(t *Task) {
 	}
 	if p := t.parent; p != nil {
 		p.children.Add(-1)
+	}
+	if j := t.job; j != nil {
+		t.job = nil
+		j.finish()
 	}
 	w.recycle(t)
 }
@@ -165,14 +170,21 @@ const (
 )
 
 // schedOnce executes at most one ready task, preferring local work (pop,
-// LIFO) and falling back to stealing (oldest task of a random victim). It
-// reports whether a task was executed.
+// LIFO), then stealing (oldest task of a random victim), then a fresh root
+// from the submission inbox. It reports whether a task was executed. The
+// inbox comes last here so a worker waiting inside a frame leans toward
+// finishing the computation it is part of before opening a new one; it is
+// still polled so a pool saturated with waiters keeps accepting jobs.
 func (w *Worker) schedOnce() bool {
 	if t := w.deque.pop(); t != nil {
 		w.execute(t)
 		return true
 	}
 	if t := w.trySteal(); t != nil {
+		w.execute(t)
+		return true
+	}
+	if t := w.rt.inbox.take(); t != nil {
 		w.execute(t)
 		return true
 	}
@@ -269,7 +281,10 @@ func (w *Worker) recycle(t *Task) {
 	w.freeList = t
 }
 
-// run is the main loop of a spawned (non-master) worker.
+// run is the main loop of a pool worker. At top level (no frame open) a
+// fresh root from the inbox is preferred over stealing: a submitted job is
+// guaranteed work, while a steal attempt may fail, and draining roots early
+// exposes their parallelism to the other workers.
 func (w *Worker) run() {
 	rt := w.rt
 	if !rt.cfg.DisablePinning {
@@ -287,6 +302,11 @@ func (w *Worker) run() {
 			return
 		}
 		if t := w.deque.pop(); t != nil {
+			w.execute(t)
+			fails = 0
+			continue
+		}
+		if t := rt.inbox.take(); t != nil {
 			w.execute(t)
 			fails = 0
 			continue

@@ -1,0 +1,55 @@
+package komp_test
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"xkaapi/komp"
+)
+
+// TestConcurrentRegionsSharedPool checks komp's upgrade over gomp: regions
+// submitted from concurrent goroutines interleave over one X-Kaapi pool
+// (they are independent jobs, not serialized over a thread team).
+func TestConcurrentRegionsSharedPool(t *testing.T) {
+	tm := komp.NewTeam(4)
+	defer tm.Close()
+	const clients, regions = 6, 10
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; i < regions; i++ {
+				switch (c + i) % 2 {
+				case 0:
+					var tasks atomic.Int64
+					tm.Parallel(func(tc *komp.TC) {
+						for k := 0; k < 8; k++ {
+							tc.Task(func(*komp.TC) { tasks.Add(1) })
+						}
+						tc.Taskwait()
+					})
+					if got := tasks.Load(); got != int64(8*tm.Threads()) {
+						t.Errorf("tasks=%d want %d", got, 8*tm.Threads())
+						return
+					}
+				case 1:
+					var sum atomic.Int64
+					tm.ParallelFor(0, 1000, func(_, lo, hi int) {
+						s := int64(0)
+						for k := lo; k < hi; k++ {
+							s += int64(k)
+						}
+						sum.Add(s)
+					})
+					if sum.Load() != 499500 {
+						t.Errorf("sum=%d want 499500", sum.Load())
+						return
+					}
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+}

@@ -14,6 +14,12 @@
 //
 // The "team" is virtual: OpenMP thread i is an X-Kaapi task, so a region's
 // threads are balanced by work stealing like any other tasks.
+//
+// Because regions are submitted as independent jobs to the underlying
+// runtime, Parallel and ParallelFor may be called from concurrent
+// goroutines: unlike gomp (where concurrent regions serialize over the
+// thread team), concurrent komp regions genuinely interleave over one
+// worker pool, each region's virtual threads scheduled side by side.
 package komp
 
 import (
@@ -59,7 +65,8 @@ func (tc *TC) NumThreads() int { return tc.team.p }
 // Parallel executes fn once per virtual thread (SPMD) and returns after
 // all of them — and every task they created — completed. Each virtual
 // thread is an X-Kaapi task, so an idle core steals whole threads as well
-// as their tasks.
+// as their tasks. Concurrent Parallel calls from different goroutines are
+// safe and share the pool: each region is one job on the runtime.
 func (tm *Team) Parallel(fn func(tc *TC)) {
 	tm.rt.Run(func(p *xkaapi.Proc) {
 		for tid := 1; tid < tm.p; tid++ {

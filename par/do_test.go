@@ -1,0 +1,74 @@
+package par_test
+
+import (
+	"sync"
+	"testing"
+
+	"xkaapi"
+	"xkaapi/par"
+)
+
+// TestDoRunsAllFunctions checks par.Do runs every function to completion
+// as one job.
+func TestDoRunsAllFunctions(t *testing.T) {
+	rt := xkaapi.New(xkaapi.WithWorkers(4))
+	defer rt.Close()
+	got := make([]int, 5)
+	fns := make([]func(*xkaapi.Proc), len(got))
+	for i := range fns {
+		fns[i] = func(*xkaapi.Proc) { got[i] = i + 1 }
+	}
+	par.Do(rt, fns...)
+	for i, v := range got {
+		if v != i+1 {
+			t.Fatalf("fn %d did not run (got %d)", i, v)
+		}
+	}
+	par.Do(rt) // zero functions: no-op
+}
+
+// TestDoForEachConcurrentClients checks the runtime-level entry points from
+// concurrent goroutines sharing one pool.
+func TestDoForEachConcurrentClients(t *testing.T) {
+	rt := xkaapi.New(xkaapi.WithWorkers(4))
+	defer rt.Close()
+	const clients = 8
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; i < 10; i++ {
+				switch (c + i) % 2 {
+				case 0:
+					var a, b int
+					par.Do(rt,
+						func(*xkaapi.Proc) { a = 1 },
+						func(*xkaapi.Proc) { b = 2 },
+					)
+					if a != 1 || b != 2 {
+						t.Errorf("Do: a=%d b=%d", a, b)
+						return
+					}
+				case 1:
+					xs := make([]int64, 500)
+					par.ForEach(rt, 0, len(xs), func(_ *xkaapi.Proc, lo, hi int) {
+						for k := lo; k < hi; k++ {
+							xs[k] = int64(k)
+						}
+					})
+					var want int64 = 499 * 500 / 2
+					var sum int64
+					for _, v := range xs {
+						sum += v
+					}
+					if sum != want {
+						t.Errorf("ForEach: sum=%d want %d", sum, want)
+						return
+					}
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+}

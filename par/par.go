@@ -14,6 +14,11 @@
 // sequentially) as the reason adaptive algorithms must bound their extra
 // operations. Scan here uses the classical two-pass scheme: it only pays
 // the second pass over the blocks that were actually executed in parallel.
+//
+// Two entry points take a *xkaapi.Runtime instead of a *xkaapi.Proc: Do and
+// ForEach submit a fresh job, so independent goroutines can run parallel
+// algorithms concurrently over one shared pool. Everything else composes
+// inside an already running task.
 package par
 
 import (
@@ -21,6 +26,35 @@ import (
 
 	"xkaapi"
 )
+
+// Do runs the given functions as parallel siblings of one job on rt and
+// returns when all of them (and every task they spawned) completed. Any
+// goroutine may call Do, concurrently with other Do/ForEach calls and
+// submitted jobs: all of them multiplex over rt's one worker pool, so
+// concurrent clients do not need private runtimes.
+func Do(rt *xkaapi.Runtime, fns ...func(*xkaapi.Proc)) {
+	switch len(fns) {
+	case 0:
+		return
+	case 1:
+		rt.Run(fns[0])
+		return
+	}
+	rt.Run(func(p *xkaapi.Proc) {
+		for _, fn := range fns[1:] {
+			p.Spawn(fn)
+		}
+		fns[0](p)
+		p.Sync()
+	})
+}
+
+// ForEach runs body over [lo, hi) as one job on rt with the adaptive loop
+// scheduler. Like Do it is safe to call from any goroutine; concurrent
+// loops share the pool.
+func ForEach(rt *xkaapi.Runtime, lo, hi int, body func(p *xkaapi.Proc, lo, hi int)) {
+	rt.Run(func(p *xkaapi.Proc) { xkaapi.Foreach(p, lo, hi, body) })
+}
 
 // Map applies f to every element of src, writing dst (which must have the
 // same length), in parallel.

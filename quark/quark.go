@@ -64,17 +64,25 @@ const (
 	EngineKaapi
 )
 
-// Quark is a QUARK context. Create with New, submit work inside Run via
+// Quark is a QUARK context. Create with New (private worker pool) or
+// NewOnRuntime (shared X-Kaapi pool), submit work inside Run via
 // InsertTask, wait with Barrier, release with Delete.
+//
+// A context runs one master at a time — QUARK's task model is a sequential
+// insertion stream — but Run is safe to call from concurrent goroutines
+// (calls serialize per context), and any number of contexts created with
+// NewOnRuntime multiplex their task graphs over one runtime.
 type Quark struct {
 	engine Engine
 	nw     int
+	runMu  sync.Mutex // serializes Run per context (sequential master model)
 
 	// native engine state
 	nat *nativeSched
 
 	// kaapi engine state
 	krt     *xkaapi.Runtime
+	shared  bool // krt is borrowed; Delete must not close it
 	kproc   *xkaapi.Proc
 	handles map[any]*xkaapi.Handle
 }
@@ -96,12 +104,30 @@ func New(n int, engine Engine) *Quark {
 	return q
 }
 
+// NewOnRuntime creates a kaapi-engine QUARK context that borrows rt instead
+// of owning a pool: every context created this way shares rt's workers, so
+// many concurrent QUARK clients — each with its own handles and insertion
+// stream — multiplex over one runtime. Delete leaves rt open.
+func NewOnRuntime(rt *xkaapi.Runtime) *Quark {
+	return &Quark{
+		engine:  EngineKaapi,
+		nw:      rt.Workers(),
+		krt:     rt,
+		shared:  true,
+		handles: make(map[any]*xkaapi.Handle),
+	}
+}
+
 // Workers returns the worker thread count.
 func (q *Quark) Workers() int { return q.nw }
 
 // Run executes master — the sequential task-insertion code — and returns
-// after an implicit Barrier.
+// after an implicit Barrier. Concurrent Run calls on the same context
+// serialize; use one context per insertion stream (NewOnRuntime makes
+// contexts cheap) for parallel clients.
 func (q *Quark) Run(master func(q *Quark)) {
+	q.runMu.Lock()
+	defer q.runMu.Unlock()
 	switch q.engine {
 	case EngineNative:
 		master(q)
@@ -164,13 +190,17 @@ func (q *Quark) Barrier() {
 	}
 }
 
-// Delete releases the worker threads. The context must be quiescent.
+// Delete releases the worker threads. The context must be quiescent. A
+// context from NewOnRuntime does not own its runtime, so Delete leaves the
+// shared pool running.
 func (q *Quark) Delete() {
 	switch q.engine {
 	case EngineNative:
 		q.nat.close()
 	case EngineKaapi:
-		q.krt.Close()
+		if !q.shared {
+			q.krt.Close()
+		}
 	}
 }
 

@@ -1,0 +1,47 @@
+package quark
+
+import (
+	"sync"
+	"testing"
+
+	"xkaapi"
+)
+
+// TestSharedRuntimeContexts checks NewOnRuntime: several QUARK contexts,
+// each with its own dependency chain, multiplex over one X-Kaapi runtime
+// from concurrent goroutines, and sequential consistency holds per stream.
+func TestSharedRuntimeContexts(t *testing.T) {
+	rt := xkaapi.New(xkaapi.WithWorkers(4))
+	defer rt.Close()
+
+	const clients, chains = 6, 10
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			q := NewOnRuntime(rt)
+			defer q.Delete() // must NOT close the shared runtime
+			for i := 0; i < chains; i++ {
+				x := 0
+				q.Run(func(q *Quark) {
+					q.InsertTask(func() { x = 1 }, Arg{Ptr: &x, Flag: OUTPUT})
+					q.InsertTask(func() { x *= 10 }, Arg{Ptr: &x, Flag: INOUT})
+					q.InsertTask(func() { x += 5 }, Arg{Ptr: &x, Flag: INOUT})
+				})
+				if x != 15 {
+					t.Errorf("x=%d want 15 (insertion-order semantics broken)", x)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	// The shared runtime must still be usable after all Deletes.
+	ok := false
+	rt.Run(func(*xkaapi.Proc) { ok = true })
+	if !ok {
+		t.Fatal("shared runtime closed by Quark.Delete")
+	}
+}

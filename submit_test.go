@@ -1,0 +1,75 @@
+package xkaapi_test
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"xkaapi"
+)
+
+func fibProc(p *xkaapi.Proc, r *int64, n int) {
+	if n < 2 {
+		*r = int64(n)
+		return
+	}
+	var a, b int64
+	p.Spawn(func(p *xkaapi.Proc) { fibProc(p, &a, n-1) })
+	fibProc(p, &b, n-2)
+	p.Sync()
+	*r = a + b
+}
+
+func TestSubmitPublicAPI(t *testing.T) {
+	rt := newRT(t, xkaapi.WithWorkers(2))
+	var r int64
+	j := rt.Submit(func(p *xkaapi.Proc) { fibProc(p, &r, 12) })
+	j.Wait()
+	if !j.Done() || r != 144 {
+		t.Fatalf("done=%v fib=%d want 144", j.Done(), r)
+	}
+}
+
+// TestConcurrentRunSharedPool drives the public API from many client
+// goroutines over one runtime: Runs, Submits and Foreach loops interleave.
+func TestConcurrentRunSharedPool(t *testing.T) {
+	rt := newRT(t, xkaapi.WithWorkers(4))
+	const clients = 8
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				switch (c + i) % 2 {
+				case 0:
+					var r int64
+					rt.Run(func(p *xkaapi.Proc) { fibProc(p, &r, 14) })
+					if r != 377 {
+						t.Errorf("fib=%d want 377", r)
+						return
+					}
+				case 1:
+					var sum atomic.Int64
+					rt.Foreach(0, 1000, func(_ *xkaapi.Proc, lo, hi int) {
+						s := int64(0)
+						for k := lo; k < hi; k++ {
+							s += int64(k)
+						}
+						sum.Add(s)
+					})
+					if sum.Load() != 499500 {
+						t.Errorf("sum=%d want 499500", sum.Load())
+						return
+					}
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	rt.Wait()
+	s := rt.Stats()
+	if s.Spawned != s.Executed {
+		t.Fatalf("spawned=%d executed=%d", s.Spawned, s.Executed)
+	}
+}

@@ -1,0 +1,34 @@
+package tbbsched
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestConcurrentSubmitSharedPool checks that external goroutines can
+// multiplex root task trees over one scheduler, including with one worker
+// (the inbox must still be polled when there is nobody to steal from).
+func TestConcurrentSubmitSharedPool(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		s := NewScheduler(workers)
+		const clients, jobs = 6, 15
+		want := int64(233) // fib(13)
+		var wg sync.WaitGroup
+		for c := 0; c < clients; c++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := 0; i < jobs; i++ {
+					var r int64
+					s.Submit(FuncTask(func(c *Context) { fibTBB(c, &r, 13) })).Wait()
+					if r != want {
+						t.Errorf("workers=%d: fib=%d want %d", workers, r, want)
+						return
+					}
+				}
+			}()
+		}
+		wg.Wait()
+		s.Close()
+	}
+}

@@ -35,20 +35,40 @@ type node struct {
 	t      Task
 	parent *node
 	refs   atomic.Int32 // pending children
+	job    *Job         // non-nil only on submitted roots
 }
 
-// Scheduler owns the worker pool.
+// Job is the completion handle of one submitted root task tree.
+type Job struct {
+	done chan struct{}
+}
+
+// Wait blocks until the job's task tree has fully drained. Call it only
+// from outside the pool.
+func (j *Job) Wait() { <-j.done }
+
+// Scheduler owns the worker pool. Root task trees may be submitted
+// concurrently from any goroutines and share the same workers.
 type Scheduler struct {
 	ctxs []*Context
+
+	inboxMu   sync.Mutex
+	inboxQ    []*node
+	inboxHead int
+	inboxN    atomic.Int64
+
+	jobsMu   sync.Mutex
+	jobsCond *sync.Cond
+	jobsLive int
+	closing  bool // guarded by jobsMu
 
 	idle        atomic.Int32
 	parkMu      sync.Mutex
 	parkCond    *sync.Cond
 	wakePending int
 
-	stop  atomic.Bool
-	runMu sync.Mutex
-	wg    sync.WaitGroup
+	stop atomic.Bool
+	wg   sync.WaitGroup
 }
 
 // Context is a worker; task bodies receive the context they run on.
@@ -69,22 +89,33 @@ func NewScheduler(n int) *Scheduler {
 	}
 	s := &Scheduler{}
 	s.parkCond = sync.NewCond(&s.parkMu)
+	s.jobsCond = sync.NewCond(&s.jobsMu)
 	s.ctxs = make([]*Context, n)
 	for i := range s.ctxs {
 		s.ctxs[i] = &Context{id: i, sched: s, rng: uint64(i)*0x9E3779B97F4A7C15 + 1}
 	}
-	for i := 1; i < n; i++ {
+	for i := 0; i < n; i++ {
 		s.wg.Add(1)
 		go s.ctxs[i].loop()
 	}
 	return s
 }
 
-// Close stops and joins the workers.
+// Close drains in-flight jobs, then stops and joins the workers. The
+// closing flag flips under jobsMu so a racing Submit either registers
+// before the drain or panics — it can never strand a job in a dead pool.
 func (s *Scheduler) Close() {
-	if !s.stop.CompareAndSwap(false, true) {
+	s.jobsMu.Lock()
+	if s.closing {
+		s.jobsMu.Unlock()
 		return
 	}
+	s.closing = true
+	for s.jobsLive > 0 {
+		s.jobsCond.Wait()
+	}
+	s.jobsMu.Unlock()
+	s.stop.Store(true)
 	s.parkMu.Lock()
 	s.wakePending += len(s.ctxs)
 	s.parkCond.Broadcast()
@@ -95,13 +126,52 @@ func (s *Scheduler) Close() {
 // Workers returns the pool size.
 func (s *Scheduler) Workers() int { return len(s.ctxs) }
 
-// Run executes root on the calling goroutine as worker 0 and returns when
-// the task tree has fully drained.
+// Run submits root as an independent task tree and waits for it; see
+// Submit. Concurrent Runs share the pool.
 func (s *Scheduler) Run(root func(c *Context)) {
-	s.runMu.Lock()
-	defer s.runMu.Unlock()
-	c := s.ctxs[0]
-	c.execute(&node{t: FuncTask(root)})
+	s.Submit(FuncTask(root)).Wait()
+}
+
+// Submit enqueues t as an independent root task tree and returns its handle
+// without waiting. Any goroutine outside the pool may call it concurrently;
+// roots are claimed by idle workers from an MPSC inbox.
+func (s *Scheduler) Submit(t Task) *Job {
+	j := &Job{done: make(chan struct{})}
+	s.jobsMu.Lock()
+	if s.closing {
+		s.jobsMu.Unlock()
+		panic("tbbsched: Submit called after Close")
+	}
+	s.jobsLive++
+	s.jobsMu.Unlock()
+	s.inboxMu.Lock()
+	s.inboxQ = append(s.inboxQ, &node{t: t, job: j})
+	s.inboxN.Add(1)
+	s.inboxMu.Unlock()
+	s.maybeWake()
+	return j
+}
+
+// takeSubmitted claims the oldest submitted root, or returns nil. The
+// head index makes each take O(1); the buffer resets when it drains.
+func (s *Scheduler) takeSubmitted() *node {
+	if s.inboxN.Load() == 0 {
+		return nil
+	}
+	s.inboxMu.Lock()
+	var n *node
+	if s.inboxHead < len(s.inboxQ) {
+		n = s.inboxQ[s.inboxHead]
+		s.inboxQ[s.inboxHead] = nil
+		s.inboxHead++
+		if s.inboxHead == len(s.inboxQ) {
+			s.inboxQ = s.inboxQ[:0]
+			s.inboxHead = 0
+		}
+		s.inboxN.Add(-1)
+	}
+	s.inboxMu.Unlock()
+	return n
 }
 
 // ID returns the worker index.
@@ -162,6 +232,16 @@ func (c *Context) execute(n *node) {
 	if n.parent != nil {
 		n.parent.refs.Add(-1)
 	}
+	if n.job != nil {
+		close(n.job.done)
+		s := c.sched
+		s.jobsMu.Lock()
+		s.jobsLive--
+		if s.jobsLive == 0 {
+			s.jobsCond.Broadcast()
+		}
+		s.jobsMu.Unlock()
+	}
 }
 
 func (c *Context) popLocal() *node {
@@ -193,10 +273,7 @@ func (c *Context) schedOnce() bool {
 	}
 	s := c.sched
 	nw := len(s.ctxs)
-	if nw == 1 {
-		return false
-	}
-	for attempt := 0; attempt < 2*nw; attempt++ {
+	for attempt := 0; nw > 1 && attempt < 2*nw; attempt++ {
 		c.rng ^= c.rng >> 12
 		c.rng ^= c.rng << 25
 		c.rng ^= c.rng >> 27
@@ -208,6 +285,10 @@ func (c *Context) schedOnce() bool {
 			c.execute(n)
 			return true
 		}
+	}
+	if n := s.takeSubmitted(); n != nil {
+		c.execute(n)
+		return true
 	}
 	return false
 }
@@ -267,6 +348,9 @@ func (s *Scheduler) maybeWake() {
 }
 
 func (s *Scheduler) anyWork() bool {
+	if s.inboxN.Load() > 0 {
+		return true
+	}
 	for _, v := range s.ctxs {
 		v.mu.Lock()
 		n := len(v.queue)

@@ -22,9 +22,31 @@
 //	    fmt.Println(a + b)
 //	})
 //
+// # Concurrent job submission
+//
+// One Runtime serves any number of clients: every goroutine may Submit
+// independent root jobs (or call Run, which is Submit plus Job.Wait) and
+// all of them multiplex over the same worker pool — there is no need for a
+// runtime per client.
+//
+//	rt := xkaapi.New()
+//	defer rt.Close() // drains in-flight jobs
+//	jobs := make([]*xkaapi.Job, 0, 100)
+//	for i := 0; i < 100; i++ {
+//	    jobs = append(jobs, rt.Submit(func(p *xkaapi.Proc) { serve(p) }))
+//	}
+//	for _, j := range jobs {
+//	    j.Wait()
+//	}
+//
+// Submit and the Wait family must be called from outside the pool: a task
+// body that blocks in Wait stalls its worker (inside the pool, use Spawn
+// and Sync instead).
+//
 // The semantics are sequential (as in Athapascan): a program whose tasks are
 // never stolen executes in program order, and dataflow dependencies make any
-// parallel execution equivalent to that order.
+// parallel execution equivalent to that order. Independent jobs are
+// unordered with respect to each other.
 //
 // Tasks are created non-blockingly and cost a few tens of nanoseconds; the
 // scheduler follows the work-first principle, pays for parallelism only when
@@ -115,12 +137,17 @@ func WithoutPinning() Option { return func(c *core.Config) { c.DisablePinning = 
 func WithSeed(seed uint64) Option { return func(c *core.Config) { c.Seed = seed } }
 
 // Runtime owns a pool of workers, one per core by default. It is created
-// idle; Run submits a root task and returns when the whole computation has
-// completed. A Runtime may run many successive computations; Close releases
-// the workers.
+// idle; Submit injects a root job and returns its handle immediately, Run
+// submits and waits. Any number of goroutines may submit concurrently: all
+// jobs share the one pool. Close drains in-flight jobs and releases the
+// workers.
 type Runtime struct {
 	rt *core.Runtime
 }
+
+// Job is the completion handle of one submitted root job; see
+// Runtime.Submit.
+type Job = core.Job
 
 // New creates a runtime with the given options.
 func New(opts ...Option) *Runtime {
@@ -131,16 +158,25 @@ func New(opts ...Option) *Runtime {
 	return &Runtime{rt: core.NewRuntime(cfg)}
 }
 
-// Close stops and joins the workers. The runtime must be quiescent.
+// Close drains every in-flight job, then stops and joins the workers.
+// Submitting after Close panics.
 func (r *Runtime) Close() { r.rt.Close() }
 
 // Workers returns the number of scheduling threads.
 func (r *Runtime) Workers() int { return r.rt.NumWorkers() }
 
-// Run executes root as the root task on the calling goroutine (which acts
-// as worker 0) and returns once every transitively spawned task completed.
-// Only one Run may be in flight per Runtime.
+// Run executes root as an independent root job on the pool and returns once
+// every transitively spawned task completed. It is Submit followed by
+// Job.Wait; concurrent Runs from different goroutines share the pool.
 func (r *Runtime) Run(root func(*Proc)) { r.rt.RunRoot(root) }
+
+// Submit enqueues root as an independent job and returns its handle without
+// waiting. Safe to call from any goroutine outside the pool, concurrently
+// with other Submits, Runs and in-flight jobs.
+func (r *Runtime) Submit(root func(*Proc)) *Job { return r.rt.Submit(root) }
+
+// Wait blocks until every job submitted so far has completed.
+func (r *Runtime) Wait() { r.rt.Wait() }
 
 // Stats returns the summed scheduler counters; call it between Runs.
 func (r *Runtime) Stats() Stats { return r.rt.Stats() }
