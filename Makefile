@@ -18,9 +18,17 @@ race:
 vet:
 	$(GO) vet ./...
 
-# check is the local CI entry point: tier-1 plus the race tier.
+# fmt-check fails if any file is not gofmt-clean (use `gofmt -w .` to fix).
+.PHONY: fmt-check
+fmt-check:
+	@unformatted=$$(gofmt -l .); \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt: files need formatting:"; echo "$$unformatted"; exit 1; \
+	fi
+
+# check is the local CI entry point: static gates, tier-1, the race tier.
 .PHONY: check
-check: build test race
+check: fmt-check vet build test race
 
 .PHONY: bench
 bench:

@@ -1,7 +1,19 @@
 #!/bin/sh
-# Minimal CI: tier-1 verify (build + full test suite) followed by the race
-# tier over the concurrency-critical packages. Mirrors `make check`.
+# Minimal CI: static gates (gofmt, vet), tier-1 verify (build + full test
+# suite), then the race tier over the concurrency-critical packages.
+# Mirrors `make check`.
 set -eu
+
+echo "== gate: gofmt -l"
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+	echo "gofmt: files need formatting:" >&2
+	echo "$unformatted" >&2
+	exit 1
+fi
+
+echo "== gate: go vet ./..."
+go vet ./...
 
 echo "== tier-1: go build ./..."
 go build ./...

@@ -18,28 +18,103 @@
 package cilk
 
 import (
+	"errors"
+	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 	"time"
 )
+
+// ErrClosed is the error of a job rejected because the pool was already
+// closing: Submit after Close returns a pre-failed Job instead of
+// panicking.
+var ErrClosed = errors.New("cilk: pool closed")
+
+// ErrCanceled is the failure of a job abandoned with Job.Cancel.
+var ErrCanceled = errors.New("cilk: job canceled")
+
+// PanicError is the error a job fails with when a task body panics: the
+// pool captures the panic (first one wins), cancels the job's remaining
+// tasks and survives.
+type PanicError struct {
+	Value any    // the value the body panicked with
+	Stack []byte // goroutine stack captured at recovery
+}
+
+// Error formats the panic value followed by the captured stack.
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("cilk: task panicked: %v\n\n%s", e.Value, e.Stack)
+}
+
+// Unwrap exposes the panic value when it was itself an error.
+func (e *PanicError) Unwrap() error {
+	if err, ok := e.Value.(error); ok {
+		return err
+	}
+	return nil
+}
 
 // task is a spawned closure plus the frame bookkeeping for sync.
 type task struct {
 	fn       func(*Worker)
 	parent   *task
 	children atomic.Int32
-	job      *Job // non-nil only on submitted roots
+	job      *Job // owning job, inherited from the parent (failure scope)
+	root     bool // completion of this task finishes the job
 }
 
-// Job is the completion handle of one submitted root computation.
+// Job is the completion handle of one submitted root computation. A job
+// fails when one of its task bodies panics (recorded as a *PanicError,
+// first panic wins) or when it is cancelled; a failed job's remaining
+// tasks are skipped while the frame bookkeeping still drains, so the job
+// always completes.
 type Job struct {
 	done chan struct{}
+
+	failed atomic.Bool
+	mu     sync.Mutex
+	err    error
+	sealed bool
 }
 
-// Wait blocks until the job's task tree has fully drained. Call it only
-// from outside the pool; a task body blocking here stalls its worker.
-func (j *Job) Wait() { <-j.done }
+// Wait blocks until the job's task tree has fully drained, then returns
+// the job's error: nil on success, a *PanicError if a body panicked,
+// ErrCanceled after Cancel, or ErrClosed for a rejected submission. Call
+// it only from outside the pool; a task body blocking here stalls its
+// worker.
+func (j *Job) Wait() error {
+	<-j.done
+	return j.Err()
+}
+
+// Err returns the job's failure without blocking: nil while the job is
+// healthy, otherwise the first recorded error.
+func (j *Job) Err() error {
+	j.mu.Lock()
+	err := j.err
+	j.mu.Unlock()
+	return err
+}
+
+// Cancel abandons the job: tasks that have not started are skipped and
+// Wait returns ErrCanceled. Bodies already running finish normally.
+func (j *Job) Cancel() { j.fail(ErrCanceled) }
+
+// fail records the first failure; later ones and post-completion ones are
+// ignored.
+func (j *Job) fail(err error) {
+	if err == nil {
+		return
+	}
+	j.mu.Lock()
+	if j.err == nil && !j.sealed {
+		j.err = err
+		j.failed.Store(true)
+	}
+	j.mu.Unlock()
+}
 
 // Pool is a set of workers executing fork-join computations. Many root
 // computations may be submitted concurrently from any goroutines; they all
@@ -127,28 +202,33 @@ func (p *Pool) Close() {
 // Workers returns the pool size.
 func (p *Pool) Workers() int { return len(p.workers) }
 
-// Run submits root as an independent computation and waits for it; see
-// Submit. Concurrent Runs share the pool.
-func (p *Pool) Run(root func(*Worker)) {
-	p.Submit(root).Wait()
+// Run submits root as an independent computation, waits for it and returns
+// its error; see Submit. Concurrent Runs share the pool.
+func (p *Pool) Run(root func(*Worker)) error {
+	return p.Submit(root).Wait()
 }
 
 // Submit enqueues root as an independent root computation and returns its
 // handle without waiting. Any goroutine outside the pool may call it
 // concurrently: roots are injected through an MPSC inbox (external callers
 // must not touch the owner end of a worker deque) and claimed by idle
-// workers.
+// workers. Submitting to a closed pool returns a pre-failed Job with
+// ErrClosed instead of panicking.
 func (p *Pool) Submit(root func(*Worker)) *Job {
 	j := &Job{done: make(chan struct{})}
 	p.jobsMu.Lock()
 	if p.closing {
 		p.jobsMu.Unlock()
-		panic("cilk: Submit called after Close")
+		j.err = ErrClosed
+		j.failed.Store(true)
+		j.sealed = true
+		close(j.done)
+		return j
 	}
 	p.jobsLive++
 	p.jobsMu.Unlock()
 	p.inboxMu.Lock()
-	p.inboxQ = append(p.inboxQ, &task{fn: root, job: j})
+	p.inboxQ = append(p.inboxQ, &task{fn: root, job: j, root: true})
 	p.inboxN.Add(1)
 	p.inboxMu.Unlock()
 	p.maybeWake()
@@ -186,6 +266,7 @@ func (w *Worker) Spawn(fn func(*Worker)) {
 	t := &task{fn: fn, parent: w.cur}
 	if t.parent != nil {
 		t.parent.children.Add(1)
+		t.job = t.parent.job
 	}
 	w.push(t)
 	w.pool.maybeWake()
@@ -203,7 +284,11 @@ func (w *Worker) Sync() {
 func (w *Worker) execute(t *task) {
 	prev := w.cur
 	w.cur = t
-	t.fn(w)
+	// A task whose job already failed is cancelled: the body is skipped
+	// but the frame bookkeeping still drains.
+	if t.job == nil || !t.job.failed.Load() {
+		w.runBody(t)
+	}
 	if t.children.Load() != 0 {
 		w.waitChildren(t)
 	}
@@ -211,8 +296,12 @@ func (w *Worker) execute(t *task) {
 	if t.parent != nil {
 		t.parent.children.Add(-1)
 	}
-	if t.job != nil {
-		close(t.job.done)
+	if t.root {
+		j := t.job
+		j.mu.Lock()
+		j.sealed = true
+		j.mu.Unlock()
+		close(j.done)
 		p := w.pool
 		p.jobsMu.Lock()
 		p.jobsLive--
@@ -221,6 +310,20 @@ func (w *Worker) execute(t *task) {
 		}
 		p.jobsMu.Unlock()
 	}
+}
+
+// runBody invokes t's body behind a panic barrier: a panicking body fails
+// the owning job instead of unwinding (and killing) the worker.
+func (w *Worker) runBody(t *task) {
+	defer func() {
+		if r := recover(); r != nil {
+			if t.job == nil {
+				panic(r) // no handle to report on
+			}
+			t.job.fail(&PanicError{Value: r, Stack: debug.Stack()})
+		}
+	}()
+	t.fn(w)
 }
 
 func (w *Worker) waitChildren(t *task) {

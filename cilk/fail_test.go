@@ -1,0 +1,95 @@
+package cilk
+
+import (
+	"errors"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+// TestPanicInSpawnedTask: a panic in a spawned child fails the job with a
+// PanicError carrying the value and stack; the pool survives.
+func TestPanicInSpawnedTask(t *testing.T) {
+	pool := NewPool(4)
+	defer pool.Close()
+	err := pool.Submit(func(w *Worker) {
+		w.Spawn(func(*Worker) { cilkBoom() })
+		w.Sync()
+	}).Wait()
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("Wait = %v, want *PanicError", err)
+	}
+	if pe.Value != "boom-cilk" {
+		t.Fatalf("panic value = %v", pe.Value)
+	}
+	if !strings.Contains(string(pe.Stack), "cilkBoom") {
+		t.Fatalf("stack lacks panic site:\n%s", pe.Stack)
+	}
+	if err := pool.Run(func(*Worker) {}); err != nil {
+		t.Fatalf("Run after panic: %v", err)
+	}
+}
+
+//go:noinline
+func cilkBoom() { panic("boom-cilk") }
+
+// TestPanicCancelsSiblings: with one worker, children spawned before the
+// parent panics are skipped.
+func TestPanicCancelsSiblings(t *testing.T) {
+	pool := NewPool(1)
+	defer pool.Close()
+	var ran atomic.Int32
+	err := pool.Submit(func(w *Worker) {
+		for i := 0; i < 20; i++ {
+			w.Spawn(func(*Worker) { ran.Add(1) })
+		}
+		panic("boom-parent")
+	}).Wait()
+	if err == nil {
+		t.Fatal("Wait = nil after parent panic")
+	}
+	if ran.Load() != 0 {
+		t.Fatalf("%d children ran after the parent panicked (1 worker)", ran.Load())
+	}
+}
+
+// TestCancel: Cancel stops not-yet-started tasks and Wait reports
+// ErrCanceled.
+func TestCancel(t *testing.T) {
+	pool := NewPool(2)
+	defer pool.Close()
+	started := make(chan struct{})
+	release := make(chan struct{})
+	var late atomic.Bool
+	j := pool.Submit(func(w *Worker) {
+		close(started)
+		<-release
+		w.Spawn(func(*Worker) { late.Store(true) })
+		w.Sync()
+	})
+	<-started
+	j.Cancel()
+	close(release)
+	if err := j.Wait(); !errors.Is(err, ErrCanceled) {
+		t.Fatalf("Wait = %v, want ErrCanceled", err)
+	}
+	if late.Load() {
+		t.Fatal("task spawned after Cancel ran")
+	}
+}
+
+// TestSubmitAfterCloseErrClosed: submission to a closed pool is rejected
+// with ErrClosed instead of panicking.
+func TestSubmitAfterCloseErrClosed(t *testing.T) {
+	pool := NewPool(1)
+	pool.Close()
+	ran := false
+	j := pool.Submit(func(*Worker) { ran = true })
+	if err := j.Wait(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Wait = %v, want ErrClosed", err)
+	}
+	if ran {
+		t.Fatal("rejected job's body ran")
+	}
+}

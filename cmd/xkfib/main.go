@@ -109,13 +109,18 @@ func main() {
 			panic(fmt.Sprintf("wrong result %d, want %d", r, want))
 		}
 	}
+	must := func(err error) {
+		if err != nil {
+			panic(err)
+		}
+	}
 	systems := []system{
 		{"Cilk+", func(p int) time.Duration {
 			pool := cilk.NewPool(p)
 			defer pool.Close()
 			return harness.Time(*reps, true, func() {
 				var r int64
-				pool.Run(func(w *cilk.Worker) { fibCilk(w, &r, *n) })
+				must(pool.Run(func(w *cilk.Worker) { fibCilk(w, &r, *n) }))
 				check(r)
 			})
 		}},
@@ -124,7 +129,7 @@ func main() {
 			defer s.Close()
 			return harness.Time(*reps, true, func() {
 				var r int64
-				s.Run(func(c *tbbsched.Context) { fibTBB(c, &r, *n) })
+				must(s.Run(func(c *tbbsched.Context) { fibTBB(c, &r, *n) }))
 				check(r)
 			})
 		}},
@@ -133,7 +138,7 @@ func main() {
 			defer rt.Close()
 			return harness.Time(*reps, true, func() {
 				var r int64
-				rt.Run(func(pr *xkaapi.Proc) { fibKaapi(pr, &r, *n) })
+				must(rt.Run(func(pr *xkaapi.Proc) { fibKaapi(pr, &r, *n) }))
 				check(r)
 			})
 		}},
@@ -142,9 +147,9 @@ func main() {
 			defer tm.Close()
 			return harness.Time(*reps, true, func() {
 				var r int64
-				tm.Parallel(func(tc *gomp.TC) {
+				must(tm.Parallel(func(tc *gomp.TC) {
 					tc.Single(func() { fibGomp(tc, &r, *n) })
-				})
+				}))
 				check(r)
 			})
 		}},

@@ -62,7 +62,7 @@ func main() {
 	h := func(i, j int) *xkaapi.Handle { return &handles[i*nt+j] }
 
 	start := time.Now()
-	rt.Run(func(p *xkaapi.Proc) {
+	err := rt.Run(func(p *xkaapi.Proc) {
 		for k := 0; k < nt; k++ {
 			k := k
 			p.SpawnTask(func(*xkaapi.Proc) { potrf(at(k, k), rows(k), *nb) },
@@ -86,6 +86,9 @@ func main() {
 		}
 		p.Sync()
 	})
+	if err != nil {
+		panic(err)
+	}
 	el := time.Since(start)
 	gf := float64(*n) * float64(*n) * float64(*n) / 3 / el.Seconds() / 1e9
 	fmt.Printf("cholesky n=%d nb=%d on %d workers: %v (%.2f GFlop/s)\n",

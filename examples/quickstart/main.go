@@ -1,14 +1,18 @@
-// Quickstart for the xkaapi runtime: the three paradigms in ~100 lines.
+// Quickstart for the xkaapi runtime: the three paradigms in ~150 lines.
 //
 //	go run ./examples/quickstart
 //
 // It shows (1) fork-join tasks with Spawn/Sync, (2) dataflow tasks whose
 // execution order is derived from declared accesses, (3) an adaptive
-// parallel loop with a reduction, and (4) concurrent job submission: many
-// goroutines sharing one worker pool through Submit/Wait.
+// parallel loop with a reduction, (4) concurrent job submission: many
+// goroutines sharing one worker pool through Submit/Wait, and (5) error
+// handling: jobs that panic or are cancelled fail individually — the
+// runtime survives and reports the failure from Run / Job.Wait.
 package main
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sync"
 
@@ -97,4 +101,37 @@ func main() {
 	}
 	wg.Wait()
 	fmt.Println("concurrent fib(20..23) =", results)
+
+	// 5. Error handling. A panic anywhere in a job's task tree does not
+	// kill the process: the job fails with a *PanicError carrying the
+	// panic value and stack, its remaining tasks are cancelled, and the
+	// error comes back from Run (or Job.Wait). Other jobs are unaffected.
+	err := rt.Run(func(p *xkaapi.Proc) {
+		p.Spawn(func(*xkaapi.Proc) { panic("kernel exploded") })
+		p.Spawn(func(*xkaapi.Proc) { /* cancelled once the sibling fails */ })
+		p.Sync()
+	})
+	var pe *xkaapi.PanicError
+	if errors.As(err, &pe) {
+		fmt.Println("job failed with panic:", pe.Value)
+	}
+
+	// Jobs can also be abandoned. SubmitCtx ties a job to a context:
+	// cancelling it stops the runtime from starting the job's remaining
+	// tasks, and Wait reports the context's error. (Job.Cancel does the
+	// same without a context; bodies already running finish — poll
+	// Proc.JobFailed in long loops to stop early.)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // give up immediately, for the demo
+	err = rt.SubmitCtx(ctx, func(p *xkaapi.Proc) {
+		xkaapi.Foreach(p, 0, 1<<30, func(*xkaapi.Proc, int, int) {})
+	}).Wait()
+	fmt.Println("cancelled job:", errors.Is(err, context.Canceled))
+
+	// The runtime is still healthy after both failures.
+	var again int64
+	if err := rt.Run(func(p *xkaapi.Proc) { fib(p, &again, 20) }); err != nil {
+		panic(err)
+	}
+	fmt.Println("still serving: fib(20) =", again)
 }

@@ -63,7 +63,7 @@ func main() {
 	rt := xkaapi.New()
 	defer rt.Close()
 	handles := make([]xkaapi.Handle, nb*nb)
-	rt.Run(func(p *xkaapi.Proc) {
+	err := rt.Run(func(p *xkaapi.Proc) {
 		for bi := 0; bi < nb; bi++ {
 			for bj := 0; bj < nb; bj++ {
 				bi, bj := bi, bj
@@ -79,6 +79,9 @@ func main() {
 		}
 		p.Sync()
 	})
+	if err != nil {
+		panic(err)
+	}
 
 	got := checksum(grid)
 	fmt.Printf("wavefront %dx%d blocks of %dx%d on %d workers\n", nb, nb, bs, bs, rt.Workers())

@@ -1,0 +1,84 @@
+package gomp
+
+import (
+	"errors"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+// TestParallelReportsPanic: a panic on one thread of an SPMD region is
+// captured as the region's error; every thread reaches the barrier and the
+// team stays usable.
+func TestParallelReportsPanic(t *testing.T) {
+	tm := NewTeam(4)
+	defer tm.Close()
+	err := tm.Parallel(func(tc *TC) {
+		if tc.TID() == 1%tc.NumThreads() {
+			gompBoom()
+		}
+	})
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("Parallel = %v, want *PanicError", err)
+	}
+	if pe.Value != "boom-gomp" {
+		t.Fatalf("panic value = %v", pe.Value)
+	}
+	if !strings.Contains(string(pe.Stack), "gompBoom") {
+		t.Fatalf("stack lacks panic site:\n%s", pe.Stack)
+	}
+	// The team survives for the next region.
+	var n atomic.Int32
+	if err := tm.Parallel(func(*TC) { n.Add(1) }); err != nil {
+		t.Fatalf("Parallel after panic: %v", err)
+	}
+	if int(n.Load()) != tm.Threads() {
+		t.Fatalf("next region ran on %d/%d threads", n.Load(), tm.Threads())
+	}
+}
+
+//go:noinline
+func gompBoom() { panic("boom-gomp") }
+
+// TestTaskPanicCancelsQueued: a panicking explicit task fails the region
+// and the region's remaining queued tasks are skipped. With one thread the
+// central queue drains LIFO at the barrier, so the panicking task (queued
+// last) runs first and every earlier task must be cancelled.
+func TestTaskPanicCancelsQueued(t *testing.T) {
+	tm := NewTeam(1)
+	defer tm.Close()
+	var ran atomic.Int32
+	err := tm.Parallel(func(tc *TC) {
+		for i := 0; i < 10; i++ {
+			tc.Task(func(*TC) { ran.Add(1) })
+		}
+		tc.Task(func(*TC) { panic("boom-task") })
+	})
+	var pe *PanicError
+	if !errors.As(err, &pe) || pe.Value != "boom-task" {
+		t.Fatalf("Parallel = %v, want PanicError(boom-task)", err)
+	}
+	if ran.Load() != 0 {
+		t.Fatalf("%d queued tasks ran after the region failed (1 thread, LIFO)", ran.Load())
+	}
+}
+
+// TestParallelForReportsPanic across the three schedules.
+func TestParallelForReportsPanic(t *testing.T) {
+	tm := NewTeam(4)
+	defer tm.Close()
+	for _, sched := range []Schedule{Static, Dynamic, Guided} {
+		err := tm.ParallelFor(0, 10_000, sched, 8, func(_, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				if i == 5_000 {
+					panic("boom-" + sched.String())
+				}
+			}
+		})
+		var pe *PanicError
+		if !errors.As(err, &pe) || pe.Value != "boom-"+sched.String() {
+			t.Fatalf("%v ParallelFor = %v, want PanicError", sched, err)
+		}
+	}
+}

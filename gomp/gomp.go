@@ -16,11 +16,36 @@
 package gomp
 
 import (
+	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 	"time"
 )
+
+// PanicError is the error a parallel region fails with when code inside it
+// — the SPMD body on any thread, or an explicit task — panics. The region
+// captures the first panic, cancels its queued tasks, completes the
+// barrier and reports the error from Parallel, instead of the panic
+// killing the team's threads.
+type PanicError struct {
+	Value any    // the value the code panicked with
+	Stack []byte // goroutine stack captured at recovery
+}
+
+// Error formats the panic value followed by the captured stack.
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("gomp: region panicked: %v\n\n%s", e.Value, e.Stack)
+}
+
+// Unwrap exposes the panic value when it was itself an error.
+func (e *PanicError) Unwrap() error {
+	if err, ok := e.Value.(error); ok {
+		return err
+	}
+	return nil
+}
 
 // Schedule selects a worksharing loop schedule, mirroring the OpenMP
 // schedule() clause.
@@ -123,6 +148,39 @@ type region struct {
 	queue   []*gtask
 	qlen    atomic.Int64
 	done    sync.WaitGroup
+
+	failed atomic.Bool // a body panicked: skip queued task bodies
+	errMu  sync.Mutex
+	err    error // first panic of the region
+}
+
+// fail records the first failure of the region and cancels its queued
+// tasks (their bodies are skipped at the scheduling points).
+func (r *region) fail(err error) {
+	r.errMu.Lock()
+	if r.err == nil {
+		r.err = err
+	}
+	r.errMu.Unlock()
+	r.failed.Store(true)
+}
+
+// firstErr returns the region's recorded failure, if any.
+func (r *region) firstErr() error {
+	r.errMu.Lock()
+	err := r.err
+	r.errMu.Unlock()
+	return err
+}
+
+// invoke runs fn behind a panic barrier; a panic fails the region.
+func (r *region) invoke(fn func(*TC), tc *TC) {
+	defer func() {
+		if v := recover(); v != nil {
+			r.fail(&PanicError{Value: v, Stack: debug.Stack()})
+		}
+	}()
+	fn(tc)
 }
 
 // gtask is one explicit task.
@@ -151,7 +209,13 @@ func (tc *TC) NumThreads() int { return tc.team.p }
 // waits for every explicit task created inside the region. Concurrent
 // Parallel calls serialize: the calling goroutine acts as thread 0 of its
 // region once the team is free.
-func (tm *Team) Parallel(fn func(tc *TC)) {
+//
+// A panic on any thread of the region (or in an explicit task) does not
+// kill the team: the first panic is captured as a *PanicError, the
+// region's queued tasks are cancelled, every thread still reaches the
+// barrier, and Parallel returns the error. The team remains usable for
+// further regions.
+func (tm *Team) Parallel(fn func(tc *TC)) error {
 	tm.runMu.Lock()
 	defer tm.runMu.Unlock()
 	if tm.closed {
@@ -165,6 +229,7 @@ func (tm *Team) Parallel(fn func(tc *TC)) {
 	}
 	r.run(0)
 	r.done.Wait()
+	return r.firstErr()
 }
 
 // Single runs fn on thread 0 only, approximating #pragma omp single: other
@@ -177,7 +242,7 @@ func (tc *TC) Single(fn func()) {
 
 func (r *region) run(tid int) {
 	tc := &TC{team: r.team, r: r, tid: tid}
-	r.fn(tc)
+	r.invoke(r.fn, tc)
 	r.fnsLeft.Add(-1)
 	// Implicit barrier: drain tasks until none are queued or running and
 	// every thread reached the barrier.
@@ -283,7 +348,11 @@ func (tc *TC) runQueued(t *gtask) {
 func (tc *TC) runTask(t *gtask) {
 	prev := tc.cur
 	tc.cur = t
-	t.fn(tc)
+	// Tasks of a failed region are cancelled: the body is skipped but the
+	// counters still drain so the barrier completes.
+	if !tc.r.failed.Load() {
+		tc.r.invoke(t.fn, tc)
+	}
 	// OpenMP tasks complete when their body finishes; children are awaited
 	// only at taskwait/barrier. The region barrier keeps the count exact.
 	idle := 0
@@ -308,42 +377,44 @@ func (tc *TC) runTask(t *gtask) {
 
 // ParallelFor runs body over [lo, hi) across the team with the given
 // schedule, equivalent to "#pragma omp parallel for schedule(sched,chunk)".
-// body receives the executing thread id and a sub-range.
-func (tm *Team) ParallelFor(lo, hi int, sched Schedule, chunk int, body func(tid, lo, hi int)) {
+// body receives the executing thread id and a sub-range. A panicking body
+// fails the region and is reported as a *PanicError; with the dynamic and
+// guided schedules, threads stop claiming chunks once they observe the
+// failure.
+func (tm *Team) ParallelFor(lo, hi int, sched Schedule, chunk int, body func(tid, lo, hi int)) error {
 	if hi <= lo {
-		return
+		return nil
 	}
 	p := tm.p
 	switch sched {
 	case Static:
 		if chunk <= 0 {
 			n := hi - lo
-			tm.Parallel(func(tc *TC) {
+			return tm.Parallel(func(tc *TC) {
 				b := lo + tc.tid*n/p
 				e := lo + (tc.tid+1)*n/p
 				if e > b {
 					body(tc.tid, b, e)
 				}
 			})
-		} else {
-			tm.Parallel(func(tc *TC) {
-				for b := lo + tc.tid*chunk; b < hi; b += p * chunk {
-					e := b + chunk
-					if e > hi {
-						e = hi
-					}
-					body(tc.tid, b, e)
-				}
-			})
 		}
+		return tm.Parallel(func(tc *TC) {
+			for b := lo + tc.tid*chunk; b < hi; b += p * chunk {
+				e := b + chunk
+				if e > hi {
+					e = hi
+				}
+				body(tc.tid, b, e)
+			}
+		})
 	case Dynamic:
 		if chunk < 1 {
 			chunk = 1
 		}
 		var next atomic.Int64
 		next.Store(int64(lo))
-		tm.Parallel(func(tc *TC) {
-			for {
+		return tm.Parallel(func(tc *TC) {
+			for !tc.r.failed.Load() {
 				b := next.Add(int64(chunk)) - int64(chunk)
 				if b >= int64(hi) {
 					return
@@ -361,8 +432,8 @@ func (tm *Team) ParallelFor(lo, hi int, sched Schedule, chunk int, body func(tid
 		}
 		var next atomic.Int64
 		next.Store(int64(lo))
-		tm.Parallel(func(tc *TC) {
-			for {
+		return tm.Parallel(func(tc *TC) {
+			for !tc.r.failed.Load() {
 				b := next.Load()
 				if b >= int64(hi) {
 					return
@@ -381,4 +452,5 @@ func (tm *Team) ParallelFor(lo, hi int, sched Schedule, chunk int, body func(tid
 			}
 		})
 	}
+	return nil
 }

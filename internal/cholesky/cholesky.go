@@ -18,6 +18,7 @@
 package cholesky
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -56,6 +57,13 @@ func Seq(t *tile.Tiled) error {
 // the same DAG PLASMA's QUARK version declares, but schedules it by work
 // stealing over per-worker deques.
 func Kaapi(rt *xkaapi.Runtime, t *tile.Tiled) error {
+	return KaapiCtx(context.Background(), rt, t)
+}
+
+// KaapiCtx is Kaapi bound to a context: cancelling ctx abandons the
+// factorization's remaining tile tasks and returns ctx's error (t is then
+// partially factored and must be discarded).
+func KaapiCtx(ctx context.Context, rt *xkaapi.Runtime, t *tile.Tiled) error {
 	nb, nt := t.NB, t.NT
 	handles := make([]xkaapi.Handle, nt*nt)
 	h := func(i, j int) *xkaapi.Handle { return &handles[i*nt+j] }
@@ -66,7 +74,7 @@ func Kaapi(rt *xkaapi.Runtime, t *tile.Tiled) error {
 			errOnce.Do(func() { ferr = err })
 		}
 	}
-	rt.Run(func(p *xkaapi.Proc) {
+	fail(rt.SubmitCtx(ctx, func(p *xkaapi.Proc) {
 		for k := 0; k < nt; k++ {
 			k := k
 			p.SpawnTask(func(*xkaapi.Proc) {
@@ -93,7 +101,7 @@ func Kaapi(rt *xkaapi.Runtime, t *tile.Tiled) error {
 			}
 		}
 		p.Sync()
-	})
+	}).Wait())
 	return ferr
 }
 
@@ -108,7 +116,7 @@ func RunQuark(q *quark.Quark, t *tile.Tiled) error {
 			errOnce.Do(func() { ferr = err })
 		}
 	}
-	q.Run(func(q *quark.Quark) {
+	fail(q.Run(func(q *quark.Quark) {
 		for k := 0; k < nt; k++ {
 			k := k
 			kk := t.Tile(k, k)
@@ -143,7 +151,7 @@ func RunQuark(q *quark.Quark, t *tile.Tiled) error {
 				}
 			}
 		}
-	})
+	}))
 	return ferr
 }
 

@@ -18,6 +18,42 @@ type Adaptive struct {
 	// from the running task. It must tolerate the victim concurrently
 	// draining the work to zero and simply return fewer (or no) tasks.
 	Split func(thief *Worker, n int) []*Task
+
+	// job is the job of the task that installed the splitter, captured by
+	// Worker.SetAdaptive. A panic inside Split — which executes on a thief,
+	// not the victim — fails this job, and tasks produced by Split inherit
+	// it as their cancel scope.
+	job *Job
+}
+
+// split invokes ad.Split on thief w with a panic barrier: a panicking
+// splitter fails the installing task's job and yields no tasks instead of
+// unwinding (and killing) the thief. Callers must hold the victim's
+// combiner lock, as for Split itself. Tasks returned without a job inherit
+// the splitter's.
+func (ad *Adaptive) split(w *Worker, n int) (out []*Task) {
+	// Tasks a panicking splitter already built are unreachable (the panic
+	// discards its return value), so roll their spawn counts back to keep
+	// the Spawned == Executed + Cancelled invariant: only the thief itself
+	// creates tasks during Split, all against w's own counter.
+	preSpawned := w.stats.spawned
+	defer func() {
+		if r := recover(); r != nil {
+			w.stats.panicked++
+			w.stats.spawned = preSpawned
+			if ad.job != nil {
+				ad.job.fail(newPanicError(r))
+			}
+			out = nil
+		}
+	}()
+	out = ad.Split(w, n)
+	for _, t := range out {
+		if t.job == nil {
+			t.job = ad.job
+		}
+	}
+	return out
 }
 
 // Interval is a half-open iteration range [Lo,Hi) supporting concurrent

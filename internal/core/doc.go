@@ -25,6 +25,9 @@
 //     call Runtime.Submit to inject an independent root job; the pool
 //     multiplexes all live jobs over the same workers. This extends the
 //     paper's single-parallel-region model to a shared service pool.
+//   - Failure and cancellation (errors.go, job.go): jobs are the failure
+//     domain — panics are captured per job, jobs can be cancelled, and the
+//     pool survives both.
 //
 // # Submit/Wait lifecycle and external-submission rules
 //
@@ -32,10 +35,12 @@
 // returns a *Job immediately; workers claim inbox roots when they run out
 // of local and stolen work, so external threads never touch the owner-only
 // ends of the T.H.E. deques. Job.Wait blocks until the root and every task
-// transitively spawned from it completed; Runtime.Wait drains all jobs
-// submitted so far; Runtime.Close drains in-flight jobs before joining the
-// workers. RunRoot is Submit followed by Job.Wait, so legacy callers keep
-// their blocking semantics while new callers share the pool concurrently.
+// transitively spawned from it completed, and returns the job's error;
+// Runtime.Wait drains all jobs submitted so far; Runtime.Close drains
+// in-flight jobs before joining the workers (CloseErr additionally reports
+// whether any job ever failed). RunRoot is Submit followed by Job.Wait, so
+// legacy callers keep their blocking semantics while new callers share the
+// pool concurrently.
 //
 // The rules for code outside the pool: Submit, Job.Wait, Runtime.Wait and
 // Close may be called from any non-worker goroutine, concurrently. A task
@@ -45,6 +50,31 @@
 // use Spawn + Sync for work the task depends on. Worker methods (Spawn,
 // SpawnTask, Sync, ForEach) remain callable only from the task body's own
 // Worker.
+//
+// # Error and cancellation contract
+//
+// Every task carries a pointer to its job, inherited at spawn; the job is
+// the failure domain. When any task body of a job panics — a fork-join
+// child, a dataflow task, a ForEach chunk (wherever it executes), or an
+// adaptive splitter running on a thief — the worker recovers the panic
+// into a *PanicError (value + stack of the panic site) and records it on
+// the job; the first failure wins. A failed job's remaining tasks are
+// cancelled: execute skips their bodies but still performs completion —
+// frame counters drain, dataflow successors are released (and in turn
+// skipped), Handle frontiers mark the task done — so the task tree always
+// drains, Wait always returns, and the handles remain usable by later
+// jobs. Cancellation of already-running bodies is cooperative: poll
+// Worker.JobFailed from long loops; ForEach does so at every grain
+// extraction and unwinds the enclosing body (so code after a failed loop
+// never runs on partial results).
+//
+// Jobs can be abandoned from outside: SubmitCtx ties a job to a context
+// (cancellation fails the job with ctx.Err()), Job.Cancel fails it with
+// ErrCanceled. Submit after Close returns a pre-failed job with ErrClosed
+// instead of panicking, so services can race submission against shutdown
+// without a recover. The Stats counters Panicked and Cancelled account for
+// recovered panics and skipped tasks: when a pool drains, Spawned ==
+// Executed + Cancelled.
 //
 // The model is fully strict: every task waits (by scheduling other work, not
 // by blocking the thread) for its children before completing, so a program

@@ -1,24 +1,43 @@
 package core
 
 import (
+	"context"
 	"sync"
 	"sync/atomic"
 )
 
 // Job is the handle of one externally submitted root task. A Job is created
-// by Runtime.Submit, completes when the root body and every task
-// transitively spawned from it have finished, and can be waited on by any
-// goroutine outside the pool.
+// by Runtime.Submit or Runtime.SubmitCtx, completes when the root body and
+// every task transitively spawned from it have finished (or been cancelled),
+// and can be waited on by any goroutine outside the pool.
+//
+// A job fails when a task body of its tree panics (the first panic wins and
+// is recorded as a *PanicError), when its submission context is cancelled,
+// or when Cancel is called. Once failed, the job's remaining tasks are
+// cancelled: their bodies are skipped, but the completion bookkeeping still
+// runs, so dataflow frontiers stay consistent and the job always finishes.
 type Job struct {
 	rt   *Runtime
 	done chan struct{}
+
+	failed atomic.Bool // fast-path flag mirroring err != nil
+	mu     sync.Mutex
+	err    error // first failure; immutable once set
+	sealed bool  // job finished: late fail calls are ignored
 }
 
-// Wait blocks until the job's whole task tree has completed. It must be
-// called from outside the worker pool: a task body that blocks in Wait
-// stalls its worker and can deadlock the runtime. From inside a task, spawn
-// the work as a child and use Worker.Sync instead.
-func (j *Job) Wait() { <-j.done }
+// Wait blocks until the job's whole task tree has completed, then returns
+// the job's error: nil on success, a *PanicError if a task body panicked,
+// the context error if the submission context was cancelled, ErrCanceled
+// after Cancel, or ErrClosed if the job was rejected by a closing runtime.
+//
+// Wait must be called from outside the worker pool: a task body that blocks
+// in Wait stalls its worker and can deadlock the runtime. From inside a
+// task, spawn the work as a child and use Worker.Sync instead.
+func (j *Job) Wait() error {
+	<-j.done
+	return j.Err()
+}
 
 // Done reports (without blocking) whether the job has completed.
 func (j *Job) Done() bool {
@@ -30,11 +49,52 @@ func (j *Job) Done() bool {
 	}
 }
 
+// Err returns the job's failure without waiting: nil while the job is
+// running and has not failed, otherwise the first recorded error.
+func (j *Job) Err() error {
+	j.mu.Lock()
+	err := j.err
+	j.mu.Unlock()
+	return err
+}
+
+// Cancel asks the runtime to abandon the job: tasks of the job that have
+// not started yet are skipped, and Wait returns ErrCanceled. Tasks already
+// executing run to completion (cancellation is cooperative; long bodies can
+// poll Worker.JobFailed). Cancel after completion, or after another
+// failure, is a no-op.
+func (j *Job) Cancel() { j.fail(ErrCanceled) }
+
+// fail records err as the job's failure if it is the first one; later
+// failures and failures after completion are ignored.
+func (j *Job) fail(err error) {
+	if err == nil {
+		return
+	}
+	j.mu.Lock()
+	if j.err == nil && !j.sealed {
+		j.err = err
+		j.failed.Store(true)
+	}
+	j.mu.Unlock()
+}
+
+// aborted is the hot-path check task execution uses to decide whether to
+// skip a body.
+func (j *Job) aborted() bool { return j.failed.Load() }
+
 // finish marks the job complete and credits the runtime's live-job count.
 // It is called exactly once, by the worker completing the root task.
 func (j *Job) finish() {
+	j.mu.Lock()
+	j.sealed = true
+	err := j.err
+	j.mu.Unlock()
 	close(j.done)
 	rt := j.rt
+	if err != nil {
+		rt.noteFailed(err)
+	}
 	rt.jobsMu.Lock()
 	rt.jobsLive--
 	if rt.jobsLive == 0 {
@@ -100,6 +160,10 @@ func (ib *inbox) size() int64 { return ib.n.Load() }
 // the runtime's inbox, never through a worker deque, so external callers
 // obey the owner-only deque protocol. The job's task tree executes under
 // the same fully strict model as RunRoot.
+//
+// Submitting to a closed (or closing) runtime does not panic: it returns a
+// pre-failed Job whose Wait and Err report ErrClosed and whose task never
+// runs.
 func (rt *Runtime) Submit(fn func(*Worker)) *Job {
 	if fn == nil {
 		panic("core: Submit with nil function")
@@ -108,13 +172,20 @@ func (rt *Runtime) Submit(fn func(*Worker)) *Job {
 	t := new(Task) // external path: worker free lists are owner-only
 	t.body = fn
 	t.job = j
+	t.flags = flagRoot
 	// The closing check and the live-job registration are one critical
 	// section: a Submit racing Close either registers before the drain
-	// (Close then waits for this job too) or sees closing and panics.
+	// (Close then waits for this job too) or observes closing and is
+	// rejected with ErrClosed; it can never slip a job past the drain into
+	// a dead pool.
 	rt.jobsMu.Lock()
 	if rt.closing {
 		rt.jobsMu.Unlock()
-		panic("core: Submit called after Close")
+		j.err = ErrClosed
+		j.failed.Store(true)
+		j.sealed = true
+		close(j.done)
+		return j
 	}
 	rt.jobsLive++
 	rt.jobsMu.Unlock()
@@ -124,8 +195,37 @@ func (rt *Runtime) Submit(fn func(*Worker)) *Job {
 	return j
 }
 
+// SubmitCtx is Submit bound to a context: if ctx is cancelled before the
+// job completes, the job fails with ctx.Err() and its remaining tasks are
+// skipped. A context already cancelled at submission still returns a Job
+// (its root is enqueued but its body never runs), so callers have one code
+// path: check Wait's error.
+func (rt *Runtime) SubmitCtx(ctx context.Context, fn func(*Worker)) *Job {
+	j := rt.Submit(fn)
+	if ctx == nil || j.aborted() {
+		return j // no context, or rejected with ErrClosed
+	}
+	cdone := ctx.Done()
+	if cdone == nil {
+		return j // context can never be cancelled
+	}
+	if err := ctx.Err(); err != nil {
+		j.fail(err)
+		return j
+	}
+	go func() {
+		select {
+		case <-cdone:
+			j.fail(ctx.Err())
+		case <-j.done:
+		}
+	}()
+	return j
+}
+
 // Wait blocks until every job submitted so far has completed. Like
-// Job.Wait it must be called from outside the pool.
+// Job.Wait it must be called from outside the pool. It does not report job
+// failures; track individual Job handles (or CloseErr) for errors.
 func (rt *Runtime) Wait() {
 	rt.jobsMu.Lock()
 	for rt.jobsLive > 0 {

@@ -2,6 +2,7 @@ package core
 
 import (
 	"runtime"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -35,9 +36,63 @@ type loopCtx struct {
 	body      func(*Worker, int64, int64)
 	seqGrain  int64
 	parGrain  int64
-	pending   atomic.Int64 // iterations not yet executed
+	job       *Job         // job of the ForEach caller: failure/cancel scope
+	pending   atomic.Int64 // iterations neither executed nor abort-credited
 	nextSlice atomic.Int32
 	slices    []Interval
+
+	abort atomic.Bool // a chunk panicked: stop extracting iterations
+	errMu sync.Mutex
+	err   error // first chunk panic
+}
+
+// fail records the first chunk failure and aborts the loop.
+func (lc *loopCtx) fail(err error) {
+	lc.errMu.Lock()
+	if lc.err == nil {
+		lc.err = err
+	}
+	lc.errMu.Unlock()
+	lc.abort.Store(true)
+}
+
+// firstErr returns the recorded chunk failure, if any.
+func (lc *loopCtx) firstErr() error {
+	lc.errMu.Lock()
+	err := lc.err
+	lc.errMu.Unlock()
+	return err
+}
+
+// aborted reports whether iteration extraction must stop: a chunk panicked
+// somewhere, or the enclosing job failed (panic elsewhere, cancellation).
+func (lc *loopCtx) aborted() bool {
+	return lc.abort.Load() || (lc.job != nil && lc.job.aborted())
+}
+
+// runChunk applies the loop body to [lo, hi) behind a panic barrier. On
+// panic it fails both the loop context (so every participant stops
+// extracting) and the job, credits the chunk's iterations (they will never
+// re-execute, and pending must stay authoritative), and reports false.
+func (lc *loopCtx) runChunk(w *Worker, lo, hi int64) (ok bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			var err error
+			if au, isAbort := r.(abortUnwind); isAbort {
+				err = au.err // nested loop already recorded the panic
+			} else {
+				w.stats.panicked++
+				err = newPanicError(r)
+			}
+			lc.fail(err)
+			if lc.job != nil {
+				lc.job.fail(err)
+			}
+			lc.pending.Add(lo - hi)
+		}
+	}()
+	lc.body(w, lo, hi)
+	return true
 }
 
 // claimSlice atomically claims the next untouched reserved slice, or nil.
@@ -96,6 +151,7 @@ func (w *Worker) newLoopTask(lc *loopCtx, iv *Interval) *Task {
 	t := w.alloc()
 	t.flags |= flagLoop
 	t.body = func(w2 *Worker) { w2.loopRun(lc, iv) }
+	t.job = lc.job // split-off slices stay in the loop's failure scope
 	w.stats.spawned++
 	return t
 }
@@ -131,17 +187,30 @@ func (w *Worker) loopRun(lc *loopCtx, iv *Interval) {
 		}
 	}
 	la := &loopAdaptive{lc: lc}
-	ad := &Adaptive{Split: la.split}
+	ad := &Adaptive{Split: la.split, job: lc.job}
 	prev := w.SetAdaptive(ad)
 	for iv != nil {
 		la.iv.Store(iv)
-		for {
+		for !lc.aborted() {
 			clo, chi, ok := iv.ExtractFront(lc.seqGrain)
 			if !ok {
 				break
 			}
-			lc.body(w, clo, chi)
+			if !lc.runChunk(w, clo, chi) {
+				break
+			}
 			lc.pending.Add(clo - chi)
+		}
+		if lc.aborted() {
+			// Abort sweep: stop executing, but keep claiming intervals and
+			// credit their unexecuted iterations, so pending still drains
+			// to zero. pending is what ForEach waits on — an iteration is
+			// either executed or deliberately abandoned, never in limbo —
+			// which guarantees no chunk body can still be running (and no
+			// split-off slice still owed) once ForEach returns.
+			if dlo, dhi, ok := iv.ExtractFront(intervalMaxWidth); ok {
+				lc.pending.Add(dlo - dhi)
+			}
 		}
 		iv = lc.claimSlice()
 	}
@@ -175,7 +244,27 @@ func (w *Worker) ForEach(lo, hi int64, opt LoopOpts, body func(w *Worker, lo, hi
 		opt.ParGrain = opt.SeqGrain
 	}
 	if p == 1 || n <= opt.SeqGrain {
-		body(w, lo, hi)
+		// Serial fast path — same failure contract as the parallel path:
+		// poll the job at every grain boundary so Cancel/ctx stop the loop,
+		// and unwind the calling body instead of returning normally after a
+		// failure.
+		var job *Job
+		if w.cur != nil {
+			job = w.cur.job
+		}
+		for clo := lo; clo < hi; clo += opt.SeqGrain {
+			if job != nil && job.aborted() {
+				panic(abortUnwind{job.Err()})
+			}
+			chi := clo + opt.SeqGrain
+			if chi > hi {
+				chi = hi
+			}
+			body(w, clo, chi)
+		}
+		if job != nil && job.aborted() {
+			panic(abortUnwind{job.Err()})
+		}
 		return
 	}
 	nSlices := opt.Slices
@@ -190,6 +279,9 @@ func (w *Worker) ForEach(lo, hi int64, opt LoopOpts, body func(w *Worker, lo, hi
 		nSlices *= 2
 	}
 	lc := &loopCtx{body: body, seqGrain: opt.SeqGrain, parGrain: opt.ParGrain}
+	if w.cur != nil {
+		lc.job = w.cur.job
+	}
 	lc.pending.Store(n)
 	lc.slices = make([]Interval, nSlices)
 	for i := range lc.slices {
@@ -200,6 +292,11 @@ func (w *Worker) ForEach(lo, hi int64, opt LoopOpts, body func(w *Worker, lo, hi
 	w.loopRun(lc, nil)
 	// Our share is done; help with (or wait for) iterations stolen by
 	// others. schedOnce keeps the worker useful for unrelated tasks too.
+	// The wait is unconditional — pending is authoritative even on abort:
+	// every iteration is either executed (credited after its chunk body
+	// returns) or abandoned by a participant's abort sweep, so pending==0
+	// guarantees no chunk body is still touching the caller's data when
+	// ForEach returns, failure or not.
 	idle := 0
 	for lc.pending.Load() != 0 {
 		if w.schedOnce() {
@@ -212,5 +309,15 @@ func (w *Worker) ForEach(lo, hi int64, opt LoopOpts, body func(w *Worker, lo, hi
 		} else {
 			time.Sleep(idleSleep)
 		}
+	}
+	// Unwind the calling body instead of returning normally after a
+	// failure: code after a loop must not run on partial results. The
+	// sentinel carries the original error; the body-level recover in
+	// runBody records it on the job without double-counting the panic.
+	if err := lc.firstErr(); err != nil {
+		panic(abortUnwind{err})
+	}
+	if lc.job != nil && lc.job.aborted() {
+		panic(abortUnwind{lc.job.Err()})
 	}
 }

@@ -107,7 +107,7 @@ func (w *Worker) combineServe(v *Worker) {
 	if rest := ids[served:]; len(rest) > 0 {
 		if ad := v.adaptive.Load(); ad != nil {
 			w.stats.splits.Add(1)
-			tasks := ad.Split(w, len(rest))
+			tasks := ad.split(w, len(rest))
 			w.stats.splitTasks.Add(int64(len(tasks)))
 			for _, t := range tasks {
 				if served >= len(ids) {
@@ -143,7 +143,7 @@ func (w *Worker) stealDirect(v *Worker) *Task {
 		if ad := v.adaptive.Load(); ad != nil {
 			v.comb.Lock() // still required: one splitter at a time
 			w.stats.splits.Add(1)
-			tasks := ad.Split(w, 1)
+			tasks := ad.split(w, 1)
 			v.comb.Unlock()
 			w.stats.splitTasks.Add(int64(len(tasks)))
 			if len(tasks) > 0 {

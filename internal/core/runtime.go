@@ -42,6 +42,10 @@ type Runtime struct {
 	jobsLive int  // submitted jobs whose task trees have not drained
 	closing  bool // Close entered: reject new submissions (guarded by jobsMu)
 
+	failMu     sync.Mutex
+	failedJobs int   // jobs that finished with a non-nil error
+	firstErr   error // error of the first such job
+
 	idle        atomic.Int32
 	parkMu      sync.Mutex
 	parkCond    *sync.Cond
@@ -84,20 +88,21 @@ func NewRuntime(cfg Config) *Runtime {
 }
 
 // RunRoot executes fn as a root task on the pool and returns once fn and
-// every task transitively spawned from it have completed. It is Submit
-// followed by Job.Wait; unlike the original single-region design, multiple
-// RunRoot calls from different goroutines proceed concurrently over the
-// same workers.
-func (rt *Runtime) RunRoot(fn func(*Worker)) {
-	rt.Submit(fn).Wait()
+// every task transitively spawned from it have completed, reporting the
+// job's error (nil on success; see Job.Wait for the failure modes). It is
+// Submit followed by Job.Wait; unlike the original single-region design,
+// multiple RunRoot calls from different goroutines proceed concurrently
+// over the same workers.
+func (rt *Runtime) RunRoot(fn func(*Worker)) error {
+	return rt.Submit(fn).Wait()
 }
 
 // Close drains every in-flight job, then stops and joins all workers. It is
-// safe to call more than once; work submitted after Close panics. The
-// closing flag flips under jobsMu — the same lock Submit registers under —
-// so a Submit either lands before the drain (and is executed) or observes
-// closing and panics; it can never slip a job past the drain into a dead
-// pool.
+// safe to call more than once; work submitted after Close is rejected with
+// a pre-failed Job (Err == ErrClosed). The closing flag flips under jobsMu
+// — the same lock Submit registers under — so a Submit either lands before
+// the drain (and is executed) or observes closing and is rejected; it can
+// never slip a job past the drain into a dead pool.
 func (rt *Runtime) Close() {
 	rt.jobsMu.Lock()
 	if rt.closing {
@@ -115,6 +120,32 @@ func (rt *Runtime) Close() {
 	rt.parkCond.Broadcast()
 	rt.parkMu.Unlock()
 	rt.wg.Wait()
+}
+
+// CloseErr is Close with a failure summary: it drains every in-flight job,
+// joins the workers, and reports whether any job submitted over the
+// runtime's lifetime failed — nil if all succeeded, otherwise an error
+// counting the failures and wrapping the first one (so errors.Is/As reach
+// the original *PanicError or cancellation cause).
+func (rt *Runtime) CloseErr() error {
+	rt.Close()
+	rt.failMu.Lock()
+	defer rt.failMu.Unlock()
+	if rt.failedJobs == 0 {
+		return nil
+	}
+	return fmt.Errorf("core: %d job(s) failed; first: %w", rt.failedJobs, rt.firstErr)
+}
+
+// noteFailed records a job failure for CloseErr. Called once per failed job
+// as it finishes.
+func (rt *Runtime) noteFailed(err error) {
+	rt.failMu.Lock()
+	if rt.failedJobs == 0 {
+		rt.firstErr = err
+	}
+	rt.failedJobs++
+	rt.failMu.Unlock()
 }
 
 // NumWorkers returns the size of the worker pool.

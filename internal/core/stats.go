@@ -18,6 +18,8 @@ type Stats struct {
 	Splits        int64 // splitter invocations on adaptive tasks
 	SplitTasks    int64 // tasks produced by splitters
 	Parks         int64 // times a worker parked after failing to find work
+	Panicked      int64 // task bodies (incl. loop chunks, splitters) that panicked
+	Cancelled     int64 // tasks skipped because their job had already failed
 }
 
 // Add accumulates other into s.
@@ -32,6 +34,8 @@ func (s *Stats) Add(other Stats) {
 	s.Splits += other.Splits
 	s.SplitTasks += other.SplitTasks
 	s.Parks += other.Parks
+	s.Panicked += other.Panicked
+	s.Cancelled += other.Cancelled
 }
 
 // workerStats holds one worker's counters. Task-path counters (spawned,
@@ -44,6 +48,8 @@ type workerStats struct {
 	spawned       int64
 	executed      int64
 	readyReleases int64
+	panicked      int64
+	cancelled     int64
 
 	stealRequests atomic.Int64
 	stealHits     atomic.Int64
@@ -59,6 +65,8 @@ func (ws *workerStats) snapshot() Stats {
 		Spawned:       ws.spawned,
 		Executed:      ws.executed,
 		ReadyReleases: ws.readyReleases,
+		Panicked:      ws.panicked,
+		Cancelled:     ws.cancelled,
 		StealRequests: ws.stealRequests.Load(),
 		StealHits:     ws.stealHits.Load(),
 		Combines:      ws.combines.Load(),
@@ -73,6 +81,8 @@ func (ws *workerStats) reset() {
 	ws.spawned = 0
 	ws.executed = 0
 	ws.readyReleases = 0
+	ws.panicked = 0
+	ws.cancelled = 0
 	ws.stealRequests.Store(0)
 	ws.stealHits.Store(0)
 	ws.combines.Store(0)

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -151,8 +152,8 @@ func TestCloseDrainsInFlightJobs(t *testing.T) {
 }
 
 // TestSubmitCloseRace hammers Submit against Close: every Submit must
-// either panic (came after Close) or yield a job that Close drained —
-// never a silently stranded job whose Wait would hang.
+// either be rejected with ErrClosed (came after Close) or yield a job that
+// Close drained — never a silently stranded job whose Wait would hang.
 func TestSubmitCloseRace(t *testing.T) {
 	rounds := 50
 	if testing.Short() {
@@ -172,12 +173,12 @@ func TestSubmitCloseRace(t *testing.T) {
 				defer wg.Done()
 				for k := 0; k < 16; k++ {
 					var ran atomic.Bool
-					job := func() (j *Job) {
-						defer func() { recover() }() // Submit-after-Close panic is legal
-						return rt.Submit(func(*Worker) { ran.Store(true) })
-					}()
-					if job == nil {
-						return // pool closed; later Submits would panic too
+					job := rt.Submit(func(*Worker) { ran.Store(true) })
+					if errors.Is(job.Err(), ErrClosed) {
+						if !job.Done() {
+							t.Error("rejected job not pre-completed")
+						}
+						return // pool closed; later Submits are rejected too
 					}
 					results <- res{job, &ran}
 				}
@@ -200,16 +201,26 @@ func TestSubmitCloseRace(t *testing.T) {
 	}
 }
 
-// TestSubmitAfterClosePanics pins the lifecycle rule.
-func TestSubmitAfterClosePanics(t *testing.T) {
+// TestSubmitAfterCloseErrClosed pins the lifecycle rule: submission to a
+// closed runtime is rejected with the ErrClosed sentinel (no panic), the
+// rejected job is pre-completed, and its body never runs.
+func TestSubmitAfterCloseErrClosed(t *testing.T) {
 	rt := NewRuntime(Config{Workers: 1})
 	rt.Close()
-	defer func() {
-		if recover() == nil {
-			t.Fatal("Submit after Close did not panic")
-		}
-	}()
-	rt.Submit(func(*Worker) {})
+	ran := false
+	j := rt.Submit(func(*Worker) { ran = true })
+	if !j.Done() {
+		t.Fatal("rejected job is not pre-completed")
+	}
+	if err := j.Wait(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Wait after Close = %v, want ErrClosed", err)
+	}
+	if !errors.Is(j.Err(), ErrClosed) {
+		t.Fatalf("Err after Close = %v, want ErrClosed", j.Err())
+	}
+	if ran {
+		t.Fatal("rejected job's body ran")
+	}
 }
 
 // TestParkWakeExternalSubmit is the park/wake regression test for the

@@ -50,6 +50,7 @@ type Access struct {
 const (
 	flagHasAccess uint8 = 1 << iota // task registered dataflow accesses
 	flagLoop                        // task is a loop-slice task (diagnostics)
+	flagRoot                        // task is a job root: completion finishes the job
 )
 
 // Task is the unit of scheduling. Tasks are created by Worker.Spawn (fork-
@@ -63,7 +64,7 @@ type Task struct {
 	body   func(*Worker)
 	parent *Task
 	next   *Task // free-list link
-	job    *Job  // non-nil only on externally submitted roots
+	job    *Job  // owning job, inherited from the parent (failure/cancel scope)
 
 	children atomic.Int32 // live direct children (frame counter)
 	wait     atomic.Int32 // outstanding dependencies + creation bias

@@ -54,6 +54,7 @@ func (w *Worker) Spawn(fn func(*Worker)) {
 	t.parent = w.cur
 	if t.parent != nil {
 		t.parent.children.Add(1)
+		t.job = t.parent.job
 	}
 	w.stats.spawned++
 	w.deque.push(t)
@@ -70,6 +71,7 @@ func (w *Worker) SpawnTask(fn func(*Worker), accs ...Access) {
 	t.parent = w.cur
 	if t.parent != nil {
 		t.parent.children.Add(1)
+		t.job = t.parent.job
 	}
 	w.stats.spawned++
 	if len(accs) == 0 {
@@ -103,17 +105,58 @@ func (w *Worker) Sync() {
 }
 
 // execute runs t to completion: body, implicit sync on children (the model
-// is fully strict), then completion processing.
+// is fully strict), then completion processing. A task whose job has
+// already failed is cancelled: its body is skipped, but the completion
+// bookkeeping (frame credit, successor release, job finish) still runs, so
+// counters drain, dataflow frontiers stay consistent and the job always
+// reaches Wait.
 func (w *Worker) execute(t *Task) {
 	prev := w.cur
 	w.cur = t
-	w.stats.executed++
-	t.body(w)
+	// Loop-slice tasks are exempt from the skip: their body (loopRun)
+	// observes the abort itself and instead of executing iterations credits
+	// them back to the loop's pending count, which must drain to zero for
+	// the ForEach caller to return. Skipping the task would strand its
+	// interval and hang the loop.
+	if j := t.job; j != nil && j.aborted() && t.flags&flagLoop == 0 {
+		w.stats.cancelled++
+	} else {
+		w.stats.executed++
+		w.runBody(t)
+	}
 	if t.children.Load() != 0 {
 		w.waitCounter(&t.children)
 	}
 	w.cur = prev
 	w.complete(t)
+}
+
+// runBody invokes t's body with a panic barrier: a panicking body fails the
+// task's job with a *PanicError (first panic wins) instead of unwinding the
+// worker and killing the process. The abortUnwind sentinel — thrown to bail
+// out of a body whose job already failed, e.g. by ForEach — is recognized
+// and not counted as a user panic. A panic in a task with no job (only
+// possible for a hand-built adaptive task outside any job) is rethrown:
+// there is no handle to report it on.
+func (w *Worker) runBody(t *Task) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			return
+		}
+		if au, ok := r.(abortUnwind); ok {
+			if t.job != nil {
+				t.job.fail(au.err)
+			}
+			return
+		}
+		w.stats.panicked++
+		if t.job == nil {
+			panic(r)
+		}
+		t.job.fail(newPanicError(r))
+	}()
+	t.body(w)
 }
 
 // complete releases t's dataflow successors, credits its parent's frame,
@@ -140,7 +183,8 @@ func (w *Worker) complete(t *Task) {
 	if p := t.parent; p != nil {
 		p.children.Add(-1)
 	}
-	if j := t.job; j != nil {
+	if t.flags&flagRoot != 0 {
+		j := t.job
 		t.job = nil
 		j.finish()
 	}
@@ -228,11 +272,38 @@ func (w *Worker) trySteal() *Task {
 // (§II-D).
 func (w *Worker) SetAdaptive(ad *Adaptive) *Adaptive {
 	prev := w.adaptive.Load()
+	if ad != nil && ad.job == nil && w.cur != nil {
+		// Bind the splitter to the installing task's job so a panic inside
+		// Split (which runs on a thief) is attributed to the right job, and
+		// so tasks the splitter produces inherit the job's cancel scope.
+		// Only a first install writes the binding: re-installing (or
+		// restoring) an Adaptive a concurrent thief may still be splitting
+		// must not race that thief's reads of ad.job. Consequently an
+		// Adaptive value must not be reused across different jobs.
+		ad.job = w.cur.job
+	}
 	w.adaptive.Store(ad)
 	if ad != nil {
 		w.rt.wakeAll()
 	}
 	return prev
+}
+
+// JobFailed reports (cheaply) whether the job of the task currently running
+// on w has failed or been cancelled. Long-running or adaptive task bodies
+// should poll it and return early when it flips: cancellation is
+// cooperative for code already executing.
+func (w *Worker) JobFailed() bool {
+	return w.cur != nil && w.cur.job != nil && w.cur.job.aborted()
+}
+
+// JobErr returns the error of the current task's job: nil while the job is
+// healthy, otherwise the first recorded failure.
+func (w *Worker) JobErr() error {
+	if w.cur == nil || w.cur.job == nil {
+		return nil
+	}
+	return w.cur.job.Err()
 }
 
 // NewAdaptiveTask wraps fn into a free-standing ready task, for returning
@@ -273,6 +344,7 @@ func (w *Worker) recycle(t *Task) {
 	}
 	t.body = nil
 	t.parent = nil
+	t.job = nil
 	t.flags = 0
 	// wait and children need no reset: a task only completes once wait
 	// reached zero (it became ready) and children drained to zero (fully

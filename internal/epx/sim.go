@@ -49,7 +49,12 @@ func NewKaapiBackend(n int) Backend {
 func (b *kaapiBackend) Name() string { return "xkaapi" }
 
 func (b *kaapiBackend) Foreach(lo, hi int, body func(lo, hi int)) {
-	b.rt.Foreach(lo, hi, func(_ *xkaapi.Proc, l, h int) { body(l, h) })
+	// A loop-body panic fails the job instead of crashing the process now;
+	// the Backend interface has no error channel, so resurface it loudly —
+	// silent partial results would corrupt the simulation.
+	if err := b.rt.Foreach(lo, hi, func(_ *xkaapi.Proc, l, h int) { body(l, h) }); err != nil {
+		panic(err)
+	}
 }
 
 func (b *kaapiBackend) Factor(m *skyline.Matrix) error {
@@ -75,7 +80,11 @@ func NewGompBackend(n int, sched gomp.Schedule, chunk int) Backend {
 func (b *gompBackend) Name() string { return "openmp/" + b.sched.String() }
 
 func (b *gompBackend) Foreach(lo, hi int, body func(lo, hi int)) {
-	b.team.ParallelFor(lo, hi, b.sched, b.chunk, func(_, l, h int) { body(l, h) })
+	// As in kaapiBackend: the interface has no error channel, so a region
+	// failure must not be silently dropped.
+	if err := b.team.ParallelFor(lo, hi, b.sched, b.chunk, func(_, l, h int) { body(l, h) }); err != nil {
+		panic(err)
+	}
 }
 
 func (b *gompBackend) Factor(m *skyline.Matrix) error {

@@ -334,13 +334,16 @@ func FactorKaapi(rt *xkaapi.Runtime, m *Matrix) error {
 	h := func(i, j int) *xkaapi.Handle { return &handles[i*nb+j] }
 	var errOnce sync.Once
 	var ferr error
-	rt.Run(func(p *xkaapi.Proc) {
+	fail := func(err error) {
+		if err != nil {
+			errOnce.Do(func() { ferr = err })
+		}
+	}
+	fail(rt.Run(func(p *xkaapi.Proc) {
 		for k := 0; k < nb; k++ {
 			k := k
 			p.SpawnTask(func(*xkaapi.Proc) {
-				if err := m.potrf(k); err != nil {
-					errOnce.Do(func() { ferr = err })
-				}
+				fail(m.potrf(k))
 			}, xkaapi.ReadWrite(h(k, k)))
 			for i := k + 1; i < nb; i++ {
 				if m.IsEmpty(i, k) {
@@ -368,11 +371,8 @@ func FactorKaapi(rt *xkaapi.Runtime, m *Matrix) error {
 			}
 		}
 		p.Sync()
-	})
-	if ferr != nil {
-		return ferr
-	}
-	return nil
+	}))
+	return ferr
 }
 
 // FactorGomp factors m in place the way the paper parallelizes EPX's
@@ -385,7 +385,7 @@ func FactorKaapi(rt *xkaapi.Runtime, m *Matrix) error {
 func FactorGomp(team *gomp.Team, m *Matrix) error {
 	nb := m.NB
 	var ferr error
-	team.Parallel(func(tc *gomp.TC) {
+	regionErr := team.Parallel(func(tc *gomp.TC) {
 		tc.Single(func() {
 			for k := 0; k < nb; k++ {
 				if err := m.potrf(k); err != nil {
@@ -418,7 +418,10 @@ func FactorGomp(team *gomp.Team, m *Matrix) error {
 			}
 		})
 	})
-	return ferr
+	if ferr != nil {
+		return ferr
+	}
+	return regionErr
 }
 
 // SolveInPlace solves L·Lᵀ·x = b given the factored matrix, overwriting b

@@ -1,0 +1,68 @@
+package komp_test
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+
+	"xkaapi"
+	"xkaapi/komp"
+)
+
+// TestParallelReportsPanic: a panicking virtual thread fails the region's
+// job; the error carries the panic value and the pool survives.
+func TestParallelReportsPanic(t *testing.T) {
+	tm := komp.NewTeam(4)
+	defer tm.Close()
+	err := tm.Parallel(func(tc *komp.TC) {
+		if tc.TID() == 1 {
+			panic("boom-komp")
+		}
+	})
+	var pe *xkaapi.PanicError
+	if !errors.As(err, &pe) || pe.Value != "boom-komp" {
+		t.Fatalf("Parallel = %v, want PanicError(boom-komp)", err)
+	}
+	var n atomic.Int32
+	if err := tm.Parallel(func(*komp.TC) { n.Add(1) }); err != nil {
+		t.Fatalf("Parallel after panic: %v", err)
+	}
+	if int(n.Load()) != tm.Threads() {
+		t.Fatalf("next region ran on %d/%d threads", n.Load(), tm.Threads())
+	}
+}
+
+// TestTaskPanicReported: a panic in an explicit task (X-Kaapi child task)
+// is the region's error, not a process crash.
+func TestTaskPanicReported(t *testing.T) {
+	tm := komp.NewTeam(2)
+	defer tm.Close()
+	err := tm.Parallel(func(tc *komp.TC) {
+		tc.Single(func() {
+			tc.Task(func(*komp.TC) { panic("boom-komp-task") })
+		})
+		tc.Taskwait()
+	})
+	var pe *xkaapi.PanicError
+	if !errors.As(err, &pe) || pe.Value != "boom-komp-task" {
+		t.Fatalf("Parallel = %v, want PanicError(boom-komp-task)", err)
+	}
+}
+
+// TestParallelForReportsPanic: the adaptive worksharing loop aborts on a
+// body panic and reports it.
+func TestParallelForReportsPanic(t *testing.T) {
+	tm := komp.NewTeam(4)
+	defer tm.Close()
+	err := tm.ParallelFor(0, 100_000, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			if i == 51_000 {
+				panic("boom-komp-for")
+			}
+		}
+	})
+	var pe *xkaapi.PanicError
+	if !errors.As(err, &pe) || pe.Value != "boom-komp-for" {
+		t.Fatalf("ParallelFor = %v, want PanicError(boom-komp-for)", err)
+	}
+}

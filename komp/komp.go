@@ -67,8 +67,13 @@ func (tc *TC) NumThreads() int { return tc.team.p }
 // thread is an X-Kaapi task, so an idle core steals whole threads as well
 // as their tasks. Concurrent Parallel calls from different goroutines are
 // safe and share the pool: each region is one job on the runtime.
-func (tm *Team) Parallel(fn func(tc *TC)) {
-	tm.rt.Run(func(p *xkaapi.Proc) {
+//
+// A panic on any virtual thread (or in an explicit task) fails the
+// region's job: the first panic is reported as a *xkaapi.PanicError, the
+// region's remaining tasks are cancelled, and the pool survives for
+// further regions.
+func (tm *Team) Parallel(fn func(tc *TC)) error {
+	return tm.rt.Run(func(p *xkaapi.Proc) {
 		for tid := 1; tid < tm.p; tid++ {
 			tid := tid
 			p.Spawn(func(wp *xkaapi.Proc) {
@@ -104,9 +109,10 @@ func (tc *TC) Taskwait() { tc.proc.Sync() }
 // the OpenMP schedule clause disappears — adaptivity replaces it, which is
 // conclusion 1 of the paper ("the OpenMP static and dynamic schedulers ...
 // would benefit from being extended to match application characteristics").
-// body receives the id of the X-Kaapi worker executing the chunk.
-func (tm *Team) ParallelFor(lo, hi int, body func(tid, lo, hi int)) {
-	tm.rt.Run(func(p *xkaapi.Proc) {
+// body receives the id of the X-Kaapi worker executing the chunk. A
+// panicking body aborts the loop and is reported as a *xkaapi.PanicError.
+func (tm *Team) ParallelFor(lo, hi int, body func(tid, lo, hi int)) error {
+	return tm.rt.Run(func(p *xkaapi.Proc) {
 		xkaapi.Foreach(p, lo, hi, func(wp *xkaapi.Proc, l, h int) {
 			body(wp.ID(), l, h)
 		})

@@ -1,0 +1,74 @@
+package par
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+
+	"xkaapi"
+)
+
+// TestDoReportsPanic: a panicking sibling fails the whole Do job and the
+// error carries the panic value; the runtime survives.
+func TestDoReportsPanic(t *testing.T) {
+	rt := xkaapi.New(xkaapi.WithWorkers(4))
+	defer rt.Close()
+	var ran atomic.Int32
+	err := Do(rt,
+		func(*xkaapi.Proc) { ran.Add(1) },
+		func(*xkaapi.Proc) { panic("boom-do") },
+		func(*xkaapi.Proc) { ran.Add(1) },
+	)
+	var pe *xkaapi.PanicError
+	if !errors.As(err, &pe) || pe.Value != "boom-do" {
+		t.Fatalf("Do error = %v, want PanicError(boom-do)", err)
+	}
+	if err := Do(rt, func(*xkaapi.Proc) {}); err != nil {
+		t.Fatalf("Do after failure: %v", err)
+	}
+}
+
+// TestDoNoError: the nil-error path stays nil for 0, 1 and n functions.
+func TestDoNoError(t *testing.T) {
+	rt := xkaapi.New(xkaapi.WithWorkers(2))
+	defer rt.Close()
+	if err := Do(rt); err != nil {
+		t.Fatalf("empty Do: %v", err)
+	}
+	if err := Do(rt, func(*xkaapi.Proc) {}); err != nil {
+		t.Fatalf("single Do: %v", err)
+	}
+	if err := Do(rt, func(*xkaapi.Proc) {}, func(*xkaapi.Proc) {}); err != nil {
+		t.Fatalf("double Do: %v", err)
+	}
+}
+
+// TestForEachReportsPanic: a panicking loop body aborts the loop and
+// surfaces through ForEach's error.
+func TestForEachReportsPanic(t *testing.T) {
+	rt := xkaapi.New(xkaapi.WithWorkers(4))
+	defer rt.Close()
+	err := ForEach(rt, 0, 100_000, func(_ *xkaapi.Proc, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			if i == 51_000 {
+				panic("boom-foreach")
+			}
+		}
+	})
+	var pe *xkaapi.PanicError
+	if !errors.As(err, &pe) || pe.Value != "boom-foreach" {
+		t.Fatalf("ForEach error = %v, want PanicError(boom-foreach)", err)
+	}
+	// The pool keeps serving loops after the failure.
+	var sum atomic.Int64
+	if err := ForEach(rt, 0, 1000, func(_ *xkaapi.Proc, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			sum.Add(int64(i))
+		}
+	}); err != nil {
+		t.Fatalf("ForEach after failure: %v", err)
+	}
+	if sum.Load() != 499_500 {
+		t.Fatalf("sum = %d, want 499500", sum.Load())
+	}
+}

@@ -28,19 +28,21 @@ import (
 )
 
 // Do runs the given functions as parallel siblings of one job on rt and
-// returns when all of them (and every task they spawned) completed. Any
-// goroutine may call Do, concurrently with other Do/ForEach calls and
-// submitted jobs: all of them multiplex over rt's one worker pool, so
-// concurrent clients do not need private runtimes.
-func Do(rt *xkaapi.Runtime, fns ...func(*xkaapi.Proc)) {
+// returns when all of them (and every task they spawned) completed,
+// reporting the job's error: nil on success, or a *xkaapi.PanicError if any
+// sibling (or a task it spawned) panicked — the first panic wins and the
+// job's remaining siblings are cancelled. Any goroutine may call Do,
+// concurrently with other Do/ForEach calls and submitted jobs: all of them
+// multiplex over rt's one worker pool, so concurrent clients do not need
+// private runtimes.
+func Do(rt *xkaapi.Runtime, fns ...func(*xkaapi.Proc)) error {
 	switch len(fns) {
 	case 0:
-		return
+		return nil
 	case 1:
-		rt.Run(fns[0])
-		return
+		return rt.Run(fns[0])
 	}
-	rt.Run(func(p *xkaapi.Proc) {
+	return rt.Run(func(p *xkaapi.Proc) {
 		for _, fn := range fns[1:] {
 			p.Spawn(fn)
 		}
@@ -50,10 +52,11 @@ func Do(rt *xkaapi.Runtime, fns ...func(*xkaapi.Proc)) {
 }
 
 // ForEach runs body over [lo, hi) as one job on rt with the adaptive loop
-// scheduler. Like Do it is safe to call from any goroutine; concurrent
-// loops share the pool.
-func ForEach(rt *xkaapi.Runtime, lo, hi int, body func(p *xkaapi.Proc, lo, hi int)) {
-	rt.Run(func(p *xkaapi.Proc) { xkaapi.Foreach(p, lo, hi, body) })
+// scheduler and reports the job's error (a panicking body aborts the loop
+// and surfaces as a *xkaapi.PanicError). Like Do it is safe to call from
+// any goroutine; concurrent loops share the pool.
+func ForEach(rt *xkaapi.Runtime, lo, hi int, body func(p *xkaapi.Proc, lo, hi int)) error {
+	return rt.Run(func(p *xkaapi.Proc) { xkaapi.Foreach(p, lo, hi, body) })
 }
 
 // Map applies f to every element of src, writing dst (which must have the

@@ -1,0 +1,105 @@
+package quark
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+
+	"xkaapi"
+)
+
+// failRun exercises one engine: a chain A -> B -> C on one pointer where A
+// panics; B and C must be cancelled (bodies never run), Run must report
+// the panic, and the context must stay usable for a following Run.
+func failRun(t *testing.T, q *Quark) {
+	t.Helper()
+	var x int
+	var bRan, cRan atomic.Bool
+	err := q.Run(func(q *Quark) {
+		q.InsertTask(func() { panic("boom-quark") }, Arg{Ptr: &x, Flag: OUTPUT})
+		q.InsertTask(func() { bRan.Store(true) }, Arg{Ptr: &x, Flag: INOUT})
+		q.InsertTask(func() { cRan.Store(true) }, Arg{Ptr: &x, Flag: INPUT})
+	})
+	var pe *PanicError
+	if !errors.As(err, &pe) || pe.Value != "boom-quark" {
+		t.Fatalf("Run = %v, want PanicError(boom-quark)", err)
+	}
+	if bRan.Load() || cRan.Load() {
+		t.Fatalf("successors of panicked task ran: b=%v c=%v", bRan.Load(), cRan.Load())
+	}
+	// The context survives; the frontier for &x still sequences new tasks.
+	var order atomic.Int32
+	var w, r int32
+	if err := q.Run(func(q *Quark) {
+		q.InsertTask(func() { w = order.Add(1) }, Arg{Ptr: &x, Flag: OUTPUT})
+		q.InsertTask(func() { r = order.Add(1) }, Arg{Ptr: &x, Flag: INPUT})
+	}); err != nil {
+		t.Fatalf("Run after failure: %v", err)
+	}
+	if w != 1 || r != 2 {
+		t.Fatalf("order after failed run: writer=%d reader=%d, want 1,2", w, r)
+	}
+}
+
+// TestNativePanicCancelsSuccessors: the centralized engine.
+func TestNativePanicCancelsSuccessors(t *testing.T) {
+	q := New(4, EngineNative)
+	defer q.Delete()
+	failRun(t, q)
+}
+
+// TestKaapiPanicCancelsSuccessors: the X-Kaapi engine.
+func TestKaapiPanicCancelsSuccessors(t *testing.T) {
+	q := New(4, EngineKaapi)
+	defer q.Delete()
+	failRun(t, q)
+}
+
+// TestSharedRuntimePanicIsolated: a panicking QUARK context on a shared
+// runtime must not disturb sibling contexts.
+func TestSharedRuntimePanicIsolated(t *testing.T) {
+	rt := xkaapi.New(xkaapi.WithWorkers(4))
+	defer rt.Close()
+	bad := NewOnRuntime(rt)
+	good := NewOnRuntime(rt)
+	errc := make(chan error, 1)
+	go func() {
+		errc <- bad.Run(func(q *Quark) {
+			var y int
+			q.InsertTask(func() { panic("boom-shared") }, Arg{Ptr: &y, Flag: OUTPUT})
+		})
+	}()
+	var sum atomic.Int64
+	var z int
+	if err := good.Run(func(q *Quark) {
+		for i := 0; i < 100; i++ {
+			i := i
+			q.InsertTask(func() { sum.Add(int64(i)) }, Arg{Ptr: &z, Flag: INOUT})
+		}
+	}); err != nil {
+		t.Fatalf("healthy context failed: %v", err)
+	}
+	if sum.Load() != 4950 {
+		t.Fatalf("sum = %d, want 4950", sum.Load())
+	}
+	var pe *PanicError
+	if err := <-errc; !errors.As(err, &pe) || pe.Value != "boom-shared" {
+		t.Fatalf("bad context Run = %v, want PanicError(boom-shared)", err)
+	}
+	bad.Delete()
+	good.Delete()
+}
+
+// TestMasterPanicReported: a panic in the master insertion code itself is
+// captured by Run on both engines.
+func TestMasterPanicReported(t *testing.T) {
+	for _, eng := range []Engine{EngineNative, EngineKaapi} {
+		q := New(2, eng)
+		err := q.Run(func(*Quark) { panic("boom-master") })
+		var pe *PanicError
+		if !errors.As(err, &pe) || pe.Value != "boom-master" {
+			t.Fatalf("engine %v: Run = %v, want PanicError(boom-master)", eng, err)
+		}
+		q.Delete()
+	}
+}

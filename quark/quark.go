@@ -23,11 +23,17 @@ package quark
 
 import (
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 
 	"xkaapi"
 )
+
+// PanicError is re-exported from the xkaapi runtime: both engines report a
+// panicking task (or master) through it, carrying the panic value and the
+// stack of the panic site.
+type PanicError = xkaapi.PanicError
 
 // Flag classifies a task argument, as in QUARK's quark_direction_t.
 type Flag int
@@ -122,24 +128,40 @@ func NewOnRuntime(rt *xkaapi.Runtime) *Quark {
 func (q *Quark) Workers() int { return q.nw }
 
 // Run executes master — the sequential task-insertion code — and returns
-// after an implicit Barrier. Concurrent Run calls on the same context
-// serialize; use one context per insertion stream (NewOnRuntime makes
-// contexts cheap) for parallel clients.
-func (q *Quark) Run(master func(q *Quark)) {
+// after an implicit Barrier, reporting the first failure of the run: nil
+// on success, or a *PanicError if the master or any inserted task
+// panicked. When a task panics, its successors — the queued dataflow tasks
+// depending on it, and every task not yet started — are cancelled: their
+// bodies are skipped while the dependency bookkeeping still drains, so
+// the barrier always completes and the context stays usable for the next
+// Run. Concurrent Run calls on the same context serialize; use one context
+// per insertion stream (NewOnRuntime makes contexts cheap) for parallel
+// clients.
+func (q *Quark) Run(master func(q *Quark)) error {
 	q.runMu.Lock()
 	defer q.runMu.Unlock()
 	switch q.engine {
 	case EngineNative:
-		master(q)
+		q.nat.reset()
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					q.nat.fail(&PanicError{Value: r, Stack: debug.Stack()})
+				}
+			}()
+			master(q)
+		}()
 		q.Barrier()
+		return q.nat.firstErr()
 	case EngineKaapi:
-		q.krt.Run(func(p *xkaapi.Proc) {
+		return q.krt.Run(func(p *xkaapi.Proc) {
 			q.kproc = p
+			defer func() { q.kproc = nil }()
 			master(q)
 			p.Sync()
-			q.kproc = nil
 		})
 	}
+	return nil
 }
 
 // InsertTask submits fn with the given argument directions. Dependencies
@@ -237,6 +259,38 @@ type nativeSched struct {
 	wg      sync.WaitGroup
 
 	fronts map[any]*frontier
+
+	failed atomic.Bool // a task panicked: skip bodies of the rest
+	errMu  sync.Mutex
+	err    error // first panic of the current Run
+}
+
+// fail records the first failure of the current Run and cancels the bodies
+// of every task that has not started yet (dependency release and the
+// pending count still drain, so Barrier completes).
+func (s *nativeSched) fail(err error) {
+	s.errMu.Lock()
+	if s.err == nil {
+		s.err = err
+	}
+	s.errMu.Unlock()
+	s.failed.Store(true)
+}
+
+// firstErr returns the failure of the current Run, if any.
+func (s *nativeSched) firstErr() error {
+	s.errMu.Lock()
+	defer s.errMu.Unlock()
+	return s.err
+}
+
+// reset clears the failure state between Runs; the context must be
+// quiescent (Run holds runMu and ends with a Barrier).
+func (s *nativeSched) reset() {
+	s.errMu.Lock()
+	s.err = nil
+	s.errMu.Unlock()
+	s.failed.Store(false)
 }
 
 func newNativeSched(n int) *nativeSched {
@@ -322,7 +376,11 @@ func (s *nativeSched) worker() {
 		s.ready = s.ready[:len(s.ready)-1]
 		s.mu.Unlock()
 
-		t.fn()
+		// A task of a failed run is cancelled: skip the body, but still
+		// release successors and repay the pending count below.
+		if !s.failed.Load() {
+			s.runTask(t)
+		}
 
 		t.mu.Lock()
 		t.done = true
@@ -340,6 +398,17 @@ func (s *nativeSched) worker() {
 		}
 		s.mu.Unlock()
 	}
+}
+
+// runTask executes t.fn behind a panic barrier: a panic fails the run and
+// cancels the tasks that have not started, instead of killing the worker.
+func (s *nativeSched) runTask(t *ntask) {
+	defer func() {
+		if r := recover(); r != nil {
+			s.fail(&PanicError{Value: r, Stack: debug.Stack()})
+		}
+	}()
+	t.fn()
 }
 
 func (s *nativeSched) barrier() {

@@ -1,0 +1,91 @@
+package tbbsched
+
+import (
+	"errors"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+// TestPanicInTask: a panic inside a spawned Task fails the job with a
+// PanicError (value + stack), like TBB rethrowing from wait_for_all, and
+// the scheduler survives.
+func TestPanicInTask(t *testing.T) {
+	s := NewScheduler(4)
+	defer s.Close()
+	err := s.Run(func(c *Context) {
+		c.Spawn(FuncTask(func(*Context) { tbbBoom() }))
+		c.Wait()
+	})
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("Run = %v, want *PanicError", err)
+	}
+	if pe.Value != "boom-tbb" {
+		t.Fatalf("panic value = %v", pe.Value)
+	}
+	if !strings.Contains(string(pe.Stack), "tbbBoom") {
+		t.Fatalf("stack lacks panic site:\n%s", pe.Stack)
+	}
+	if err := s.Run(func(*Context) {}); err != nil {
+		t.Fatalf("Run after panic: %v", err)
+	}
+}
+
+//go:noinline
+func tbbBoom() { panic("boom-tbb") }
+
+// TestPanicCancelsQueued: with one worker, tasks spawned before the parent
+// panics are skipped once the job fails.
+func TestPanicCancelsQueued(t *testing.T) {
+	s := NewScheduler(1)
+	defer s.Close()
+	var ran atomic.Int32
+	err := s.Run(func(c *Context) {
+		for i := 0; i < 20; i++ {
+			c.Spawn(FuncTask(func(*Context) { ran.Add(1) }))
+		}
+		panic("boom-parent")
+	})
+	if err == nil {
+		t.Fatal("Run = nil after parent panic")
+	}
+	if ran.Load() != 0 {
+		t.Fatalf("%d queued tasks ran after the parent panicked (1 worker)", ran.Load())
+	}
+}
+
+// TestPanicInParallelFor: the loop template propagates a body panic as the
+// job's error.
+func TestPanicInParallelFor(t *testing.T) {
+	s := NewScheduler(4)
+	defer s.Close()
+	err := s.Run(func(c *Context) {
+		ParallelFor(c, 0, 100_000, 0, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				if i == 51_000 {
+					panic("boom-pfor")
+				}
+			}
+		})
+	})
+	var pe *PanicError
+	if !errors.As(err, &pe) || pe.Value != "boom-pfor" {
+		t.Fatalf("Run = %v, want PanicError(boom-pfor)", err)
+	}
+}
+
+// TestSubmitAfterCloseErrClosed: submission to a closed scheduler is
+// rejected with ErrClosed instead of panicking.
+func TestSubmitAfterCloseErrClosed(t *testing.T) {
+	s := NewScheduler(1)
+	s.Close()
+	ran := false
+	j := s.Submit(FuncTask(func(*Context) { ran = true }))
+	if err := j.Wait(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Wait = %v, want ErrClosed", err)
+	}
+	if ran {
+		t.Fatal("rejected job's body ran")
+	}
+}

@@ -13,11 +13,44 @@
 package tbbsched
 
 import (
+	"errors"
+	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 	"time"
 )
+
+// ErrClosed is the error of a job rejected because the scheduler was
+// already closing: Submit after Close returns a pre-failed Job instead of
+// panicking.
+var ErrClosed = errors.New("tbbsched: scheduler closed")
+
+// ErrCanceled is the failure of a job abandoned with Job.Cancel. It mirrors
+// TBB's task-group cancellation: queued tasks of the group are skipped.
+var ErrCanceled = errors.New("tbbsched: job canceled")
+
+// PanicError is the error a job fails with when a task body panics — the
+// analogue of TBB capturing an exception in task::execute and rethrowing it
+// from wait_for_all, except the first panic is reported as an error.
+type PanicError struct {
+	Value any    // the value the body panicked with
+	Stack []byte // goroutine stack captured at recovery
+}
+
+// Error formats the panic value followed by the captured stack.
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("tbbsched: task panicked: %v\n\n%s", e.Value, e.Stack)
+}
+
+// Unwrap exposes the panic value when it was itself an error.
+func (e *PanicError) Unwrap() error {
+	if err, ok := e.Value.(error); ok {
+		return err
+	}
+	return nil
+}
 
 // Task is the unit of work, dispatched through an interface as in TBB.
 type Task interface {
@@ -35,17 +68,59 @@ type node struct {
 	t      Task
 	parent *node
 	refs   atomic.Int32 // pending children
-	job    *Job         // non-nil only on submitted roots
+	job    *Job         // owning job, inherited from the parent (failure scope)
+	root   bool         // completion of this node finishes the job
 }
 
-// Job is the completion handle of one submitted root task tree.
+// Job is the completion handle of one submitted root task tree. A job
+// fails when one of its task bodies panics (recorded as a *PanicError,
+// first panic wins) or when it is cancelled; a failed job's queued tasks
+// are skipped while the reference counting still drains, so the job always
+// completes.
 type Job struct {
 	done chan struct{}
+
+	failed atomic.Bool
+	mu     sync.Mutex
+	err    error
+	sealed bool
 }
 
-// Wait blocks until the job's task tree has fully drained. Call it only
-// from outside the pool.
-func (j *Job) Wait() { <-j.done }
+// Wait blocks until the job's task tree has fully drained, then returns
+// the job's error: nil on success, a *PanicError if a body panicked,
+// ErrCanceled after Cancel, or ErrClosed for a rejected submission. Call
+// it only from outside the pool.
+func (j *Job) Wait() error {
+	<-j.done
+	return j.Err()
+}
+
+// Err returns the job's failure without blocking: nil while the job is
+// healthy, otherwise the first recorded error.
+func (j *Job) Err() error {
+	j.mu.Lock()
+	err := j.err
+	j.mu.Unlock()
+	return err
+}
+
+// Cancel abandons the job: tasks that have not started are skipped and
+// Wait returns ErrCanceled. Bodies already running finish normally.
+func (j *Job) Cancel() { j.fail(ErrCanceled) }
+
+// fail records the first failure; later ones and post-completion ones are
+// ignored.
+func (j *Job) fail(err error) {
+	if err == nil {
+		return
+	}
+	j.mu.Lock()
+	if j.err == nil && !j.sealed {
+		j.err = err
+		j.failed.Store(true)
+	}
+	j.mu.Unlock()
+}
 
 // Scheduler owns the worker pool. Root task trees may be submitted
 // concurrently from any goroutines and share the same workers.
@@ -126,26 +201,32 @@ func (s *Scheduler) Close() {
 // Workers returns the pool size.
 func (s *Scheduler) Workers() int { return len(s.ctxs) }
 
-// Run submits root as an independent task tree and waits for it; see
-// Submit. Concurrent Runs share the pool.
-func (s *Scheduler) Run(root func(c *Context)) {
-	s.Submit(FuncTask(root)).Wait()
+// Run submits root as an independent task tree, waits for it and returns
+// its error; see Submit. Concurrent Runs share the pool.
+func (s *Scheduler) Run(root func(c *Context)) error {
+	return s.Submit(FuncTask(root)).Wait()
 }
 
 // Submit enqueues t as an independent root task tree and returns its handle
 // without waiting. Any goroutine outside the pool may call it concurrently;
-// roots are claimed by idle workers from an MPSC inbox.
+// roots are claimed by idle workers from an MPSC inbox. Submitting to a
+// closed scheduler returns a pre-failed Job with ErrClosed instead of
+// panicking.
 func (s *Scheduler) Submit(t Task) *Job {
 	j := &Job{done: make(chan struct{})}
 	s.jobsMu.Lock()
 	if s.closing {
 		s.jobsMu.Unlock()
-		panic("tbbsched: Submit called after Close")
+		j.err = ErrClosed
+		j.failed.Store(true)
+		j.sealed = true
+		close(j.done)
+		return j
 	}
 	s.jobsLive++
 	s.jobsMu.Unlock()
 	s.inboxMu.Lock()
-	s.inboxQ = append(s.inboxQ, &node{t: t, job: j})
+	s.inboxQ = append(s.inboxQ, &node{t: t, job: j, root: true})
 	s.inboxN.Add(1)
 	s.inboxMu.Unlock()
 	s.maybeWake()
@@ -182,6 +263,7 @@ func (c *Context) Spawn(t Task) {
 	n := &node{t: t, parent: c.cur}
 	if n.parent != nil {
 		n.parent.refs.Add(1)
+		n.job = n.parent.job
 	}
 	c.mu.Lock()
 	c.queue = append(c.queue, n)
@@ -213,7 +295,11 @@ func (c *Context) Wait() {
 func (c *Context) execute(n *node) {
 	prev := c.cur
 	c.cur = n
-	n.t.Execute(c)
+	// A node whose job already failed is cancelled: the body is skipped
+	// but the reference counting still drains.
+	if n.job == nil || !n.job.failed.Load() {
+		c.runBody(n)
+	}
 	// Implicit wait_for_all: a task is not complete until its subtree is.
 	idle := 0
 	for n.refs.Load() != 0 {
@@ -232,8 +318,12 @@ func (c *Context) execute(n *node) {
 	if n.parent != nil {
 		n.parent.refs.Add(-1)
 	}
-	if n.job != nil {
-		close(n.job.done)
+	if n.root {
+		j := n.job
+		j.mu.Lock()
+		j.sealed = true
+		j.mu.Unlock()
+		close(j.done)
 		s := c.sched
 		s.jobsMu.Lock()
 		s.jobsLive--
@@ -242,6 +332,21 @@ func (c *Context) execute(n *node) {
 		}
 		s.jobsMu.Unlock()
 	}
+}
+
+// runBody dispatches the node's Task behind a panic barrier: a panicking
+// Execute fails the owning job instead of unwinding (and killing) the
+// worker.
+func (c *Context) runBody(n *node) {
+	defer func() {
+		if r := recover(); r != nil {
+			if n.job == nil {
+				panic(r) // no handle to report on
+			}
+			n.job.fail(&PanicError{Value: r, Stack: debug.Stack()})
+		}
+	}()
+	n.t.Execute(c)
 }
 
 func (c *Context) popLocal() *node {

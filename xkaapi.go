@@ -43,6 +43,32 @@
 // body that blocks in Wait stalls its worker (inside the pool, use Spawn
 // and Sync instead).
 //
+// # Errors and cancellation
+//
+// Jobs are failure-aware. A panic anywhere in a job's task tree — a
+// fork-join child, a dataflow task, an adaptive-loop chunk, even a splitter
+// — is captured by the runtime instead of killing the process: the job
+// fails with a *PanicError holding the panic value and the stack of the
+// panic site (first panic wins), and the job's remaining tasks are
+// cancelled (their bodies are skipped while the bookkeeping still drains,
+// so the job always completes and dataflow state stays consistent). The
+// error comes back from Run and Job.Wait:
+//
+//	if err := rt.Run(riskyRoot); err != nil {
+//	    var pe *xkaapi.PanicError
+//	    if errors.As(err, &pe) {
+//	        log.Printf("job panicked: %v\n%s", pe.Value, pe.Stack)
+//	    }
+//	}
+//
+// Jobs can also be abandoned: SubmitCtx binds a job to a context
+// (cancellation fails the job with the context's error and stops scheduling
+// its tasks), Job.Cancel does the same with ErrCanceled. Cancellation is
+// cooperative for bodies already running — poll Proc.JobFailed from long
+// loops. Submitting to a closed runtime no longer panics: it returns a
+// pre-failed Job whose Wait reports ErrClosed. CloseErr is Close plus a
+// summary error if any job failed over the runtime's lifetime.
+//
 // The semantics are sequential (as in Athapascan): a program whose tasks are
 // never stolen executes in program order, and dataflow dependencies make any
 // parallel execution equivalent to that order. Independent jobs are
@@ -54,7 +80,25 @@
 // splitting), and keeps task objects on per-worker free lists.
 package xkaapi
 
-import "xkaapi/internal/core"
+import (
+	"context"
+
+	"xkaapi/internal/core"
+)
+
+// ErrClosed is returned (via Job.Err / Job.Wait) for jobs submitted after
+// Close: the runtime rejects them with a pre-failed Job instead of
+// panicking.
+var ErrClosed = core.ErrClosed
+
+// ErrCanceled is the failure of a job abandoned with Job.Cancel. Jobs
+// cancelled through a context fail with the context's own error instead.
+var ErrCanceled = core.ErrCanceled
+
+// PanicError is the error a job fails with when one of its task bodies
+// panics; it carries the panic value and the stack captured at the panic
+// site, and unwraps to the value when the body panicked with an error.
+type PanicError = core.PanicError
 
 // Proc is the execution context handed to every task body: spawning,
 // syncing and parallel loops are methods on it. See the methods of the
@@ -145,8 +189,10 @@ type Runtime struct {
 	rt *core.Runtime
 }
 
-// Job is the completion handle of one submitted root job; see
-// Runtime.Submit.
+// Job is the completion handle of one submitted root job. Wait returns the
+// job's error (nil, *PanicError, a context error, ErrCanceled or
+// ErrClosed), Err peeks without blocking, Cancel abandons the job's
+// not-yet-started tasks. See Runtime.Submit and Runtime.SubmitCtx.
 type Job = core.Job
 
 // New creates a runtime with the given options.
@@ -159,23 +205,43 @@ func New(opts ...Option) *Runtime {
 }
 
 // Close drains every in-flight job, then stops and joins the workers.
-// Submitting after Close panics.
+// Submitting after Close yields a pre-failed Job with ErrClosed.
 func (r *Runtime) Close() { r.rt.Close() }
+
+// CloseErr is Close plus a failure summary: nil if every job submitted over
+// the runtime's lifetime succeeded, otherwise an error counting the failed
+// jobs and wrapping the first failure.
+func (r *Runtime) CloseErr() error { return r.rt.CloseErr() }
 
 // Workers returns the number of scheduling threads.
 func (r *Runtime) Workers() int { return r.rt.NumWorkers() }
 
 // Run executes root as an independent root job on the pool and returns once
-// every transitively spawned task completed. It is Submit followed by
-// Job.Wait; concurrent Runs from different goroutines share the pool.
-func (r *Runtime) Run(root func(*Proc)) { r.rt.RunRoot(root) }
+// every transitively spawned task completed, reporting the job's error (nil
+// on success, *PanicError if a task body panicked). It is Submit followed
+// by Job.Wait; concurrent Runs from different goroutines share the pool.
+func (r *Runtime) Run(root func(*Proc)) error { return r.rt.RunRoot(root) }
+
+// RunCtx is Run bound to a context: if ctx is cancelled before the job
+// completes, the job's remaining tasks are skipped and RunCtx returns
+// ctx.Err().
+func (r *Runtime) RunCtx(ctx context.Context, root func(*Proc)) error {
+	return r.rt.SubmitCtx(ctx, root).Wait()
+}
 
 // Submit enqueues root as an independent job and returns its handle without
 // waiting. Safe to call from any goroutine outside the pool, concurrently
 // with other Submits, Runs and in-flight jobs.
 func (r *Runtime) Submit(root func(*Proc)) *Job { return r.rt.Submit(root) }
 
-// Wait blocks until every job submitted so far has completed.
+// SubmitCtx is Submit bound to a context: cancelling ctx before the job
+// completes fails the job with ctx.Err() and stops scheduling its tasks.
+func (r *Runtime) SubmitCtx(ctx context.Context, root func(*Proc)) *Job {
+	return r.rt.SubmitCtx(ctx, root)
+}
+
+// Wait blocks until every job submitted so far has completed. It does not
+// report failures; use the individual Job handles or CloseErr for errors.
 func (r *Runtime) Wait() { r.rt.Wait() }
 
 // Stats returns the summed scheduler counters; call it between Runs.
@@ -185,10 +251,11 @@ func (r *Runtime) Stats() Stats { return r.rt.Stats() }
 func (r *Runtime) ResetStats() { r.rt.ResetStats() }
 
 // Foreach runs body over [lo, hi) in parallel on r and returns when every
-// index has been processed. It is shorthand for Run + Proc.ForEach with
-// default grains.
-func (r *Runtime) Foreach(lo, hi int, body func(p *Proc, lo, hi int)) {
-	r.Run(func(p *Proc) { Foreach(p, lo, hi, body) })
+// index has been processed (or the loop failed: a panicking body aborts the
+// loop and is reported as a *PanicError). It is shorthand for Run +
+// Proc.ForEach with default grains.
+func (r *Runtime) Foreach(lo, hi int, body func(p *Proc, lo, hi int)) error {
+	return r.Run(func(p *Proc) { Foreach(p, lo, hi, body) })
 }
 
 // Foreach applies body to sub-ranges of [lo, hi) from within a running task,
