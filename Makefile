@@ -7,12 +7,15 @@ build:
 test:
 	$(GO) test ./...
 
-# Race tier: the concurrency-critical packages (scheduler core and the
-# parallel algorithms that hammer it) under the race detector, -short so the
-# stress tests use their trimmed sizes.
+# Race tier: the concurrency-critical packages under the race detector —
+# the scheduler core, the parallel algorithms that hammer it, the HTTP
+# front-end, and every paradigm layer that carries its own failure state
+# machine (cilk, gomp, tbbsched, quark each hand-roll the first-error-wins
+# Job protocol). -short keeps the stress tests at their trimmed sizes.
+RACE_PKGS = ./internal/core ./par ./server ./cilk ./gomp ./tbbsched ./quark
 .PHONY: race
 race:
-	$(GO) test -race -short ./internal/core ./par
+	$(GO) test -race -short $(RACE_PKGS)
 
 .PHONY: vet
 vet:
@@ -26,10 +29,27 @@ fmt-check:
 		echo "gofmt: files need formatting:"; echo "$$unformatted"; exit 1; \
 	fi
 
-# check is the local CI entry point: static gates, tier-1, the race tier.
+# check is the local CI entry point: static gates, tier-1, the race tier,
+# and the serve/load integration pipeline.
 .PHONY: check
-check: fmt-check vet build test race
+check: fmt-check vet build test race integration
 
 .PHONY: bench
 bench:
 	$(GO) test -bench=. -benchtime=1x ./internal/core
+
+# bench-json records the core benchmark trajectory: it runs the scheduler
+# benchmarks with allocation counts and writes BENCH_<n>.json (next free n)
+# via cmd/xkbenchjson, so perf is comparable PR to PR. Non-gating in CI.
+# Time-based benchtime: iteration-count runs are dominated by warmup noise
+# and would make the trajectory useless for spotting regressions.
+.PHONY: bench-json
+bench-json:
+	$(GO) test -bench=. -benchtime=1s -benchmem -run='^$$' ./internal/core | $(GO) run ./cmd/xkbenchjson
+
+# integration drives the real network pipeline: build xkserve, start serve,
+# run the verified mixed workload + backpressure probe against it, then
+# SIGTERM mid-load and require a clean drain (exit 0, balanced counters).
+.PHONY: integration
+integration:
+	./integration.sh

@@ -1,7 +1,12 @@
 #!/bin/sh
-# Minimal CI: static gates (gofmt, vet), tier-1 verify (build + full test
-# suite), then the race tier over the concurrency-critical packages.
-# Mirrors `make check`.
+# CI entry point, and the single source of truth for what CI runs (the
+# GitHub workflow in .github/workflows/ci.yml just invokes this script).
+#
+# Tiers: static gates (gofmt, vet), tier-1 verify (build + full test
+# suite), the race tier over the concurrency-critical packages, the
+# serve/load integration pipeline, and a non-gating benchmark tier that
+# records the perf trajectory as a BENCH_<n>.json artifact.
+# Mirrors `make check` (+ the bench tier).
 set -eu
 
 echo "== gate: gofmt -l"
@@ -21,7 +26,17 @@ go build ./...
 echo "== tier-1: go test ./..."
 go test ./...
 
-echo "== race tier: go test -race -short ./internal/core ./par"
-go test -race -short ./internal/core ./par
+echo "== race tier: make race"
+make race
+
+echo "== integration tier: xkserve serve + load over HTTP"
+./integration.sh
+
+echo "== bench tier (non-gating): make bench-json"
+if make bench-json; then
+	echo "bench tier OK"
+else
+	echo "bench tier FAILED (non-gating, continuing)" >&2
+fi
 
 echo "CI OK"

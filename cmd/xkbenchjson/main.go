@@ -1,0 +1,130 @@
+// Command xkbenchjson converts `go test -bench` output on stdin into a
+// BENCH_<n>.json artifact, so the benchmark trajectory of the runtime is
+// recorded per PR (see `make bench-json`). The output file records, per
+// benchmark: name, iterations, ns/op, and — when -benchmem was used —
+// B/op and allocs/op, plus enough environment (go version, GOMAXPROCS,
+// timestamp) to compare runs.
+//
+// The file is written to the current directory as BENCH_<n>.json where n
+// is the smallest index not already present, or to -out when given.
+//
+// Usage:
+//
+//	go test -bench=. -benchmem ./internal/core | xkbenchjson [-out FILE]
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// BenchResult is one benchmark line.
+type BenchResult struct {
+	Name        string  `json:"name"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// BenchFile is the artifact schema.
+type BenchFile struct {
+	GoVersion  string        `json:"go_version"`
+	GoMaxProcs int           `json:"gomaxprocs"`
+	Timestamp  string        `json:"timestamp"`
+	Packages   []string      `json:"packages"`
+	Benchmarks []BenchResult `json:"benchmarks"`
+}
+
+func main() {
+	out := flag.String("out", "", "output file (default: next free BENCH_<n>.json)")
+	flag.Parse()
+
+	bf := BenchFile{
+		GoVersion:  runtime.Version(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Timestamp:  time.Now().UTC().Format(time.RFC3339),
+	}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Println(line) // stay transparent: pass the raw output through
+		if pkg, ok := strings.CutPrefix(line, "pkg: "); ok {
+			bf.Packages = append(bf.Packages, strings.TrimSpace(pkg))
+			continue
+		}
+		if r, ok := parseBenchLine(line); ok {
+			bf.Benchmarks = append(bf.Benchmarks, r)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "xkbenchjson: reading stdin: %v\n", err)
+		os.Exit(1)
+	}
+	if len(bf.Benchmarks) == 0 {
+		fmt.Fprintln(os.Stderr, "xkbenchjson: no benchmark lines found on stdin")
+		os.Exit(1)
+	}
+
+	path := *out
+	if path == "" {
+		path = nextBenchFile()
+	}
+	data, err := json.MarshalIndent(bf, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "xkbenchjson: %v\n", err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "xkbenchjson: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("xkbenchjson: wrote %d benchmark(s) to %s\n", len(bf.Benchmarks), path)
+}
+
+// parseBenchLine parses one `go test -bench` result line, e.g.
+//
+//	BenchmarkSpawnExecute-8   1000000   152.3 ns/op   24 B/op   1 allocs/op
+func parseBenchLine(line string) (BenchResult, bool) {
+	f := strings.Fields(line)
+	if len(f) < 4 || !strings.HasPrefix(f[0], "Benchmark") || f[3] != "ns/op" {
+		return BenchResult{}, false
+	}
+	iters, err1 := strconv.ParseInt(f[1], 10, 64)
+	ns, err2 := strconv.ParseFloat(f[2], 64)
+	if err1 != nil || err2 != nil {
+		return BenchResult{}, false
+	}
+	r := BenchResult{Name: f[0], Iterations: iters, NsPerOp: ns}
+	for i := 4; i+1 < len(f); i += 2 {
+		v, err := strconv.ParseInt(f[i], 10, 64)
+		if err != nil {
+			continue
+		}
+		switch f[i+1] {
+		case "B/op":
+			r.BytesPerOp = v
+		case "allocs/op":
+			r.AllocsPerOp = v
+		}
+	}
+	return r, true
+}
+
+// nextBenchFile picks BENCH_<n>.json for the smallest n with no file yet.
+func nextBenchFile() string {
+	for n := 0; ; n++ {
+		path := fmt.Sprintf("BENCH_%d.json", n)
+		if _, err := os.Stat(path); os.IsNotExist(err) {
+			return path
+		}
+	}
+}

@@ -1,293 +1,57 @@
-// Command xkserve demonstrates the concurrent-submission subsystem: one
-// X-Kaapi runtime serving many independent clients at once, the way a
-// request-serving system would share a worker pool — including the failure
-// isolation such a system needs.
+// Command xkserve is the X-Kaapi network front-end and its load generator.
 //
-// N client goroutines each fire M jobs at the shared runtime, cycling
-// through the three paradigms of the paper:
+// "xkserve serve" runs an HTTP server (package server) that maps each
+// request onto one job of a shared X-Kaapi worker pool: per-request
+// deadlines and client disconnects cancel the job through the runtime's
+// context machinery, a bounded in-flight budget rejects over-budget bursts
+// with 429 + Retry-After, and SIGTERM/SIGINT drain in-flight jobs before
+// the pool is closed — the process exits 0 only if the drain was clean and
+// the scheduler counters balance (spawned == executed + cancelled).
 //
-//   - fib: fork-join recursion (Spawn/Sync), spawn-bound;
-//   - loop: an adaptive foreach reduction (kaapic_foreach), bandwidth-bound;
-//   - chol: a tile Cholesky factorization declared as dataflow tasks, DAG
-//     scheduling with real floating-point kernels.
-//
-// With -faults N, N extra jobs panic on purpose, spread across the
-// paradigms. A panicking job fails only itself: the runtime captures the
-// panic into that job's error (surfaced here in the per-kind summary) and
-// every other client's jobs keep running — one bad request can no longer
-// take the whole demo down.
-//
-// SIGINT (ctrl-C) cancels the serving context: in-flight jobs are
-// abandoned (reported as cancelled, not failures), the pool drains, and
-// the tool still prints its summary.
-//
-// Every completed job's result is verified. The tool reports per-kind
-// counts, per-kind error summaries, end-to-end throughput in jobs/s, and
-// the scheduler counters, which must balance (spawned == executed +
-// cancelled) once the pool is drained. The exit status is non-zero only if
-// a job failed unexpectedly: wrong results, or errors other than the
-// injected panics and the cancellations of an interrupt.
+// "xkserve load" drives a running serve instance with a mixed workload
+// (fib fork-join, adaptive loop, Cholesky dataflow), verifies every
+// response payload, retries 429s with the advertised backoff, and reports
+// throughput plus per-kind outcome counts. It exits non-zero on any
+// unexpected error, which makes it the integration-test driver ci.sh uses.
 //
 // Usage:
 //
-//	xkserve [-workers N] [-clients 8] [-jobs 100] [-faults 0]
-//	        [-fib 22] [-loop 200000] [-chol 192] [-nb 64]
+//	xkserve serve [-addr :8080] [-workers N] [-budget B] [-timeout 30s]
+//	              [-drain-timeout 30s] [-max-fib 40] [-max-loop 50000000]
+//	              [-max-chol 2048]
+//	xkserve load  [-addr http://127.0.0.1:8080] [-clients 8] [-jobs 60]
+//	              [-fib 22] [-loop 200000] [-chol 192] [-nb 64]
+//	              [-timeout 0] [-burst 0] [-expect-429] [-expect-drain]
 package main
 
 import (
-	"context"
-	"errors"
-	"flag"
 	"fmt"
 	"os"
-	"os/signal"
-	"runtime"
-	"sync"
-	"sync/atomic"
-	"time"
-
-	"xkaapi"
-	"xkaapi/internal/cholesky"
-	"xkaapi/internal/tile"
 )
-
-func fibTask(p *xkaapi.Proc, r *int64, n int) {
-	if n < 2 {
-		*r = int64(n)
-		return
-	}
-	var a, b int64
-	p.Spawn(func(p *xkaapi.Proc) { fibTask(p, &a, n-1) })
-	fibTask(p, &b, n-2)
-	p.Sync()
-	*r = a + b
-}
-
-func fibSeq(n int) int64 {
-	a, b := int64(0), int64(1)
-	for i := 0; i < n; i++ {
-		a, b = b, a+b
-	}
-	return a
-}
-
-const (
-	kindFib = iota
-	kindLoop
-	kindChol
-	kindFault // deliberately panicking job (-faults)
-	numKinds
-)
-
-var kindNames = [numKinds]string{"fib", "loop", "chol", "fault"}
-
-// tally accumulates per-kind outcomes.
-type tally struct {
-	done      [numKinds]atomic.Int64 // jobs completed (any outcome)
-	failed    [numKinds]atomic.Int64 // jobs with an error
-	cancelled [numKinds]atomic.Int64 // jobs cancelled by the interrupt context
-	badResult [numKinds]atomic.Int64 // jobs that completed with a wrong answer
-
-	mu        sync.Mutex
-	firstErrs [numKinds]error // first error seen per kind, for the summary
-}
-
-func (ta *tally) record(kind int, err error, resultOK bool) {
-	ta.done[kind].Add(1)
-	switch {
-	case errors.Is(err, context.Canceled):
-		ta.cancelled[kind].Add(1)
-	case err != nil:
-		ta.failed[kind].Add(1)
-		ta.mu.Lock()
-		if ta.firstErrs[kind] == nil {
-			ta.firstErrs[kind] = err
-		}
-		ta.mu.Unlock()
-	case !resultOK:
-		ta.badResult[kind].Add(1)
-	}
-}
 
 func main() {
-	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "worker threads in the shared pool")
-	clients := flag.Int("clients", 8, "concurrent client goroutines")
-	jobs := flag.Int("jobs", 100, "jobs per client")
-	faults := flag.Int("faults", 0, "extra deliberately panicking jobs (failure-isolation demo)")
-	fibN := flag.Int("fib", 22, "fib job size")
-	loopN := flag.Int("loop", 200_000, "loop job iteration count")
-	cholN := flag.Int("chol", 192, "cholesky job matrix order")
-	nb := flag.Int("nb", 64, "cholesky tile size")
-	flag.Parse()
-
-	// ctrl-C cancels the serving context: jobs already submitted fail with
-	// context.Canceled, clients stop submitting, the pool drains.
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
-	defer stop()
-
-	rt := xkaapi.New(xkaapi.WithWorkers(*workers))
-	defer rt.Close()
-
-	wantFib := fibSeq(*fibN)
-	wantLoop := int64(*loopN) * int64(*loopN-1) / 2
-	cholSrc := tile.NewSPD(*cholN, 42)
-
-	var ta tally
-
-	start := time.Now()
-	var wg sync.WaitGroup
-	for c := 0; c < *clients; c++ {
-		wg.Add(1)
-		go func(client int) {
-			defer wg.Done()
-			for j := 0; j < *jobs; j++ {
-				if ctx.Err() != nil {
-					return // interrupted: stop submitting
-				}
-				switch (client + j) % 3 {
-				case kindFib:
-					var r int64
-					err := rt.SubmitCtx(ctx, func(p *xkaapi.Proc) { fibTask(p, &r, *fibN) }).Wait()
-					ta.record(kindFib, err, err != nil || r == wantFib)
-				case kindLoop:
-					var sum atomic.Int64
-					err := rt.SubmitCtx(ctx, func(p *xkaapi.Proc) {
-						xkaapi.Foreach(p, 0, *loopN, func(_ *xkaapi.Proc, lo, hi int) {
-							s := int64(0)
-							for i := lo; i < hi; i++ {
-								s += int64(i)
-							}
-							sum.Add(s)
-						})
-					}).Wait()
-					ta.record(kindLoop, err, err != nil || sum.Load() == wantLoop)
-				case kindChol:
-					m := tile.FromDense(cholSrc, *nb)
-					err := cholesky.KaapiCtx(ctx, rt, m)
-					ta.record(kindChol, err, true)
-				}
-			}
-		}(c)
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
 	}
-
-	// Fault injector: every fault job panics inside a different paradigm.
-	// These must fail — with a PanicError, nothing else — and must not
-	// disturb any other client.
-	faultErrs := make([]error, *faults)
-	var fwg sync.WaitGroup
-	for f := 0; f < *faults; f++ {
-		fwg.Add(1)
-		go func(f int) {
-			defer fwg.Done()
-			var err error
-			switch f % 3 {
-			case 0: // fork-join child panics
-				err = rt.SubmitCtx(ctx, func(p *xkaapi.Proc) {
-					p.Spawn(func(*xkaapi.Proc) { panic(fmt.Sprintf("injected fault %d", f)) })
-					p.Sync()
-				}).Wait()
-			case 1: // adaptive-loop chunk panics
-				err = rt.SubmitCtx(ctx, func(p *xkaapi.Proc) {
-					xkaapi.Foreach(p, 0, *loopN, func(_ *xkaapi.Proc, lo, hi int) {
-						// The chunks partition [0, n), so exactly the chunks
-						// past the midpoint panic — under any split schedule.
-						if hi > *loopN/2 {
-							panic(fmt.Sprintf("injected fault %d", f))
-						}
-					})
-				}).Wait()
-			case 2: // dataflow task panics; successor must be cancelled
-				var h xkaapi.Handle
-				err = rt.SubmitCtx(ctx, func(p *xkaapi.Proc) {
-					p.SpawnTask(func(*xkaapi.Proc) { panic(fmt.Sprintf("injected fault %d", f)) },
-						xkaapi.Write(&h))
-					p.SpawnTask(func(*xkaapi.Proc) {}, xkaapi.Read(&h))
-				}).Wait()
-			}
-			faultErrs[f] = err
-			ta.record(kindFault, err, true)
-		}(f)
+	switch os.Args[1] {
+	case "serve":
+		os.Exit(runServe(os.Args[2:]))
+	case "load":
+		os.Exit(runLoad(os.Args[2:]))
+	case "-h", "--help", "help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "xkserve: unknown subcommand %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
 	}
-
-	wg.Wait()
-	fwg.Wait()
-	rt.Wait() // pool must be fully drained before reading stats
-	elapsed := time.Since(start)
-	interrupted := ctx.Err() != nil
-
-	// A fault job succeeded, or failed with something other than its
-	// injected panic? That is a real failure of the isolation machinery.
-	faultsOK := true
-	for _, err := range faultErrs {
-		var pe *xkaapi.PanicError
-		if errors.Is(err, context.Canceled) {
-			continue // interrupt won the race with the panic: fine
-		}
-		if err == nil || !errors.As(err, &pe) {
-			faultsOK = false
-		}
-	}
-
-	total, failed, cancelled, bad := int64(0), int64(0), int64(0), int64(0)
-	fmt.Printf("xkserve: %d clients x %d jobs (+%d faults) over one %d-worker pool\n",
-		*clients, *jobs, *faults, rt.Workers())
-	ta.mu.Lock()
-	for k, name := range kindNames {
-		n := ta.done[k].Load()
-		if k == kindFault && n == 0 {
-			continue
-		}
-		total += n
-		failed += ta.failed[k].Load()
-		cancelled += ta.cancelled[k].Load()
-		bad += ta.badResult[k].Load()
-		line := fmt.Sprintf("  %-5s %6d jobs", name, n)
-		if f := ta.failed[k].Load(); f > 0 {
-			line += fmt.Sprintf("  %d failed (first: %s)", f, firstLine(ta.firstErrs[k]))
-		}
-		if c := ta.cancelled[k].Load(); c > 0 {
-			line += fmt.Sprintf("  %d cancelled", c)
-		}
-		if b := ta.badResult[k].Load(); b > 0 {
-			line += fmt.Sprintf("  %d WRONG RESULTS", b)
-		}
-		fmt.Println(line)
-	}
-	ta.mu.Unlock()
-	fmt.Printf("  total %6d jobs in %v  (%.0f jobs/s)\n",
-		total, elapsed.Round(time.Millisecond), float64(total)/elapsed.Seconds())
-	if interrupted {
-		fmt.Println("  interrupted: remaining jobs cancelled, pool drained cleanly")
-	}
-
-	s := rt.Stats()
-	fmt.Printf("  scheduler: spawned=%d executed=%d cancelled=%d panicked=%d steals=%d/%d combines=%d splits=%d parks=%d\n",
-		s.Spawned, s.Executed, s.Cancelled, s.Panicked, s.StealHits, s.StealRequests, s.Combines, s.Splits, s.Parks)
-
-	// Exit non-zero only on unexpected failures: wrong results, counter
-	// imbalance, a non-fault job erroring without being cancelled, or a
-	// fault job not failing with its panic.
-	unexpected := failed - ta.failed[kindFault].Load()
-	balanced := s.Spawned == s.Executed+s.Cancelled
-	if bad > 0 || unexpected > 0 || !balanced || !faultsOK {
-		fmt.Printf("FAILED: %d wrong results, %d unexpected errors, faultsOK=%v, spawned=%d executed=%d cancelled=%d\n",
-			bad, unexpected, faultsOK, s.Spawned, s.Executed, s.Cancelled)
-		os.Exit(1)
-	}
-	fmt.Println("  all completed jobs verified, failures isolated, counters balanced")
 }
 
-// firstLine trims an error (PanicErrors carry a full stack) to its first
-// line for the one-line summary.
-func firstLine(err error) string {
-	if err == nil {
-		return ""
-	}
-	s := err.Error()
-	for i := 0; i < len(s); i++ {
-		if s[i] == '\n' {
-			return s[:i]
-		}
-	}
-	return s
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  xkserve serve [flags]   run the HTTP front-end over one shared worker pool
+  xkserve load  [flags]   drive a running serve with a verified mixed workload
+
+run "xkserve serve -h" or "xkserve load -h" for the flags.`)
 }

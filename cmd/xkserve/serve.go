@@ -1,0 +1,103 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"xkaapi"
+	"xkaapi/server"
+)
+
+// runServe runs the HTTP front-end until SIGTERM/SIGINT, then drains:
+// stop routing (healthz 503), refuse new work, wait for in-flight
+// handlers, drain the pool, and verify the scheduler counters balance.
+// The returned exit code is 0 only for a clean drain.
+func runServe(args []string) int {
+	fs := flag.NewFlagSet("xkserve serve", flag.ExitOnError)
+	addr := fs.String("addr", ":8080", "listen address")
+	workers := fs.Int("workers", runtime.GOMAXPROCS(0), "worker threads in the shared pool")
+	budget := fs.Int("budget", 0, "max in-flight jobs (0 = 2x workers)")
+	timeout := fs.Duration("timeout", 30*time.Second, "default per-request deadline (0 = none)")
+	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "max time to wait for in-flight requests on shutdown")
+	maxFib := fs.Int("max-fib", 0, "cap on fib request size (0 = default)")
+	maxLoop := fs.Int("max-loop", 0, "cap on loop request size (0 = default)")
+	maxChol := fs.Int("max-chol", 0, "cap on cholesky request order (0 = default)")
+	fs.Parse(args)
+
+	rt := xkaapi.New(xkaapi.WithWorkers(*workers))
+	srv := server.New(server.Config{
+		Runtime:        rt,
+		Budget:         *budget,
+		DefaultTimeout: *timeout,
+		MaxFib:         *maxFib,
+		MaxLoop:        *maxLoop,
+		MaxChol:        *maxChol,
+	})
+	httpSrv := &http.Server{Addr: *addr, Handler: srv}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	fmt.Printf("xkserve: serving on %s (%d workers, budget %d, default timeout %v)\n",
+		*addr, rt.Workers(), srv.Budget(), *timeout)
+
+	select {
+	case <-ctx.Done():
+		// Unregister the signal handler immediately: a second SIGTERM/SIGINT
+		// during a long drain then kills the process with default semantics
+		// instead of being swallowed.
+		stop()
+		fmt.Println("xkserve: signal received, draining (send again to force-kill)")
+	case err := <-errc:
+		fmt.Fprintf(os.Stderr, "xkserve: listener failed: %v\n", err)
+		rt.Close()
+		return 1
+	}
+
+	// Drain sequence: stop admitting (healthz goes 503 so load balancers
+	// back off), let in-flight handlers finish via Shutdown, then drain the
+	// pool and read the quiescent counters.
+	srv.StartDrain()
+	clean := true
+	shutCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutCtx); err != nil {
+		fmt.Fprintf(os.Stderr, "xkserve: shutdown incomplete: %v\n", err)
+		clean = false
+	}
+	if err := rt.Wait(); err != nil {
+		// Failures here were already reported per request; jobs failing
+		// with cancellation during a drain are expected, anything else is
+		// not. Surface the aggregate for the operator either way.
+		fmt.Printf("xkserve: drained job failures (aggregated): %s\n", server.ErrorLine(err))
+	}
+	s := rt.Stats() // pool is quiescent now: full counters are safe
+	balanced := s.Spawned == s.Executed+s.Cancelled
+	fmt.Printf("xkserve: scheduler spawned=%d executed=%d cancelled=%d panicked=%d steals=%d/%d combines=%d splits=%d parks=%d\n",
+		s.Spawned, s.Executed, s.Cancelled, s.Panicked,
+		s.StealHits, s.StealRequests, s.Combines, s.Splits, s.Parks)
+	if !balanced {
+		fmt.Fprintf(os.Stderr, "xkserve: counter imbalance: spawned=%d != executed=%d + cancelled=%d\n",
+			s.Spawned, s.Executed, s.Cancelled)
+		clean = false
+	}
+	if err := rt.CloseErr(); err != nil {
+		// The summary counts every failed job over the runtime's lifetime
+		// (drain cancellations included) and shows the first failure.
+		fmt.Printf("xkserve: lifetime job failures: %s\n", server.ErrorLine(err))
+	}
+	if clean {
+		fmt.Println("xkserve: drained cleanly")
+		return 0
+	}
+	return 1
+}

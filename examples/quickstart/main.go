@@ -5,18 +5,24 @@
 // It shows (1) fork-join tasks with Spawn/Sync, (2) dataflow tasks whose
 // execution order is derived from declared accesses, (3) an adaptive
 // parallel loop with a reduction, (4) concurrent job submission: many
-// goroutines sharing one worker pool through Submit/Wait, and (5) error
+// goroutines sharing one worker pool through Submit/Wait, (5) error
 // handling: jobs that panic or are cancelled fail individually — the
-// runtime survives and reports the failure from Run / Job.Wait.
+// runtime survives and reports the failure from Run / Job.Wait — and
+// (6) serving jobs over HTTP: the same pool behind package server's
+// request-per-job front-end with deadlines and backpressure.
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
+	"net"
+	"net/http"
 	"sync"
 
 	"xkaapi"
+	"xkaapi/server"
 )
 
 // fib spawns one task per node, exactly like Fig. 1 of the X-Kaapi paper.
@@ -134,4 +140,32 @@ func main() {
 		panic(err)
 	}
 	fmt.Println("still serving: fib(20) =", again)
+
+	// 6. Serving jobs over HTTP. Package server wraps the same runtime in
+	// a network front-end: each request becomes one SubmitCtx job bound to
+	// the request context (deadlines and client disconnects cancel the
+	// job), a bounded budget rejects over-budget bursts with 429, and
+	// per-job stats come back in every response. `xkserve serve` runs this
+	// at the command line; here we mount it in-process.
+	front := server.New(server.Config{Runtime: rt, Budget: 4})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		panic(err)
+	}
+	httpSrv := &http.Server{Handler: front}
+	go httpSrv.Serve(ln)
+	resp, err := http.Get("http://" + ln.Addr().String() + "/fib?n=20&timeout=2s")
+	if err != nil {
+		panic(err)
+	}
+	var rep struct {
+		Result int64           `json:"result"`
+		OK     bool            `json:"ok"`
+		Job    xkaapi.JobStats `json:"job"`
+	}
+	json.NewDecoder(resp.Body).Decode(&rep)
+	resp.Body.Close()
+	fmt.Printf("GET /fib?n=20 -> result=%d ok=%v (job executed %d tasks)\n",
+		rep.Result, rep.OK, rep.Job.Executed)
+	httpSrv.Shutdown(context.Background())
 }

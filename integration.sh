@@ -1,0 +1,47 @@
+#!/bin/sh
+# Integration tier: the xkserve serve/load pipeline over real HTTP.
+#
+# Phase 1 runs the verified mixed workload (fib fork-join + adaptive loop +
+# Cholesky dataflow) plus an over-budget burst that must be answered with
+# 429s. Phase 2 SIGTERMs the server mid-load: it must drain in-flight jobs
+# and exit 0 with balanced scheduler counters (spawned == executed +
+# cancelled), while the load generator tolerates the drain.
+set -eu
+
+ADDR=127.0.0.1:18097
+BIN="${TMPDIR:-/tmp}/xkserve-ci"
+SERVE_LOG="${TMPDIR:-/tmp}/xkserve-ci-serve.log"
+LOAD_LOG="${TMPDIR:-/tmp}/xkserve-ci-load.log"
+
+go build -o "$BIN" ./cmd/xkserve
+
+"$BIN" serve -addr "$ADDR" -budget 4 -timeout 30s >"$SERVE_LOG" 2>&1 &
+SERVE_PID=$!
+trap 'kill "$SERVE_PID" 2>/dev/null || true' EXIT
+
+echo "== integration: mixed workload + backpressure burst"
+"$BIN" load -addr "http://$ADDR" -clients 6 -jobs 12 \
+	-fib 20 -loop 100000 -chol 128 -nb 32 -burst 16 -expect-429
+
+echo "== integration: SIGTERM mid-load must drain cleanly"
+"$BIN" load -addr "http://$ADDR" -clients 6 -jobs 500 -chol 256 -nb 32 \
+	-expect-drain >"$LOAD_LOG" 2>&1 &
+LOAD_PID=$!
+sleep 1
+kill -TERM "$SERVE_PID"
+SERVE_STATUS=0
+wait "$SERVE_PID" || SERVE_STATUS=$?
+wait "$LOAD_PID" || {
+	echo "integration: load generator failed during drain:" >&2
+	cat "$LOAD_LOG" >&2
+	exit 1
+}
+trap - EXIT
+cat "$SERVE_LOG"
+if [ "$SERVE_STATUS" -ne 0 ]; then
+	echo "integration: serve exited $SERVE_STATUS (want 0: clean drain)" >&2
+	exit 1
+fi
+grep -q "drained cleanly" "$SERVE_LOG"
+rm -f "$SERVE_LOG" "$LOAD_LOG" "$BIN"
+echo "integration OK"

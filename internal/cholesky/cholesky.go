@@ -64,17 +64,36 @@ func Kaapi(rt *xkaapi.Runtime, t *tile.Tiled) error {
 // factorization's remaining tile tasks and returns ctx's error (t is then
 // partially factored and must be discarded).
 func KaapiCtx(ctx context.Context, rt *xkaapi.Runtime, t *tile.Tiled) error {
+	job, kernelErr := SubmitKaapi(ctx, rt, t)
+	err := job.Wait()
+	if ke := kernelErr(); ke != nil {
+		return ke // a kernel diagnostic (non-SPD input) beats the job error
+	}
+	return err
+}
+
+// SubmitKaapi inserts the factorization's tile tasks as one dataflow job on
+// rt and returns without waiting: the job handle (for Wait, Cancel and
+// per-job Stats — this is the submit-style entry a request-serving
+// front-end needs), plus an accessor for the first kernel diagnostic (a
+// non-positive-definite input detected by potrf), which is only meaningful
+// once the job is done.
+func SubmitKaapi(ctx context.Context, rt *xkaapi.Runtime, t *tile.Tiled) (*xkaapi.Job, func() error) {
 	nb, nt := t.NB, t.NT
 	handles := make([]xkaapi.Handle, nt*nt)
 	h := func(i, j int) *xkaapi.Handle { return &handles[i*nt+j] }
-	var errOnce sync.Once
+	var errMu sync.Mutex
 	var ferr error
 	fail := func(err error) {
 		if err != nil {
-			errOnce.Do(func() { ferr = err })
+			errMu.Lock()
+			if ferr == nil {
+				ferr = err
+			}
+			errMu.Unlock()
 		}
 	}
-	fail(rt.SubmitCtx(ctx, func(p *xkaapi.Proc) {
+	job := rt.SubmitCtx(ctx, func(p *xkaapi.Proc) {
 		for k := 0; k < nt; k++ {
 			k := k
 			p.SpawnTask(func(*xkaapi.Proc) {
@@ -101,8 +120,12 @@ func KaapiCtx(ctx context.Context, rt *xkaapi.Runtime, t *tile.Tiled) error {
 			}
 		}
 		p.Sync()
-	}).Wait())
-	return ferr
+	})
+	return job, func() error {
+		errMu.Lock()
+		defer errMu.Unlock()
+		return ferr
+	}
 }
 
 // RunQuark factors t in place by inserting the tile kernels through the

@@ -72,9 +72,24 @@
 // (cancellation fails the job with ctx.Err()), Job.Cancel fails it with
 // ErrCanceled. Submit after Close returns a pre-failed job with ErrClosed
 // instead of panicking, so services can race submission against shutdown
-// without a recover. The Stats counters Panicked and Cancelled account for
-// recovered panics and skipped tasks: when a pool drains, Spawned ==
-// Executed + Cancelled.
+// without a recover. Once a job has failed, further Spawn/SpawnTask calls
+// from its tasks cancel eagerly: the child is counted but never allocated,
+// enqueued or registered on handles, so a deep tree that fails early stops
+// generating deque traffic at the source (execution-time skipping remains
+// the backstop for tasks enqueued before the failure). The Stats counters
+// Panicked and Cancelled account for recovered panics and skipped tasks:
+// when a pool drains, Spawned == Executed + Cancelled.
+//
+// # Per-job attribution and drain errors
+//
+// Beyond the pool-global Stats, each Job carries its own outcome counters
+// (Job.Stats: Executed, Cancelled, Panicked), attributed at execution
+// time, which gives a service per-request accounting over a shared pool.
+// Runtime.Wait drains all submitted jobs and returns an errors.Join of the
+// failures recorded since the previous drain (bounded; floods are
+// summarized by count), so batch clients need not track every Job handle.
+// LiveStats exposes the subset of counters that is safe to read while jobs
+// are in flight.
 //
 // The model is fully strict: every task waits (by scheduling other work, not
 // by blocking the thread) for its children before completing, so a program

@@ -2,6 +2,8 @@ package core
 
 import (
 	"context"
+	"errors"
+	"fmt"
 	"sync"
 	"sync/atomic"
 )
@@ -24,6 +26,35 @@ type Job struct {
 	mu     sync.Mutex
 	err    error // first failure; immutable once set
 	sealed bool  // job finished: late fail calls are ignored
+
+	// Per-job attribution of the task outcome counters (the pool-global
+	// Stats remain the sum over workers). Atomics: tasks of one job execute
+	// on many workers concurrently.
+	nExecuted  atomic.Int64
+	nCancelled atomic.Int64
+	nPanicked  atomic.Int64
+}
+
+// JobStats is a snapshot of one job's task outcome counters, the per-job
+// attribution of the pool-global Stats a multi-tenant service needs for
+// per-request (or per-client) accounting: how many task bodies of this job
+// ran, how many were skipped because the job had failed, and how many
+// panicked.
+type JobStats struct {
+	Executed  int64 // task bodies of this job that ran
+	Cancelled int64 // tasks skipped (at spawn or at execution) after the job failed
+	Panicked  int64 // task bodies of this job that panicked
+}
+
+// Stats returns the job's task outcome counters. It may be called at any
+// time, including while the job runs; the snapshot is only guaranteed
+// complete once the job is Done.
+func (j *Job) Stats() JobStats {
+	return JobStats{
+		Executed:  j.nExecuted.Load(),
+		Cancelled: j.nCancelled.Load(),
+		Panicked:  j.nPanicked.Load(),
+	}
 }
 
 // Wait blocks until the job's whole task tree has completed, then returns
@@ -223,13 +254,29 @@ func (rt *Runtime) SubmitCtx(ctx context.Context, fn func(*Worker)) *Job {
 	return j
 }
 
-// Wait blocks until every job submitted so far has completed. Like
-// Job.Wait it must be called from outside the pool. It does not report job
-// failures; track individual Job handles (or CloseErr) for errors.
-func (rt *Runtime) Wait() {
+// Wait blocks until every job submitted so far has completed, then returns
+// the aggregated outcome of the drain: nil if no job failed since the last
+// Wait, otherwise an errors.Join of the failures recorded since then (so
+// errors.Is/As reach each *PanicError or cancellation cause). At most
+// maxDrainErrs individual errors are retained between drains; further
+// failures are elided into a summary error carrying their count. Like
+// Job.Wait it must be called from outside the pool. Each failure is
+// reported by exactly one Wait drain; individual Job handles and CloseErr
+// observe failures independently of Wait.
+func (rt *Runtime) Wait() error {
 	rt.jobsMu.Lock()
 	for rt.jobsLive > 0 {
 		rt.jobsCond.Wait()
 	}
 	rt.jobsMu.Unlock()
+	rt.failMu.Lock()
+	errs := rt.drainErrs
+	dropped := rt.drainDropped
+	rt.drainErrs = nil
+	rt.drainDropped = 0
+	rt.failMu.Unlock()
+	if dropped > 0 {
+		errs = append(errs, fmt.Errorf("core: %d more job failure(s) elided", dropped))
+	}
+	return errors.Join(errs...)
 }

@@ -82,6 +82,9 @@ func (lc *loopCtx) runChunk(w *Worker, lo, hi int64) (ok bool) {
 				err = au.err // nested loop already recorded the panic
 			} else {
 				w.stats.panicked++
+				if lc.job != nil {
+					lc.job.nPanicked.Add(1)
+				}
 				err = newPanicError(r)
 			}
 			lc.fail(err)

@@ -42,9 +42,11 @@ type Runtime struct {
 	jobsLive int  // submitted jobs whose task trees have not drained
 	closing  bool // Close entered: reject new submissions (guarded by jobsMu)
 
-	failMu     sync.Mutex
-	failedJobs int   // jobs that finished with a non-nil error
-	firstErr   error // error of the first such job
+	failMu       sync.Mutex
+	failedJobs   int     // jobs that finished with a non-nil error
+	firstErr     error   // error of the first such job
+	drainErrs    []error // failures not yet reported by a Wait drain (capped)
+	drainDropped int     // failures elided once drainErrs hit maxDrainErrs
 
 	idle        atomic.Int32
 	parkMu      sync.Mutex
@@ -137,14 +139,24 @@ func (rt *Runtime) CloseErr() error {
 	return fmt.Errorf("core: %d job(s) failed; first: %w", rt.failedJobs, rt.firstErr)
 }
 
-// noteFailed records a job failure for CloseErr. Called once per failed job
-// as it finishes.
+// maxDrainErrs bounds the failures buffered between Wait drains, so a
+// long-running service that rarely calls Wait cannot accumulate errors
+// without bound; failures beyond the cap are counted and summarized.
+const maxDrainErrs = 16
+
+// noteFailed records a job failure for CloseErr and for the next Wait
+// drain. Called once per failed job as it finishes.
 func (rt *Runtime) noteFailed(err error) {
 	rt.failMu.Lock()
 	if rt.failedJobs == 0 {
 		rt.firstErr = err
 	}
 	rt.failedJobs++
+	if len(rt.drainErrs) < maxDrainErrs {
+		rt.drainErrs = append(rt.drainErrs, err)
+	} else {
+		rt.drainDropped++
+	}
 	rt.failMu.Unlock()
 }
 
@@ -160,6 +172,22 @@ func (rt *Runtime) Stats() Stats {
 	s := Stats{Spawned: rt.extSpawned.Load()}
 	for _, w := range rt.workers {
 		s.Add(w.stats.snapshot())
+	}
+	return s
+}
+
+// LiveStats returns the subset of the scheduler counters that is safe to
+// read while jobs are in flight: the externally submitted root count and
+// the thief-path counters (steal requests/hits, combines, splits, parks),
+// which are all atomics. The task-path counters (Spawned beyond roots,
+// Executed, ReadyReleases, Panicked, Cancelled) are deliberately plain
+// per-worker integers — reading them concurrently with execution would be
+// a data race — and are reported as zero here; use Stats once the runtime
+// is quiescent for the full picture.
+func (rt *Runtime) LiveStats() Stats {
+	s := Stats{Spawned: rt.extSpawned.Load()}
+	for _, w := range rt.workers {
+		s.Add(w.stats.liveSnapshot())
 	}
 	return s
 }

@@ -77,6 +77,20 @@ func (ws *workerStats) snapshot() Stats {
 	}
 }
 
+// liveSnapshot reads only the thief-path counters, which are atomics and
+// therefore safe to read while the worker is executing tasks.
+func (ws *workerStats) liveSnapshot() Stats {
+	return Stats{
+		StealRequests: ws.stealRequests.Load(),
+		StealHits:     ws.stealHits.Load(),
+		Combines:      ws.combines.Load(),
+		CombineServed: ws.combineServed.Load(),
+		Splits:        ws.splits.Load(),
+		SplitTasks:    ws.splitTasks.Load(),
+		Parks:         ws.parks.Load(),
+	}
+}
+
 func (ws *workerStats) reset() {
 	ws.spawned = 0
 	ws.executed = 0

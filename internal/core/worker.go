@@ -48,7 +48,17 @@ func (w *Worker) Runtime() *Runtime { return w.rt }
 // worker's deque (non-blocking task creation, §II-B: the caller continues
 // immediately). The child has no dataflow accesses; use SpawnTask for
 // dependency-carrying tasks.
+//
+// Spawning into a job that has already failed cancels the child eagerly:
+// no Task is allocated or enqueued, so a deep tree that fails early stops
+// producing deque traffic at the spawn site instead of paying a push, a
+// steal and a skip per dead task. The child is still accounted (Spawned and
+// Cancelled both advance), keeping the Spawned == Executed + Cancelled
+// invariant.
 func (w *Worker) Spawn(fn func(*Worker)) {
+	if w.cancelEagerly() {
+		return
+	}
 	t := w.alloc()
 	t.body = fn
 	t.parent = w.cur
@@ -61,11 +71,35 @@ func (w *Worker) Spawn(fn func(*Worker)) {
 	w.rt.maybeWake()
 }
 
+// cancelEagerly implements the eager-cancel fast path shared by Spawn and
+// SpawnTask: if the current task's job has already failed, the child is
+// counted as spawned-and-cancelled and never materialized. Execution-time
+// skipping in execute remains as the backstop for tasks enqueued before the
+// failure.
+func (w *Worker) cancelEagerly() bool {
+	cur := w.cur
+	if cur == nil || cur.job == nil || !cur.job.aborted() {
+		return false
+	}
+	w.stats.spawned++
+	w.stats.cancelled++
+	cur.job.nCancelled.Add(1)
+	return true
+}
+
 // SpawnTask creates a child task that accesses shared data through the given
 // handles and modes. The task becomes ready once every true dependency
 // implied by the access modes is satisfied; until then it is retained by its
 // predecessors and released onto the completing worker's deque.
+//
+// Like Spawn, SpawnTask on a failed job cancels the child eagerly: it is
+// neither enqueued nor registered on its handles (safe because every other
+// remaining task of the job is skipped too, so no live task can depend on
+// the unregistered access).
 func (w *Worker) SpawnTask(fn func(*Worker), accs ...Access) {
+	if w.cancelEagerly() {
+		return
+	}
 	t := w.alloc()
 	t.body = fn
 	t.parent = w.cur
@@ -120,8 +154,12 @@ func (w *Worker) execute(t *Task) {
 	// interval and hang the loop.
 	if j := t.job; j != nil && j.aborted() && t.flags&flagLoop == 0 {
 		w.stats.cancelled++
+		j.nCancelled.Add(1)
 	} else {
 		w.stats.executed++
+		if j := t.job; j != nil {
+			j.nExecuted.Add(1)
+		}
 		w.runBody(t)
 	}
 	if t.children.Load() != 0 {
@@ -154,6 +192,7 @@ func (w *Worker) runBody(t *Task) {
 		if t.job == nil {
 			panic(r)
 		}
+		t.job.nPanicked.Add(1)
 		t.job.fail(newPanicError(r))
 	}()
 	t.body(w)

@@ -1,0 +1,64 @@
+// Package server is the X-Kaapi network front-end: an HTTP layer that maps
+// each request onto one runtime job, so the scheduler — not ad-hoc
+// goroutines — owns scheduling, failure containment and cancellation for
+// the whole request path.
+//
+// # Request → job mapping
+//
+// Every workload endpoint handles a request by submitting exactly one job
+// with Runtime.SubmitCtx, bound to the request's context. The three
+// paradigms of the paper are exposed as endpoints over one shared worker
+// pool:
+//
+//	GET /fib?n=22                      fork-join recursion (Spawn/Sync)
+//	GET /loop?n=200000                 adaptive parallel loop (the gomp/komp
+//	                                   worksharing kernel on the adaptive
+//	                                   foreach scheduler)
+//	GET /cholesky?n=192&nb=64&verify=1 tile Cholesky as dataflow tasks
+//	GET /healthz                       liveness (503 while draining)
+//	GET /stats                         per-endpoint and scheduler counters
+//
+// Because the job carries the request context, both per-request deadlines
+// (a timeout=DURATION query parameter, or the server's default) and client
+// disconnects cancel the job through the runtime's machinery: remaining
+// tasks are skipped eagerly at spawn (or at execution for tasks already
+// enqueued), bookkeeping drains, and the pool moves on. A deadline maps to
+// 504, a client disconnect to 499, a task panic to 500 — one failed
+// request never disturbs another.
+//
+// Per-job outcome counters (core.Job.Stats: Executed, Cancelled, Panicked)
+// are returned in every response and aggregated per endpoint, giving the
+// per-request attribution a multi-tenant service needs on top of the
+// pool-global scheduler counters.
+//
+// # Admission control and backpressure
+//
+// The server holds a bounded budget of in-flight jobs (Config.Budget,
+// default 2x the worker count). A request that finds the budget exhausted
+// is rejected immediately with 429 Too Many Requests and a Retry-After
+// header — backpressure is applied at admission, before any work is
+// submitted, so an over-budget burst cannot queue unbounded work on the
+// pool. /healthz and /stats bypass the budget.
+//
+// # Graceful drain
+//
+// StartDrain flips the server into draining mode: /healthz turns 503 (load
+// balancers stop routing), new workload requests are refused with 503, and
+// requests already admitted run to completion. The intended shutdown
+// sequence on SIGTERM (see cmd/xkserve serve) is StartDrain, then
+// http.Server.Shutdown (waits for in-flight handlers, hence for their
+// jobs), then Runtime.Wait — whose errors.Join drain reports every job
+// failure unaccounted for by a handler — and finally Runtime.CloseErr.
+// After that drain the scheduler counters must balance:
+// Spawned == Executed + Cancelled.
+//
+// # Stats and data races
+//
+// /stats reports only counters that are safe to read while the pool runs:
+// the per-endpoint aggregates (atomics maintained from per-job stats) and
+// the scheduler's thief-path counters (steal requests/hits, combines,
+// splits, parks — atomics). The task-path counters (Spawned, Executed, ...)
+// are deliberately plain per-worker integers (the hot path pays nothing for
+// them), so they are only read once the pool is quiescent — the serve
+// command prints them after its final drain.
+package server

@@ -1,0 +1,314 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"xkaapi"
+)
+
+// StatusClientClosedRequest is the nginx-convention status for a request
+// whose client disconnected before the response; the job was cancelled
+// through the request context.
+const StatusClientClosedRequest = 499
+
+// Config parameterizes a Server. Runtime is required; everything else has
+// serving defaults.
+type Config struct {
+	// Runtime is the shared worker pool every request's job runs on.
+	Runtime *xkaapi.Runtime
+	// Budget bounds the jobs in flight at once; a request beyond it is
+	// rejected with 429. Zero or negative selects 2x the worker count.
+	Budget int
+	// DefaultTimeout is the per-request deadline applied when the client
+	// does not send a timeout parameter. Zero means no default deadline
+	// (the request context still cancels on client disconnect).
+	DefaultTimeout time.Duration
+	// MaxFib, MaxLoop, MaxChol cap the per-request problem sizes; a request
+	// above its cap is a 400. Zeros select 40, 50_000_000 and 2048.
+	MaxFib, MaxLoop, MaxChol int
+}
+
+// endpointStats aggregates one endpoint's outcomes. All fields are atomics:
+// they are bumped from concurrent handlers and read by /stats while the
+// server runs.
+type endpointStats struct {
+	requests  atomic.Int64 // admitted (budget acquired)
+	ok        atomic.Int64 // 200s
+	rejected  atomic.Int64 // 429s (budget full)
+	failed    atomic.Int64 // job failures other than cancellation (500s)
+	cancelled atomic.Int64 // deadline exceeded or client disconnected
+
+	taskExecuted  atomic.Int64 // per-job stats, summed over requests
+	taskCancelled atomic.Int64
+	taskPanicked  atomic.Int64
+}
+
+// EndpointStats is the JSON form of one endpoint's aggregates in /stats.
+type EndpointStats struct {
+	Requests  int64 `json:"requests"`
+	OK        int64 `json:"ok"`
+	Rejected  int64 `json:"rejected"`
+	Failed    int64 `json:"failed"`
+	Cancelled int64 `json:"cancelled"`
+
+	TaskExecuted  int64 `json:"task_executed"`
+	TaskCancelled int64 `json:"task_cancelled"`
+	TaskPanicked  int64 `json:"task_panicked"`
+}
+
+func (es *endpointStats) snapshot() EndpointStats {
+	return EndpointStats{
+		Requests:      es.requests.Load(),
+		OK:            es.ok.Load(),
+		Rejected:      es.rejected.Load(),
+		Failed:        es.failed.Load(),
+		Cancelled:     es.cancelled.Load(),
+		TaskExecuted:  es.taskExecuted.Load(),
+		TaskCancelled: es.taskCancelled.Load(),
+		TaskPanicked:  es.taskPanicked.Load(),
+	}
+}
+
+// Server turns HTTP requests into runtime jobs. Create it with New; it
+// implements http.Handler.
+type Server struct {
+	rt       *xkaapi.Runtime
+	mux      *http.ServeMux
+	slots    chan struct{} // in-flight budget semaphore
+	budget   int
+	timeout  time.Duration
+	maxFib   int
+	maxLoop  int
+	maxChol  int
+	draining atomic.Bool
+
+	fib  endpointStats
+	loop endpointStats
+	chol endpointStats
+}
+
+// New builds a Server over cfg.Runtime. The caller owns the runtime's
+// lifecycle (see StartDrain for the shutdown order).
+func New(cfg Config) *Server {
+	if cfg.Runtime == nil {
+		panic("server: Config.Runtime is required")
+	}
+	budget := cfg.Budget
+	if budget <= 0 {
+		budget = 2 * cfg.Runtime.Workers()
+	}
+	s := &Server{
+		rt:      cfg.Runtime,
+		mux:     http.NewServeMux(),
+		slots:   make(chan struct{}, budget),
+		budget:  budget,
+		timeout: cfg.DefaultTimeout,
+		maxFib:  cfg.MaxFib,
+		maxLoop: cfg.MaxLoop,
+		maxChol: cfg.MaxChol,
+	}
+	if s.maxFib <= 0 {
+		s.maxFib = 40
+	}
+	if s.maxLoop <= 0 {
+		s.maxLoop = 50_000_000
+	}
+	if s.maxChol <= 0 {
+		s.maxChol = 2048
+	}
+	s.mux.HandleFunc("GET /fib", s.handleFib)
+	s.mux.HandleFunc("GET /loop", s.handleLoop)
+	s.mux.HandleFunc("GET /cholesky", s.handleCholesky)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /stats", s.handleStats)
+	return s
+}
+
+// ServeHTTP dispatches to the endpoint handlers.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Budget returns the configured in-flight job budget.
+func (s *Server) Budget() int { return s.budget }
+
+// InFlight returns the number of budget slots currently held.
+func (s *Server) InFlight() int { return len(s.slots) }
+
+// StartDrain switches the server into draining mode: /healthz reports 503
+// so load balancers stop routing here, and new workload requests are
+// refused with 503 while admitted ones run to completion. The caller then
+// shuts the http.Server down (which waits for in-flight handlers) and
+// drains the runtime with Runtime.Wait / Runtime.CloseErr.
+func (s *Server) StartDrain() { s.draining.Store(true) }
+
+// Draining reports whether StartDrain was called.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// admit applies admission control for one workload request: refuse with 503
+// while draining, otherwise try to take a budget slot and refuse with 429 +
+// Retry-After when the budget is exhausted. On success the caller must
+// release() the slot when the job is done.
+func (s *Server) admit(ep *endpointStats, w http.ResponseWriter) bool {
+	if s.draining.Load() {
+		http.Error(w, "server draining", http.StatusServiceUnavailable)
+		return false
+	}
+	select {
+	case s.slots <- struct{}{}:
+		ep.requests.Add(1)
+		return true
+	default:
+		ep.rejected.Add(1)
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, "job budget exhausted", http.StatusTooManyRequests)
+		return false
+	}
+}
+
+func (s *Server) release() { <-s.slots }
+
+// requestCtx derives the job context for one request: the request context
+// (cancelled by client disconnect and server shutdown), tightened by an
+// explicit timeout query parameter and the server's default deadline. The
+// parameter can only tighten the operator-configured ceiling, never exceed
+// it — otherwise a client could hold a budget slot indefinitely.
+func (s *Server) requestCtx(r *http.Request) (context.Context, context.CancelFunc, error) {
+	ctx := r.Context()
+	d := s.timeout
+	if v := r.URL.Query().Get("timeout"); v != "" {
+		pd, err := time.ParseDuration(v)
+		if err != nil || pd <= 0 {
+			return nil, nil, fmt.Errorf("bad timeout %q", v)
+		}
+		if d == 0 || pd < d {
+			d = pd
+		}
+	}
+	if d > 0 {
+		ctx, cancel := context.WithTimeout(ctx, d)
+		return ctx, cancel, nil
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	return ctx, cancel, nil
+}
+
+// finishJob folds one completed job into the endpoint aggregates and maps
+// its outcome to an HTTP status: 200 on verified success, 504 on deadline,
+// 499 on client disconnect, 503 on a closing runtime, 500 on a panic, any
+// other failure, or a result that failed verification (resultOK false with
+// a nil error) — so wrong results are visible in the status code and in
+// /stats, not only in the response's ok field.
+func (s *Server) finishJob(ep *endpointStats, js xkaapi.JobStats, err error, resultOK bool) int {
+	ep.taskExecuted.Add(js.Executed)
+	ep.taskCancelled.Add(js.Cancelled)
+	ep.taskPanicked.Add(js.Panicked)
+	switch {
+	case err == nil && resultOK:
+		ep.ok.Add(1)
+		return http.StatusOK
+	case err == nil: // completed but failed verification
+		ep.failed.Add(1)
+		return http.StatusInternalServerError
+	case errors.Is(err, context.DeadlineExceeded):
+		ep.cancelled.Add(1)
+		return http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		ep.cancelled.Add(1)
+		return StatusClientClosedRequest
+	case errors.Is(err, xkaapi.ErrClosed):
+		ep.failed.Add(1)
+		return http.StatusServiceUnavailable
+	default:
+		ep.failed.Add(1)
+		return http.StatusInternalServerError
+	}
+}
+
+// reply is the JSON body of every workload response, successful or not.
+type reply struct {
+	Endpoint  string `json:"endpoint"`
+	N         int    `json:"n"`
+	NB        int    `json:"nb,omitempty"`
+	Result    int64  `json:"result,omitempty"`
+	Gflops    flt    `json:"gflops,omitempty"`
+	Residual  flt    `json:"residual,omitempty"`
+	OK        bool   `json:"ok"`
+	Error     string `json:"error,omitempty"`
+	ElapsedNS int64  `json:"elapsed_ns"`
+
+	Job xkaapi.JobStats `json:"job"`
+}
+
+// flt marshals with a short fixed precision so responses stay readable.
+type flt float64
+
+func (f flt) MarshalJSON() ([]byte, error) {
+	return []byte(strconv.FormatFloat(float64(f), 'g', 6, 64)), nil
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) // write error means the client is gone; nothing to do
+}
+
+// intParam parses an integer query parameter with a default and a cap.
+func intParam(r *http.Request, name string, def, max int) (int, error) {
+	v := r.URL.Query().Get(name)
+	if v == "" {
+		return def, nil
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil || n < 0 {
+		return 0, fmt.Errorf("bad %s %q", name, v)
+	}
+	if n > max {
+		return 0, fmt.Errorf("%s %d exceeds cap %d", name, n, max)
+	}
+	return n, nil
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+// StatsReply is the JSON body of /stats.
+type StatsReply struct {
+	Workers   int                      `json:"workers"`
+	Budget    int                      `json:"budget"`
+	InFlight  int                      `json:"in_flight"`
+	Draining  bool                     `json:"draining"`
+	Endpoints map[string]EndpointStats `json:"endpoints"`
+	// Scheduler carries the live-safe scheduler counters (submitted roots
+	// and the thief-path atomics); task-path counters are zero while the
+	// pool runs and are printed by the serve command after the final drain.
+	Scheduler xkaapi.Stats `json:"scheduler"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, StatsReply{
+		Workers:  s.rt.Workers(),
+		Budget:   s.budget,
+		InFlight: s.InFlight(),
+		Draining: s.draining.Load(),
+		Endpoints: map[string]EndpointStats{
+			"fib":      s.fib.snapshot(),
+			"loop":     s.loop.snapshot(),
+			"cholesky": s.chol.snapshot(),
+		},
+		Scheduler: s.rt.LiveStats(),
+	})
+}

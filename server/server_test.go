@@ -1,0 +1,325 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"xkaapi"
+)
+
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	if cfg.Runtime == nil {
+		cfg.Runtime = xkaapi.New(xkaapi.WithWorkers(4), xkaapi.WithoutPinning())
+	}
+	s := New(cfg)
+	ts := httptest.NewServer(s)
+	t.Cleanup(func() {
+		ts.Close()
+		if err := cfg.Runtime.CloseErr(); err != nil {
+			t.Logf("runtime close: %v", err)
+		}
+	})
+	return s, ts
+}
+
+func getJSON(t *testing.T, url string, out any) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("GET %s: decode: %v", url, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+// TestEndpointsServeVerifiedJobs drives all three workload endpoints and
+// checks each completes one verified job, with the outcomes attributed per
+// endpoint in /stats.
+func TestEndpointsServeVerifiedJobs(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+
+	for _, q := range []string{
+		"/fib?n=18",
+		"/loop?n=100000",
+		"/cholesky?n=128&nb=32&verify=1",
+	} {
+		var rep reply
+		if code := getJSON(t, ts.URL+q, &rep); code != http.StatusOK {
+			t.Fatalf("GET %s: status %d", q, code)
+		}
+		if !rep.OK {
+			t.Errorf("GET %s: ok=false (error=%q residual=%v result=%d)",
+				q, rep.Error, rep.Residual, rep.Result)
+		}
+		if rep.Job.Executed == 0 {
+			t.Errorf("GET %s: job executed 0 tasks", q)
+		}
+		if rep.Job.Cancelled != 0 || rep.Job.Panicked != 0 {
+			t.Errorf("GET %s: job stats %+v, want no cancels/panics", q, rep.Job)
+		}
+	}
+
+	var st StatsReply
+	if code := getJSON(t, ts.URL+"/stats", &st); code != http.StatusOK {
+		t.Fatalf("GET /stats: status %d", code)
+	}
+	for _, ep := range []string{"fib", "loop", "cholesky"} {
+		es := st.Endpoints[ep]
+		if es.Requests != 1 || es.OK != 1 || es.TaskExecuted == 0 {
+			t.Errorf("endpoint %s stats = %+v, want 1 ok request with executed tasks", ep, es)
+		}
+	}
+	if st.Scheduler.Spawned < 3 {
+		t.Errorf("scheduler live stats report %d submitted roots, want >= 3", st.Scheduler.Spawned)
+	}
+
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /healthz: %v (status %v)", err, resp)
+	}
+	resp.Body.Close()
+}
+
+// TestBackpressure429 fills the admission budget and checks that the next
+// request is rejected with 429 + Retry-After before any work is submitted,
+// then succeeds once a slot frees up.
+func TestBackpressure429(t *testing.T) {
+	s, ts := newTestServer(t, Config{Budget: 2})
+
+	// Hold both budget slots the way two in-flight jobs would.
+	s.slots <- struct{}{}
+	s.slots <- struct{}{}
+
+	resp, err := http.Get(ts.URL + "/fib?n=10")
+	if err != nil {
+		t.Fatalf("GET /fib: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("over-budget GET /fib: status %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("429 response missing Retry-After header")
+	}
+
+	// Free one slot: the endpoint serves again.
+	<-s.slots
+	var rep reply
+	if code := getJSON(t, ts.URL+"/fib?n=10", &rep); code != http.StatusOK || !rep.OK {
+		t.Fatalf("after release GET /fib: status %d ok=%v", code, rep.OK)
+	}
+	<-s.slots
+
+	if got := s.fib.rejected.Load(); got != 1 {
+		t.Errorf("fib rejected count = %d, want 1", got)
+	}
+	if s.fib.taskExecuted.Load() == 0 {
+		t.Error("fib task_executed = 0 after a served request")
+	}
+}
+
+// TestDeadlineCancelsCholesky submits a Cholesky factorization far larger
+// than its deadline allows and checks the deadline actually stops the job:
+// 504 status, and the job's (and endpoint's) Cancelled counters grow
+// because remaining tile tasks were skipped.
+func TestDeadlineCancelsCholesky(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+
+	var rep reply
+	code := getJSON(t, ts.URL+"/cholesky?n=768&nb=32&timeout=2ms", &rep)
+	if code != http.StatusGatewayTimeout {
+		t.Fatalf("GET /cholesky with 2ms deadline: status %d, want 504 (reply %+v)", code, rep)
+	}
+	if rep.Job.Cancelled == 0 {
+		t.Errorf("deadline-exceeded job cancelled 0 tasks, want > 0 (job %+v)", rep.Job)
+	}
+	if s.chol.cancelled.Load() != 1 {
+		t.Errorf("cholesky endpoint cancelled = %d, want 1", s.chol.cancelled.Load())
+	}
+	if s.chol.taskCancelled.Load() == 0 {
+		t.Error("cholesky endpoint task_cancelled = 0, want > 0")
+	}
+
+	// The pool survives the cancelled job: a small request still completes.
+	if code := getJSON(t, ts.URL+"/cholesky?n=64&nb=32&verify=1", &rep); code != http.StatusOK || !rep.OK {
+		t.Fatalf("after cancel GET /cholesky: status %d ok=%v", code, rep.OK)
+	}
+}
+
+// TestDrainRefusesNewWork checks drain semantics: after StartDrain the
+// health check and the workload endpoints report 503, so load balancers
+// stop routing and no new jobs are admitted.
+func TestDrainRefusesNewWork(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+
+	s.StartDrain()
+	for _, q := range []string{"/healthz", "/fib?n=10"} {
+		resp, err := http.Get(ts.URL + q)
+		if err != nil {
+			t.Fatalf("GET %s: %v", q, err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusServiceUnavailable {
+			t.Errorf("GET %s while draining: status %d, want 503", q, resp.StatusCode)
+		}
+	}
+	if !s.Draining() {
+		t.Error("Draining() = false after StartDrain")
+	}
+}
+
+// TestBadRequests checks parameter validation: over-cap sizes and malformed
+// timeouts are rejected with 400 before touching the budget.
+func TestBadRequests(t *testing.T) {
+	s, ts := newTestServer(t, Config{MaxFib: 30})
+
+	for _, q := range []string{
+		"/fib?n=31",
+		"/fib?n=-1",
+		"/fib?n=x",
+		"/fib?timeout=bogus",
+		"/loop?n=999999999999",
+		"/cholesky?n=0",
+	} {
+		resp, err := http.Get(ts.URL + q)
+		if err != nil {
+			t.Fatalf("GET %s: %v", q, err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("GET %s: status %d, want 400", q, resp.StatusCode)
+		}
+	}
+	if n := s.fib.requests.Load() + s.loop.requests.Load() + s.chol.requests.Load(); n != 0 {
+		t.Errorf("bad requests consumed %d budget admissions, want 0", n)
+	}
+}
+
+// TestMixedBurstUnderBudget hammers the server with a concurrent mixed
+// workload wider than the budget: every request must end as either a
+// verified 200 or a clean 429, and once drained the per-endpoint
+// accounting must add up.
+func TestMixedBurstUnderBudget(t *testing.T) {
+	s, ts := newTestServer(t, Config{Budget: 3})
+
+	const clients = 12
+	type outcome struct {
+		code int
+		ok   bool
+	}
+	results := make(chan outcome, clients)
+	for c := 0; c < clients; c++ {
+		go func(c int) {
+			q := []string{"/fib?n=16", "/loop?n=50000", "/cholesky?n=96&nb=32"}[c%3]
+			resp, err := http.Get(ts.URL + q)
+			if err != nil {
+				results <- outcome{code: -1}
+				return
+			}
+			defer resp.Body.Close()
+			var rep reply
+			ok := json.NewDecoder(resp.Body).Decode(&rep) == nil && rep.OK
+			results <- outcome{code: resp.StatusCode, ok: ok}
+		}(c)
+	}
+	served, rejected := 0, 0
+	for i := 0; i < clients; i++ {
+		r := <-results
+		switch r.code {
+		case http.StatusOK:
+			if !r.ok {
+				t.Error("200 response with ok=false")
+			}
+			served++
+		case http.StatusTooManyRequests:
+			rejected++
+		default:
+			t.Errorf("unexpected status %d", r.code)
+		}
+	}
+	if served == 0 {
+		t.Error("no request served")
+	}
+	if served+rejected != clients {
+		t.Errorf("served %d + rejected %d != %d clients", served, rejected, clients)
+	}
+	t.Logf("served=%d rejected=%d (budget %d)", served, rejected, s.Budget())
+
+	if err := s.rt.Wait(); err != nil {
+		t.Errorf("runtime drain after burst: %v", err)
+	}
+	var admitted, okCount int64
+	for _, ep := range []*endpointStats{&s.fib, &s.loop, &s.chol} {
+		admitted += ep.requests.Load()
+		okCount += ep.ok.Load()
+	}
+	if admitted != int64(served) || okCount != int64(served) {
+		t.Errorf("endpoint accounting: admitted=%d ok=%d, want both %d", admitted, okCount, served)
+	}
+}
+
+// TestTimeoutParamCannotExceedCeiling checks the timeout query parameter
+// only tightens the operator-configured default deadline: a client asking
+// for a huge timeout still gets the server ceiling.
+func TestTimeoutParamCannotExceedCeiling(t *testing.T) {
+	rt := xkaapi.New(xkaapi.WithWorkers(1), xkaapi.WithoutPinning())
+	t.Cleanup(func() { rt.Close() })
+	s := New(Config{Runtime: rt, DefaultTimeout: 50 * time.Millisecond})
+
+	for _, tc := range []struct {
+		query string
+		max   time.Duration // deadline must be within [now, now+max]
+	}{
+		{"/fib?n=10&timeout=8760h", 50 * time.Millisecond}, // capped at ceiling
+		{"/fib?n=10&timeout=10ms", 10 * time.Millisecond},  // tighter than ceiling: honored
+		{"/fib?n=10", 50 * time.Millisecond},               // no param: ceiling
+	} {
+		r := httptest.NewRequest("GET", tc.query, nil)
+		before := time.Now()
+		ctx, cancel, err := s.requestCtx(r)
+		if err != nil {
+			t.Fatalf("requestCtx(%s): %v", tc.query, err)
+		}
+		dl, ok := ctx.Deadline()
+		cancel()
+		if !ok {
+			t.Errorf("requestCtx(%s): no deadline, want one", tc.query)
+			continue
+		}
+		if d := dl.Sub(before); d > tc.max+10*time.Millisecond {
+			t.Errorf("requestCtx(%s): deadline in %v, want <= %v", tc.query, d, tc.max)
+		}
+	}
+}
+
+// TestStatsEndpointShape checks /stats is valid JSON with the fields the
+// ops side keys on.
+func TestStatsEndpointShape(t *testing.T) {
+	s, ts := newTestServer(t, Config{Budget: 7})
+
+	var raw map[string]json.RawMessage
+	if code := getJSON(t, ts.URL+"/stats", &raw); code != http.StatusOK {
+		t.Fatalf("GET /stats: status %d", code)
+	}
+	for _, key := range []string{"workers", "budget", "in_flight", "draining", "endpoints", "scheduler"} {
+		if _, present := raw[key]; !present {
+			t.Errorf("/stats missing %q", key)
+		}
+	}
+	var budget int
+	if err := json.Unmarshal(raw["budget"], &budget); err != nil || budget != 7 {
+		t.Errorf("/stats budget = %v (%v), want 7", budget, err)
+	}
+	if s.InFlight() != 0 {
+		t.Errorf("InFlight = %d at rest, want 0", s.InFlight())
+	}
+}

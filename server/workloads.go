@@ -1,0 +1,238 @@
+package server
+
+import (
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"xkaapi"
+	"xkaapi/internal/cholesky"
+	"xkaapi/internal/tile"
+)
+
+// fibTask is the paper's Fig. 1 fork-join recursion: one task per node.
+func fibTask(p *xkaapi.Proc, r *int64, n int) {
+	if n < 2 {
+		*r = int64(n)
+		return
+	}
+	var a, b int64
+	p.Spawn(func(p *xkaapi.Proc) { fibTask(p, &a, n-1) })
+	fibTask(p, &b, n-2)
+	p.Sync()
+	*r = a + b
+}
+
+// FibSeq is the sequential Fibonacci reference the /fib endpoint verifies
+// its parallel result against. Exported so the load generator
+// (cmd/xkserve load) checks responses against the same recurrence.
+func FibSeq(n int) int64 {
+	a, b := int64(0), int64(1)
+	for i := 0; i < n; i++ {
+		a, b = b, a+b
+	}
+	return a
+}
+
+// handleFib serves GET /fib?n=N: one fork-join job, result verified against
+// the sequential recurrence.
+func (s *Server) handleFib(w http.ResponseWriter, r *http.Request) {
+	n, err := intParam(r, "n", 22, s.maxFib)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	ctx, cancel, err := s.requestCtx(r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	defer cancel()
+	if !s.admit(&s.fib, w) {
+		return
+	}
+	defer s.release()
+
+	var res int64
+	start := time.Now()
+	job := s.rt.SubmitCtx(ctx, func(p *xkaapi.Proc) { fibTask(p, &res, n) })
+	jerr := job.Wait()
+
+	rep := reply{
+		Endpoint:  "fib",
+		N:         n,
+		ElapsedNS: time.Since(start).Nanoseconds(),
+		Job:       job.Stats(),
+	}
+	if jerr != nil {
+		rep.Error = ErrorLine(jerr)
+	} else {
+		rep.Result = res
+		rep.OK = res == FibSeq(n)
+		if !rep.OK {
+			rep.Error = "result failed verification"
+		}
+	}
+	writeJSON(w, s.finishJob(&s.fib, job.Stats(), jerr, rep.OK), rep)
+}
+
+// handleLoop serves GET /loop?n=N: the worksharing sum kernel the gomp and
+// komp comparators run (sum of [0, n)), hosted on the adaptive foreach of
+// the shared pool — i.e. the komp mapping of "#pragma omp for" — as one
+// job. The result is verified against the closed form.
+func (s *Server) handleLoop(w http.ResponseWriter, r *http.Request) {
+	n, err := intParam(r, "n", 200_000, s.maxLoop)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	ctx, cancel, err := s.requestCtx(r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	defer cancel()
+	if !s.admit(&s.loop, w) {
+		return
+	}
+	defer s.release()
+
+	var sum atomic.Int64
+	start := time.Now()
+	job := s.rt.SubmitCtx(ctx, func(p *xkaapi.Proc) {
+		xkaapi.Foreach(p, 0, n, func(_ *xkaapi.Proc, lo, hi int) {
+			s := int64(0)
+			for i := lo; i < hi; i++ {
+				s += int64(i)
+			}
+			sum.Add(s)
+		})
+	})
+	jerr := job.Wait()
+
+	rep := reply{
+		Endpoint:  "loop",
+		N:         n,
+		ElapsedNS: time.Since(start).Nanoseconds(),
+		Job:       job.Stats(),
+	}
+	if jerr != nil {
+		rep.Error = ErrorLine(jerr)
+	} else {
+		rep.Result = sum.Load()
+		rep.OK = sum.Load() == int64(n)*int64(n-1)/2
+		if !rep.OK {
+			rep.Error = "result failed verification"
+		}
+	}
+	writeJSON(w, s.finishJob(&s.loop, job.Stats(), jerr, rep.OK), rep)
+}
+
+// spdCache memoizes the SPD source matrices by order: generation is O(n²)
+// per request otherwise, and every request for the same n factors the same
+// input. The cache is bounded — beyond maxSPDCached distinct orders,
+// requests generate without caching — so a client sweeping n cannot grow
+// the server's memory without bound. The factorization itself always runs
+// on a fresh tile copy (it is in-place).
+const maxSPDCached = 8
+
+var (
+	spdMu    sync.Mutex
+	spdCache = map[int]*tile.Dense{}
+)
+
+func spdSource(n int) *tile.Dense {
+	spdMu.Lock()
+	d, ok := spdCache[n]
+	spdMu.Unlock()
+	if ok {
+		return d
+	}
+	d = tile.NewSPD(n, 42)
+	spdMu.Lock()
+	if len(spdCache) < maxSPDCached {
+		spdCache[n] = d
+	} else if cached, ok := spdCache[n]; ok {
+		d = cached // lost a fill race for an already-cached order
+	}
+	spdMu.Unlock()
+	return d
+}
+
+// handleCholesky serves GET /cholesky?n=N&nb=NB[&verify=1]: one dataflow
+// job factoring a deterministic SPD matrix of order N in NB-sized tiles.
+// With verify=1 the factor is checked against the source via the
+// ||LLᵀ-A||/||A|| residual (an O(n³) check, off by default).
+func (s *Server) handleCholesky(w http.ResponseWriter, r *http.Request) {
+	n, err := intParam(r, "n", 192, s.maxChol)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	nb, err := intParam(r, "nb", 64, n)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if n == 0 || nb == 0 {
+		http.Error(w, "n and nb must be positive", http.StatusBadRequest)
+		return
+	}
+	verify := r.URL.Query().Get("verify") == "1"
+	ctx, cancel, err := s.requestCtx(r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	defer cancel()
+	if !s.admit(&s.chol, w) {
+		return
+	}
+	defer s.release()
+
+	src := spdSource(n)
+	m := tile.FromDense(src, nb)
+	start := time.Now()
+	job, kernelErr := cholesky.SubmitKaapi(ctx, s.rt, m)
+	jerr := job.Wait()
+	if ke := kernelErr(); ke != nil {
+		jerr = ke // non-SPD diagnostic beats the generic job error
+	}
+	elapsed := time.Since(start)
+
+	rep := reply{
+		Endpoint:  "cholesky",
+		N:         n,
+		NB:        nb,
+		ElapsedNS: elapsed.Nanoseconds(),
+		Job:       job.Stats(),
+	}
+	if jerr != nil {
+		rep.Error = ErrorLine(jerr)
+	} else {
+		rep.Gflops = flt(cholesky.Gflops(n, elapsed))
+		rep.OK = true
+		if verify {
+			res := tile.CholeskyResidual(src, m)
+			rep.Residual = flt(res)
+			rep.OK = res < 1e-10
+			if !rep.OK {
+				rep.Error = "residual failed verification"
+			}
+		}
+	}
+	writeJSON(w, s.finishJob(&s.chol, job.Stats(), jerr, rep.OK), rep)
+}
+
+// ErrorLine trims an error (PanicErrors carry a full stack) to its first
+// line, for JSON error fields and one-line logs.
+func ErrorLine(err error) string {
+	s := err.Error()
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\n' {
+			return s[:i]
+		}
+	}
+	return s
+}

@@ -69,6 +69,15 @@
 // pre-failed Job whose Wait reports ErrClosed. CloseErr is Close plus a
 // summary error if any job failed over the runtime's lifetime.
 //
+// # Serving jobs over HTTP
+//
+// Package xkaapi/server wraps a Runtime in a network front-end: each HTTP
+// request becomes one SubmitCtx job bound to the request context, with
+// per-request deadlines, 429 backpressure from a bounded in-flight budget,
+// per-job stats in every response (Job.Stats), and graceful drain — see
+// that package and cmd/xkserve for the serving story, and quickstart §6
+// for an in-process example.
+//
 // The semantics are sequential (as in Athapascan): a program whose tasks are
 // never stolen executes in program order, and dataflow dependencies make any
 // parallel execution equivalent to that order. Independent jobs are
@@ -192,8 +201,15 @@ type Runtime struct {
 // Job is the completion handle of one submitted root job. Wait returns the
 // job's error (nil, *PanicError, a context error, ErrCanceled or
 // ErrClosed), Err peeks without blocking, Cancel abandons the job's
-// not-yet-started tasks. See Runtime.Submit and Runtime.SubmitCtx.
+// not-yet-started tasks, Stats returns the job's own task outcome counters.
+// See Runtime.Submit and Runtime.SubmitCtx.
 type Job = core.Job
+
+// JobStats is the per-job attribution of the scheduler's task outcome
+// counters (Executed, Cancelled, Panicked), for per-request or per-client
+// accounting in services that multiplex many jobs over one pool. See
+// Job.Stats.
+type JobStats = core.JobStats
 
 // New creates a runtime with the given options.
 func New(opts ...Option) *Runtime {
@@ -240,12 +256,21 @@ func (r *Runtime) SubmitCtx(ctx context.Context, root func(*Proc)) *Job {
 	return r.rt.SubmitCtx(ctx, root)
 }
 
-// Wait blocks until every job submitted so far has completed. It does not
-// report failures; use the individual Job handles or CloseErr for errors.
-func (r *Runtime) Wait() { r.rt.Wait() }
+// Wait blocks until every job submitted so far has completed and returns
+// the aggregated outcome of the drain: nil if nothing failed since the last
+// Wait, otherwise an errors.Join of the failures recorded since then (a
+// bounded number of individual errors is retained; floods are summarized by
+// count). Batch clients can therefore submit many jobs and check one error;
+// individual Job handles still observe their own failures.
+func (r *Runtime) Wait() error { return r.rt.Wait() }
 
 // Stats returns the summed scheduler counters; call it between Runs.
 func (r *Runtime) Stats() Stats { return r.rt.Stats() }
+
+// LiveStats returns the counters that are safe to read while jobs are in
+// flight (submitted roots and the thief-path atomics); the task-path
+// counters are zero in a live snapshot. See core.Runtime.LiveStats.
+func (r *Runtime) LiveStats() Stats { return r.rt.LiveStats() }
 
 // ResetStats zeroes the scheduler counters; call it between Runs.
 func (r *Runtime) ResetStats() { r.rt.ResetStats() }
