@@ -47,9 +47,24 @@ bench:
 bench-json:
 	$(GO) test -bench=. -benchtime=1s -benchmem -run='^$$' ./internal/core | $(GO) run ./cmd/xkbenchjson
 
+# bench-diff compares the two most recent BENCH_<n>.json artifacts with
+# xkbenchjson's diff mode and prints the per-benchmark delta table. It is a
+# report, not a gate: it exits 0 when there is nothing to compare and never
+# fails on a regression — CI surfaces the table in the job summary so a
+# regression is visible per PR, while the decision stays with the reviewer.
+.PHONY: bench-diff
+bench-diff:
+	@set -- $$(ls BENCH_*.json 2>/dev/null | sort -t_ -k2 -n | tail -2); \
+	if [ $$# -lt 2 ]; then \
+		echo "bench-diff: fewer than two BENCH_<n>.json artifacts, nothing to compare"; \
+	else \
+		$(GO) run ./cmd/xkbenchjson diff "$$1" "$$2"; \
+	fi
+
 # integration drives the real network pipeline: build xkserve, start serve,
-# run the verified mixed workload + backpressure probe against it, then
-# SIGTERM mid-load and require a clean drain (exit 0, balanced counters).
+# run the verified mixed workload + backpressure probe against it (including
+# the live /stats probe during an in-flight request), then SIGTERM mid-load
+# and require a clean drain (exit 0, balanced counters).
 .PHONY: integration
 integration:
 	./integration.sh

@@ -39,4 +39,18 @@ else
 	echo "bench tier FAILED (non-gating, continuing)" >&2
 fi
 
+# The delta table is also written to a file so the GitHub workflow can lift
+# it into the job summary without invoking the target a second time. Write
+# first, then cat: piping through tee would hide make's exit status (POSIX
+# sh has no pipefail) and make the failure branch unreachable.
+BENCH_DIFF_OUT="${TMPDIR:-/tmp}/bench-diff.md"
+echo "== bench diff (non-gating): make bench-diff"
+if make bench-diff >"$BENCH_DIFF_OUT" 2>&1; then
+	cat "$BENCH_DIFF_OUT"
+	echo "bench diff OK"
+else
+	cat "$BENCH_DIFF_OUT"
+	echo "bench diff FAILED (non-gating, continuing)" >&2
+fi
+
 echo "CI OK"

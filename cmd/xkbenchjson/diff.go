@@ -1,0 +1,110 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+)
+
+// runDiff implements `xkbenchjson diff OLD.json NEW.json`: a per-benchmark
+// delta table between two BENCH_<n>.json artifacts. It is a report, not a
+// gate — the exit code is non-zero only when an artifact cannot be read,
+// never because a benchmark regressed.
+func runDiff(args []string) int {
+	if len(args) != 2 {
+		fmt.Fprintln(os.Stderr, "usage: xkbenchjson diff OLD.json NEW.json")
+		return 2
+	}
+	oldBF, err := loadBenchFile(args[0])
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "xkbenchjson diff: %v\n", err)
+		return 1
+	}
+	newBF, err := loadBenchFile(args[1])
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "xkbenchjson diff: %v\n", err)
+		return 1
+	}
+	fmt.Print(diffReport(args[0], args[1], oldBF, newBF))
+	return 0
+}
+
+func loadBenchFile(path string) (*BenchFile, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var bf BenchFile
+	if err := json.Unmarshal(data, &bf); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &bf, nil
+}
+
+// benchKey strips the -N GOMAXPROCS suffix go test appends on multi-core
+// machines, so artifacts recorded at different core counts still match.
+func benchKey(name string) string {
+	if i := strings.LastIndexByte(name, '-'); i > 0 {
+		suffix := name[i+1:]
+		if suffix != "" && strings.Trim(suffix, "0123456789") == "" {
+			return name[:i]
+		}
+	}
+	return name
+}
+
+// diffReport renders the comparison as a Markdown table (readable as plain
+// text in a terminal, rendered as a table in a CI job summary).
+func diffReport(oldPath, newPath string, oldBF, newBF *BenchFile) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "### Benchmark diff: %s -> %s\n\n", oldPath, newPath)
+	fmt.Fprintf(&b, "go %s/%s (GOMAXPROCS %d/%d), recorded %s / %s\n\n",
+		oldBF.GoVersion, newBF.GoVersion, oldBF.GoMaxProcs, newBF.GoMaxProcs,
+		oldBF.Timestamp, newBF.Timestamp)
+	b.WriteString("| benchmark | old ns/op | new ns/op | delta | old allocs/op | new allocs/op |\n")
+	b.WriteString("|---|---:|---:|---:|---:|---:|\n")
+
+	oldByKey := make(map[string]BenchResult, len(oldBF.Benchmarks))
+	for _, r := range oldBF.Benchmarks {
+		oldByKey[benchKey(r.Name)] = r
+	}
+	seen := make(map[string]bool, len(newBF.Benchmarks))
+	for _, nr := range newBF.Benchmarks {
+		key := benchKey(nr.Name)
+		seen[key] = true
+		or, ok := oldByKey[key]
+		if !ok {
+			fmt.Fprintf(&b, "| %s | — | %s | new | — | %d |\n",
+				key, fmtNs(nr.NsPerOp), nr.AllocsPerOp)
+			continue
+		}
+		fmt.Fprintf(&b, "| %s | %s | %s | %s | %d | %d |\n",
+			key, fmtNs(or.NsPerOp), fmtNs(nr.NsPerOp),
+			fmtDelta(or.NsPerOp, nr.NsPerOp), or.AllocsPerOp, nr.AllocsPerOp)
+	}
+	for _, or := range oldBF.Benchmarks {
+		key := benchKey(or.Name)
+		if !seen[key] {
+			fmt.Fprintf(&b, "| %s | %s | — | removed | %d | — |\n",
+				key, fmtNs(or.NsPerOp), or.AllocsPerOp)
+		}
+	}
+	return b.String()
+}
+
+func fmtNs(ns float64) string {
+	if ns >= 100 {
+		return fmt.Sprintf("%.0f", ns)
+	}
+	return fmt.Sprintf("%.2f", ns)
+}
+
+// fmtDelta formats the relative ns/op change; negative is an improvement.
+func fmtDelta(oldNs, newNs float64) string {
+	if oldNs == 0 {
+		return "n/a"
+	}
+	pct := (newNs - oldNs) / oldNs * 100
+	return fmt.Sprintf("%+.1f%%", pct)
+}

@@ -1,0 +1,55 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBenchKey(t *testing.T) {
+	cases := map[string]string{
+		"BenchmarkSpawnExecute":      "BenchmarkSpawnExecute",
+		"BenchmarkSpawnExecute-8":    "BenchmarkSpawnExecute",
+		"BenchmarkSpawnExecute-16":   "BenchmarkSpawnExecute",
+		"BenchmarkA-b":               "BenchmarkA-b", // non-numeric suffix stays
+		"BenchmarkForEach/grain-4-2": "BenchmarkForEach/grain-4",
+		"Benchmark-5":                "Benchmark",
+	}
+	for in, want := range cases {
+		if got := benchKey(in); got != want {
+			t.Errorf("benchKey(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestDiffReport(t *testing.T) {
+	oldBF := &BenchFile{
+		GoVersion: "go1.24.0", GoMaxProcs: 1, Timestamp: "t0",
+		Benchmarks: []BenchResult{
+			{Name: "BenchmarkSpawnExecute", NsPerOp: 70.87},
+			{Name: "BenchmarkDequeTHEPushPop", NsPerOp: 40.44},
+			{Name: "BenchmarkForEach", NsPerOp: 21301, AllocsPerOp: 1},
+		},
+	}
+	newBF := &BenchFile{
+		GoVersion: "go1.24.0", GoMaxProcs: 8, Timestamp: "t1",
+		Benchmarks: []BenchResult{
+			{Name: "BenchmarkSpawnExecute-8", NsPerOp: 68.25},
+			{Name: "BenchmarkDequeChaseLevPushPop-8", NsPerOp: 29.73},
+			{Name: "BenchmarkForEach-8", NsPerOp: 21000, AllocsPerOp: 1},
+		},
+	}
+	got := diffReport("BENCH_0.json", "BENCH_1.json", oldBF, newBF)
+
+	for _, want := range []string{
+		// matched despite the -8 suffix, with a negative (improvement) delta
+		"| BenchmarkSpawnExecute | 70.87 | 68.25 | -3.7% | 0 | 0 |",
+		// renamed benchmarks appear as new + removed, not as a bogus match
+		"| BenchmarkDequeChaseLevPushPop | — | 29.73 | new | — | 0 |",
+		"| BenchmarkDequeTHEPushPop | 40.44 | — | removed | 0 | — |",
+		"| BenchmarkForEach | 21301 | 21000 | -1.4% | 1 | 1 |",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("diff report missing line %q; got:\n%s", want, got)
+		}
+	}
+}

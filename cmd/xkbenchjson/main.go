@@ -8,9 +8,20 @@
 // The file is written to the current directory as BENCH_<n>.json where n
 // is the smallest index not already present, or to -out when given.
 //
+// The diff mode compares two artifacts and prints a per-benchmark delta
+// table (Markdown, so a CI job summary renders it): ns/op old → new with
+// the percentage change, plus allocs/op when either side recorded them.
+// Benchmarks present on only one side are listed as added or removed
+// (GOMAXPROCS name suffixes like "-8" are stripped before matching, so
+// artifacts from machines with different core counts still line up).
+// `make bench-diff` feeds it the two most recent BENCH_<n>.json files; the
+// comparison is a report, not a gate — it always exits 0 unless an
+// artifact cannot be read.
+//
 // Usage:
 //
 //	go test -bench=. -benchmem ./internal/core | xkbenchjson [-out FILE]
+//	xkbenchjson diff OLD.json NEW.json
 package main
 
 import (
@@ -44,6 +55,9 @@ type BenchFile struct {
 }
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "diff" {
+		os.Exit(runDiff(os.Args[2:]))
+	}
 	out := flag.String("out", "", "output file (default: next free BENCH_<n>.json)")
 	flag.Parse()
 

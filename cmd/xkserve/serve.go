@@ -80,7 +80,7 @@ func runServe(args []string) int {
 		// not. Surface the aggregate for the operator either way.
 		fmt.Printf("xkserve: drained job failures (aggregated): %s\n", server.ErrorLine(err))
 	}
-	s := rt.Stats() // pool is quiescent now: full counters are safe
+	s := rt.Stats() // pool is quiescent now: counters balance exactly
 	balanced := s.Spawned == s.Executed+s.Cancelled
 	fmt.Printf("xkserve: scheduler spawned=%d executed=%d cancelled=%d panicked=%d steals=%d/%d combines=%d splits=%d parks=%d\n",
 		s.Spawned, s.Executed, s.Cancelled, s.Panicked,

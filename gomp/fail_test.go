@@ -2,9 +2,11 @@ package gomp
 
 import (
 	"errors"
+	"runtime"
 	"strings"
 	"sync/atomic"
 	"testing"
+	"time"
 )
 
 // TestParallelReportsPanic: a panic on one thread of an SPMD region is
@@ -61,6 +63,43 @@ func TestTaskPanicCancelsQueued(t *testing.T) {
 	}
 	if ran.Load() != 0 {
 		t.Fatalf("%d queued tasks ran after the region failed (1 thread, LIFO)", ran.Load())
+	}
+}
+
+// TestStaticScheduleStopsAfterFailure: with the chunked static schedule,
+// threads other than the panicking one stop entering their round-robin
+// chunks once the region's failure is visible, instead of running their
+// whole pre-assigned sequence (the dynamic/guided schedules already stop
+// claiming chunks). Thread 1 holds its first chunk until thread 0 has
+// armed the panic, so the count below measures chunks run after the
+// failure was imminent — independent of how late the scheduler starts
+// thread 0.
+func TestStaticScheduleStopsAfterFailure(t *testing.T) {
+	tm := NewTeam(2)
+	defer tm.Close()
+	const total = 400 // chunks of 1 iteration, 200 per thread
+	var armed atomic.Bool
+	var executed atomic.Int32
+	err := tm.ParallelFor(0, total, Static, 1, func(tid, lo, hi int) {
+		if tid == 0 {
+			armed.Store(true)
+			panic("boom-static")
+		}
+		for !armed.Load() {
+			runtime.Gosched()
+		}
+		executed.Add(1)
+		time.Sleep(200 * time.Microsecond)
+	})
+	var pe *PanicError
+	if !errors.As(err, &pe) || pe.Value != "boom-static" {
+		t.Fatalf("ParallelFor = %v, want PanicError(boom-static)", err)
+	}
+	// Thread 1 owns 200 chunks, each slowed to 200us, and only starts
+	// counting once the panic is microseconds away; running even a quarter
+	// of its sequence (20ms) after that means pruning is broken.
+	if n := executed.Load(); n >= total/4 {
+		t.Fatalf("static schedule ran %d chunks after the region failed (want < %d)", n, total/4)
 	}
 }
 

@@ -378,9 +378,10 @@ func (tc *TC) runTask(t *gtask) {
 // ParallelFor runs body over [lo, hi) across the team with the given
 // schedule, equivalent to "#pragma omp parallel for schedule(sched,chunk)".
 // body receives the executing thread id and a sub-range. A panicking body
-// fails the region and is reported as a *PanicError; with the dynamic and
-// guided schedules, threads stop claiming chunks once they observe the
-// failure.
+// fails the region and is reported as a *PanicError; with every schedule,
+// threads stop claiming (static: entering) chunks once they observe the
+// failure, so one panicking thread prunes the whole region's remaining work
+// instead of only its own block.
 func (tm *Team) ParallelFor(lo, hi int, sched Schedule, chunk int, body func(tid, lo, hi int)) error {
 	if hi <= lo {
 		return nil
@@ -393,13 +394,18 @@ func (tm *Team) ParallelFor(lo, hi int, sched Schedule, chunk int, body func(tid
 			return tm.Parallel(func(tc *TC) {
 				b := lo + tc.tid*n/p
 				e := lo + (tc.tid+1)*n/p
-				if e > b {
+				// One contiguous block per thread: the failure check can
+				// only prune whole blocks not yet started.
+				if e > b && !tc.r.failed.Load() {
 					body(tc.tid, b, e)
 				}
 			})
 		}
 		return tm.Parallel(func(tc *TC) {
 			for b := lo + tc.tid*chunk; b < hi; b += p * chunk {
+				if tc.r.failed.Load() {
+					return // region failed: stop before the next chunk
+				}
 				e := b + chunk
 				if e > hi {
 					e = hi

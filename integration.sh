@@ -3,8 +3,11 @@
 #
 # Phase 1 runs the verified mixed workload (fib fork-join + adaptive loop +
 # Cholesky dataflow) plus an over-budget burst that must be answered with
-# 429s. Phase 2 SIGTERMs the server mid-load: it must drain in-flight jobs
-# and exit 0 with balanced scheduler counters (spawned == executed +
+# 429s. Phase 2 asserts /stats publishes live task counters: while /loop
+# requests are in flight, the scheduler's Executed count must advance (the
+# per-worker counters are padded atomics, so mid-flight reads are exact and
+# race-free). Phase 3 SIGTERMs the server mid-load: it must drain in-flight
+# jobs and exit 0 with balanced scheduler counters (spawned == executed +
 # cancelled), while the load generator tolerates the drain.
 set -eu
 
@@ -22,6 +25,43 @@ trap 'kill "$SERVE_PID" 2>/dev/null || true' EXIT
 echo "== integration: mixed workload + backpressure burst"
 "$BIN" load -addr "http://$ADDR" -clients 6 -jobs 12 \
 	-fib 20 -loop 100000 -chol 128 -nb 32 -burst 16 -expect-429
+
+echo "== integration: /stats must publish live executed counts mid-flight"
+# The scheduler's Executed counter in /stats (the only "Executed" key in the
+# reply; endpoint aggregates use task_executed) must be non-zero and growing
+# while /loop work is in flight — before this PR the task-path counters were
+# plain ints and reported as zero until the pool drained.
+# A transiently failing sample (curl error, missing key) must not abort the
+# script under set -e; the poll loop below retries, so report empty instead.
+stats_executed() {
+	curl -s "http://$ADDR/stats" | grep -o '"Executed": *[0-9]*' | grep -o '[0-9]*$' || true
+}
+BASE=$(stats_executed)
+BASE=${BASE:-0}
+(
+	i=0
+	while [ "$i" -lt 40 ]; do
+		curl -s "http://$ADDR/loop?n=50000000" >/dev/null || true
+		i=$((i + 1))
+	done
+) &
+STREAM_PID=$!
+LIVE_OK=0
+while kill -0 "$STREAM_PID" 2>/dev/null; do
+	NOW=$(stats_executed)
+	if [ -n "${NOW:-}" ] && [ "$NOW" -gt "$BASE" ]; then
+		LIVE_OK=1
+		break
+	fi
+	sleep 0.05
+done
+kill "$STREAM_PID" 2>/dev/null || true
+wait "$STREAM_PID" 2>/dev/null || true
+if [ "$LIVE_OK" -ne 1 ]; then
+	echo "integration: /stats never showed live executed counts during in-flight /loop" >&2
+	exit 1
+fi
+echo "live /stats OK (executed $BASE -> $NOW while /loop in flight)"
 
 echo "== integration: SIGTERM mid-load must drain cleanly"
 "$BIN" load -addr "http://$ADDR" -clients 6 -jobs 500 -chol 256 -nb 32 \

@@ -33,14 +33,19 @@ type Adaptive struct {
 // the splitter's.
 func (ad *Adaptive) split(w *Worker, n int) (out []*Task) {
 	// Tasks a panicking splitter already built are unreachable (the panic
-	// discards its return value), so roll their spawn counts back to keep
-	// the Spawned == Executed + Cancelled invariant: only the thief itself
-	// creates tasks during Split, all against w's own counter.
-	preSpawned := w.stats.spawned
+	// discards its return value) and will never execute, so account them as
+	// cancelled to keep the quiescent Spawned == Executed + Cancelled
+	// invariant. Crediting cancelled — rather than rolling spawned back —
+	// preserves the live-stats contract that every counter is monotone:
+	// only the thief itself creates tasks during Split, all against w's own
+	// counters, so the delta below is exact.
+	preSpawned := w.stats.spawned.Load()
 	defer func() {
 		if r := recover(); r != nil {
-			w.stats.panicked++
-			w.stats.spawned = preSpawned
+			w.stats.panicked.Add(1)
+			if lost := w.stats.spawned.Load() - preSpawned; lost > 0 {
+				w.stats.cancelled.Add(lost)
+			}
 			if ad.job != nil {
 				ad.job.fail(newPanicError(r))
 			}

@@ -1,33 +1,58 @@
 package core
 
 import (
-	"sync"
 	"sync/atomic"
 )
 
 const dequeInitCap = 256 // initial slots; must be a power of two
 
-// deque is the per-worker work-stealing deque, synchronized with Cilk's
-// T.H.E. protocol (Frigo, Leiserson, Randall 1998), which the paper reuses to
-// synchronize thief and victim (§II-C). The owner pushes and pops at the
-// bottom without taking the lock in the common case; thieves always hold mu
-// (they are additionally serialized per victim by the combiner lock, see
-// request.go) and steal from the top, oldest task first. Owner and thief
-// only contend on the last remaining task, which is resolved under mu.
+// deque is the per-worker work-stealing deque, a lock-free Chase–Lev
+// circular deque (Chase, Lev: "Dynamic Circular Work-Stealing Deque",
+// SPAA 2005) in the role the paper assigns to Cilk's T.H.E. protocol
+// (§II-C): the owner pushes and pops at the bottom, thieves steal from the
+// top, oldest task first, and the two only meet on the last remaining task.
+// Unlike T.H.E. there is no mutex anywhere — thieves claim the top slot
+// with a CAS on head, the owner claims a contended last task with the same
+// CAS, and buffer growth publishes a fresh buffer through an atomic
+// pointer. The paper's steal-request aggregation (request.go) still
+// serializes *aggregated* thieves per victim behind the combiner election
+// lock, but the deque itself never blocks anyone.
+//
+// Memory-ordering argument, in Go's memory model (all sync/atomic
+// operations are sequentially consistent, so the weak-memory fences of the
+// original algorithm and of Lê et al.'s C11 port are implied):
+//
+//   - head only ever increases, and only by a successful CompareAndSwap.
+//     A claim of index h is therefore unique: whoever wins the CAS h→h+1
+//     owns the task at slot h, whether thief (steal) or owner (pop of the
+//     last task).
+//   - A thief reads a slot only after observing head h < tail: the owner's
+//     slot store for index h is sequenced before its tail.Store(h+1), so
+//     the observed tail orders the slot write before the thief's read.
+//   - A slot at index h can only be overwritten by the push of index
+//     h+capacity, and push never lets tail-head exceed the capacity of the
+//     buffer it writes to, so head must first move past h — which fails
+//     every outstanding CAS on h. A stale slot read is thus always
+//     discarded. (Slots are atomic.Pointer values so this benign stale
+//     read is also well-defined for the race detector.)
+//   - grow copies [head, tail) into the new buffer before publishing it;
+//     head is monotone, so any index a thief can still claim from the old
+//     buffer holds the same task in the new one.
 type deque struct {
-	head atomic.Int64 // top: index of the next task to steal
-	tail atomic.Int64 // bottom: index of the next free slot
-	mu   sync.Mutex   // held by thieves; by the owner only on conflict/growth
+	head atomic.Int64 // top: index of the next task to steal (CAS-claimed)
+	_    [56]byte     // keep the thief-side and owner-side words on separate lines
+	tail atomic.Int64 // bottom: index of the next free slot (owner only)
+	_    [56]byte
 	buf  atomic.Pointer[dequeBuf]
 }
 
 type dequeBuf struct {
 	mask int64
-	slot []*Task
+	slot []atomic.Pointer[Task]
 }
 
 func (d *deque) init() {
-	d.buf.Store(&dequeBuf{mask: dequeInitCap - 1, slot: make([]*Task, dequeInitCap)})
+	d.buf.Store(&dequeBuf{mask: dequeInitCap - 1, slot: make([]atomic.Pointer[Task], dequeInitCap)})
 }
 
 // size is a racy estimate of the number of queued tasks; it is used only to
@@ -41,86 +66,105 @@ func (d *deque) size() int64 {
 }
 
 // push appends t at the bottom. Owner only. The paper reports a ~10 cycle
-// enqueue; this path is two atomic loads, one store into the buffer, and one
-// atomic store of the new bottom.
+// enqueue; this path is two atomic loads, one atomic store into the buffer,
+// and one atomic store of the new bottom — no CAS, no lock.
 func (d *deque) push(t *Task) {
 	b := d.tail.Load()
 	buf := d.buf.Load()
-	if b-d.head.Load() >= buf.mask { // keep one slack slot
+	if b-d.head.Load() > buf.mask { // full
 		d.grow(b)
 		buf = d.buf.Load()
 	}
-	buf.slot[b&buf.mask] = t
+	buf.slot[b&buf.mask].Store(t)
 	d.tail.Store(b + 1)
 }
 
-// grow doubles the buffer. It runs under mu so concurrent thieves never
-// observe a partially copied buffer; head cannot advance while mu is held
-// because every steal holds mu.
+// grow doubles the buffer and publishes it through the atomic pointer.
+// Owner only, lock-free: thieves keep reading the old buffer until they
+// reload the pointer, which is safe because every index in [head, tail) is
+// copied before the publish and head never decreases — an index still
+// claimable from the old buffer holds the identical task in the new one.
 func (d *deque) grow(b int64) {
-	d.mu.Lock()
 	old := d.buf.Load()
 	nbuf := &dequeBuf{
 		mask: old.mask*2 + 1,
-		slot: make([]*Task, (old.mask+1)*2),
+		slot: make([]atomic.Pointer[Task], (old.mask+1)*2),
 	}
 	for i := d.head.Load(); i < b; i++ {
-		nbuf.slot[i&nbuf.mask] = old.slot[i&old.mask]
+		nbuf.slot[i&nbuf.mask].Store(old.slot[i&old.mask].Load())
 	}
 	d.buf.Store(nbuf)
-	d.mu.Unlock()
 }
 
-// pop removes and returns the most recently pushed task, or nil if the deque
-// is empty or the task was lost to a thief. Owner only.
+// pop removes and returns the most recently pushed task, or nil if the
+// deque is empty or the task was lost to a thief. Owner only, lock-free.
+//
+// The owner is the only writer of tail, and head is monotone, so an
+// initial head >= tail read proves the deque empty without touching tail.
+// A single remaining task is claimed by the same head CAS thieves use —
+// the arbiter for index h is always the CAS h→h+1, so the task goes to
+// exactly one side. Only the two-or-more case uses the Chase–Lev
+// decrement-first dance: publish the new bottom, then re-read head to see
+// whether thieves caught up while we were doing it.
 func (d *deque) pop() *Task {
 	b := d.tail.Load() - 1
-	d.tail.Store(b)
 	h := d.head.Load()
-	if b < h {
-		// Deque was empty; restore the canonical empty state.
-		d.tail.Store(h)
-		return nil
+	if h > b {
+		return nil // empty (h == b+1): only the owner adds tasks
 	}
 	buf := d.buf.Load()
-	t := buf.slot[b&buf.mask]
-	if b > h {
-		// At least one task remains above ours: no thief can reach slot b
-		// because every steal checks head < tail and tail is already b.
-		return t
+	if h == b {
+		// Single task: race thieves for it with the claiming CAS. No tail
+		// update needed — on either outcome head becomes b+1 == tail, the
+		// canonical empty state.
+		t := buf.slot[b&buf.mask].Load()
+		if d.head.CompareAndSwap(b, b+1) {
+			return t
+		}
+		return nil
 	}
-	// b == h: a single task is left and a thief may be racing for it.
-	d.mu.Lock()
+	// At least two tasks were present: take the bottom one. Publish the
+	// decremented bottom first so a thief's head < tail check cannot hand
+	// out index b concurrently with us taking it.
+	d.tail.Store(b)
 	h = d.head.Load()
-	if h <= b {
-		// Still ours; claim it by moving both ends past it.
-		d.head.Store(b + 1)
-		d.tail.Store(b + 1)
-		d.mu.Unlock()
+	t := buf.slot[b&buf.mask].Load()
+	if h < b {
+		// At least one task remains above ours: no thief can claim index b,
+		// because claiming it requires head == b first.
 		return t
 	}
-	// The thief won; leave the deque empty.
-	d.tail.Store(h)
-	d.mu.Unlock()
-	return nil
+	if h > b {
+		// Thieves drained everything, index b included, before our
+		// decrement was visible. Restore the canonical empty state.
+		d.tail.Store(b + 1)
+		return nil
+	}
+	// h == b: ours is the last task and thieves may be racing for it.
+	if !d.head.CompareAndSwap(b, b+1) {
+		t = nil // a thief won the claim
+	}
+	d.tail.Store(b + 1)
+	return t
 }
 
-// stealLocked removes and returns the oldest task, or nil. The caller must
-// hold d.mu. A concurrent owner pop of the same task is detected by
-// re-checking the bottom after advancing the top; on conflict the steal backs
-// off and lets the owner (which always wins ties under mu) take the task.
-func (d *deque) stealLocked() *Task {
-	h := d.head.Load()
-	if h >= d.tail.Load() {
-		return nil
+// steal removes and returns the oldest task, or nil if the deque is empty.
+// Any thief may call it concurrently with the owner and with other thieves;
+// claims are arbitrated by the CAS on head. A failed CAS means someone else
+// (a thief, or the owner popping the last task) claimed the observed index;
+// the loop retries with fresh indices until it wins or finds the deque
+// empty.
+func (d *deque) steal() *Task {
+	for {
+		h := d.head.Load()
+		b := d.tail.Load()
+		if h >= b {
+			return nil // empty (b may trail h by one during an owner pop)
+		}
+		buf := d.buf.Load()
+		t := buf.slot[h&buf.mask].Load()
+		if d.head.CompareAndSwap(h, h+1) {
+			return t
+		}
 	}
-	buf := d.buf.Load()
-	t := buf.slot[h&buf.mask]
-	d.head.Store(h + 1)
-	if d.head.Load() > d.tail.Load() {
-		// The owner decremented tail concurrently and is taking this task.
-		d.head.Store(h)
-		return nil
-	}
-	return t
 }

@@ -40,15 +40,13 @@ func TestDequeStealFIFO(t *testing.T) {
 		ts[i] = newTestTask(i)
 		d.push(ts[i])
 	}
-	d.mu.Lock()
-	defer d.mu.Unlock()
 	for i := 0; i < len(ts); i++ {
-		got := d.stealLocked()
+		got := d.steal()
 		if got != ts[i] {
 			t.Fatalf("steal %d: got %p want %p", i, got, ts[i])
 		}
 	}
-	if d.stealLocked() != nil {
+	if d.steal() != nil {
 		t.Fatal("steal on empty deque returned a task")
 	}
 }
@@ -59,10 +57,7 @@ func TestDequeInterleavedPushPopSteal(t *testing.T) {
 	a, b, c := newTestTask(0), newTestTask(1), newTestTask(2)
 	d.push(a)
 	d.push(b)
-	d.mu.Lock()
-	got := d.stealLocked() // oldest
-	d.mu.Unlock()
-	if got != a {
+	if got := d.steal(); got != a { // oldest
 		t.Fatalf("steal: got %p want %p", got, a)
 	}
 	d.push(c)
@@ -105,17 +100,15 @@ func TestDequeGrowPreservesStealOrder(t *testing.T) {
 		ts[i] = newTestTask(i)
 		d.push(ts[i])
 	}
-	d.mu.Lock()
-	defer d.mu.Unlock()
 	for i := 0; i < n; i++ {
-		if got := d.stealLocked(); got != ts[i] {
+		if got := d.steal(); got != ts[i] {
 			t.Fatalf("steal %d after grow: got %p want %p", i, got, ts[i])
 		}
 	}
 }
 
 // TestDequeConcurrentOwnerThieves hammers one owner (push/pop) against
-// several thieves (stealLocked) and verifies that every pushed task is
+// several CAS-stealing thieves and verifies that every pushed task is
 // obtained exactly once, by exactly one side.
 func TestDequeConcurrentOwnerThieves(t *testing.T) {
 	const (
@@ -137,10 +130,7 @@ func TestDequeConcurrentOwnerThieves(t *testing.T) {
 		go func() {
 			defer wg.Done()
 			for !stop.Load() {
-				d.mu.Lock()
-				task := d.stealLocked()
-				d.mu.Unlock()
-				if task != nil {
+				if task := d.steal(); task != nil {
 					seen[task.wait.Load()].Add(1)
 				}
 			}
@@ -157,13 +147,12 @@ func TestDequeConcurrentOwnerThieves(t *testing.T) {
 			}
 		}
 	}
-	// Drain the rest from the owner side.
+	// Drain the rest from the owner side. Unlike the old T.H.E. protocol,
+	// a Chase–Lev pop returning nil with size() > 0 can only mean a thief
+	// holds the claim; retrying converges.
 	for {
 		task := d.pop()
 		if task == nil {
-			// The deque can transiently refuse the last task during an
-			// owner/thief conflict; it is only permanently empty when
-			// head==tail.
 			if d.size() == 0 {
 				break
 			}

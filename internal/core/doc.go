@@ -8,9 +8,17 @@
 // The pieces, and where the paper describes them:
 //
 //   - Worker / Runtime (worker.go, runtime.go): one worker per core, each
-//     owning a T.H.E.-protocol deque (§II-C). Idle workers become thieves.
+//     owning a lock-free Chase–Lev deque (deque.go) in the role the paper
+//     assigns to Cilk's T.H.E. protocol (§II-C): the owner pushes and pops
+//     at the bottom without synchronization beyond Go's (sequentially
+//     consistent) atomics, thieves CAS-claim the top, and the single
+//     contended case — one task left, owner and thief racing — is decided
+//     by the same head CAS for both sides, so no path through the deque
+//     ever blocks. Idle workers become thieves.
 //   - Steal-request aggregation (request.go): N pending requests to the same
 //     victim are served by a single elected thief, the combiner (§II-C).
+//     The combiner election lock orders thieves per victim; the deque
+//     underneath stays lock-free, so the victim never waits for a combiner.
 //   - Dataflow tasks (task.go, handle.go): tasks declare accesses to shared
 //     Handles with a mode (read, write, exclusive, cumulative write); the
 //     runtime computes true dependencies and releases successors as their
@@ -34,7 +42,7 @@
 // Runtime.Submit(fn) enqueues fn as a root task on an MPSC inbox and
 // returns a *Job immediately; workers claim inbox roots when they run out
 // of local and stolen work, so external threads never touch the owner-only
-// ends of the T.H.E. deques. Job.Wait blocks until the root and every task
+// ends of the Chase–Lev deques. Job.Wait blocks until the root and every task
 // transitively spawned from it completed, and returns the job's error;
 // Runtime.Wait drains all jobs submitted so far; Runtime.Close drains
 // in-flight jobs before joining the workers (CloseErr additionally reports
@@ -88,8 +96,10 @@
 // Runtime.Wait drains all submitted jobs and returns an errors.Join of the
 // failures recorded since the previous drain (bounded; floods are
 // summarized by count), so batch clients need not track every Job handle.
-// LiveStats exposes the subset of counters that is safe to read while jobs
-// are in flight.
+// All scheduler counters are per-worker padded atomics, so Stats (and its
+// alias LiveStats) may be polled while jobs are in flight: a monitoring
+// endpoint sees Executed and Cancelled advance live, and the quiescent
+// invariants hold exactly once the pool drains.
 //
 // The model is fully strict: every task waits (by scheduling other work, not
 // by blocking the thread) for its children before completing, so a program

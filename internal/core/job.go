@@ -27,6 +27,12 @@ type Job struct {
 	err    error // first failure; immutable once set
 	sealed bool  // job finished: late fail calls are ignored
 
+	// ctxStop deregisters the context.AfterFunc a SubmitCtx job armed for
+	// cancellation. It is set before the root task is enqueued and called
+	// once by finish, so a completed job costs the context package one
+	// removal instead of leaving a callback behind.
+	ctxStop func() bool
+
 	// Per-job attribution of the task outcome counters (the pool-global
 	// Stats remain the sum over workers). Atomics: tasks of one job execute
 	// on many workers concurrently.
@@ -121,6 +127,12 @@ func (j *Job) finish() {
 	j.sealed = true
 	err := j.err
 	j.mu.Unlock()
+	if j.ctxStop != nil {
+		// Deregister the context cancellation hook; sealed is already set,
+		// so a callback that fired in the window is a no-op.
+		j.ctxStop()
+		j.ctxStop = nil
+	}
 	close(j.done)
 	rt := j.rt
 	if err != nil {
@@ -136,9 +148,9 @@ func (j *Job) finish() {
 
 // inbox is the MPSC queue through which goroutines outside the pool inject
 // root tasks. External submitters must not touch the owner end of any
-// worker deque (push/pop are owner-only under the T.H.E. protocol), so new
-// roots land here and are claimed by whichever worker runs out of local and
-// stolen work first.
+// worker deque (push/pop are owner-only under the Chase–Lev protocol), so
+// new roots land here and are claimed by whichever worker runs out of local
+// and stolen work first.
 //
 // The count n is a sequentially consistent atomic and is updated before the
 // submitter reads Runtime.idle (in maybeWake), mirroring the deque-bottom /
@@ -196,11 +208,25 @@ func (ib *inbox) size() int64 { return ib.n.Load() }
 // pre-failed Job whose Wait and Err report ErrClosed and whose task never
 // runs.
 func (rt *Runtime) Submit(fn func(*Worker)) *Job {
+	j, t, ok := rt.newRoot(fn)
+	if ok {
+		rt.enqueueRoot(t)
+	}
+	return j
+}
+
+// newRoot builds the job handle and its root task and registers the job
+// with the runtime. ok reports whether the runtime accepted it; on false
+// the job is pre-failed with ErrClosed and already finished. On true the
+// caller must call enqueueRoot(t) to make the root runnable — the gap
+// between the two is where SubmitCtx arms its cancellation hook, so the
+// hook is always installed before any worker can finish the job.
+func (rt *Runtime) newRoot(fn func(*Worker)) (j *Job, t *Task, ok bool) {
 	if fn == nil {
 		panic("core: Submit with nil function")
 	}
-	j := &Job{rt: rt, done: make(chan struct{})}
-	t := new(Task) // external path: worker free lists are owner-only
+	j = &Job{rt: rt, done: make(chan struct{})}
+	t = new(Task) // external path: worker free lists are owner-only
 	t.body = fn
 	t.job = j
 	t.flags = flagRoot
@@ -216,14 +242,19 @@ func (rt *Runtime) Submit(fn func(*Worker)) *Job {
 		j.failed.Store(true)
 		j.sealed = true
 		close(j.done)
-		return j
+		return j, nil, false
 	}
 	rt.jobsLive++
 	rt.jobsMu.Unlock()
+	return j, t, true
+}
+
+// enqueueRoot injects a registered root task through the inbox and wakes a
+// worker for it.
+func (rt *Runtime) enqueueRoot(t *Task) {
 	rt.extSpawned.Add(1)
 	rt.inbox.put(t)
 	rt.maybeWake()
-	return j
 }
 
 // SubmitCtx is Submit bound to a context: if ctx is cancelled before the
@@ -231,26 +262,27 @@ func (rt *Runtime) Submit(fn func(*Worker)) *Job {
 // skipped. A context already cancelled at submission still returns a Job
 // (its root is enqueued but its body never runs), so callers have one code
 // path: check Wait's error.
+//
+// Cancellation is watcher-free: instead of a goroutine per job parked on
+// ctx.Done() (which a server submitting one job per request would multiply
+// by the whole in-flight set), the job registers a context.AfterFunc —
+// a callback on the context's own cancel/timer machinery — before its root
+// is enqueued, and finish deregisters it. A context-bound job therefore
+// costs no goroutine at all, and an uncancelled one leaves nothing behind.
 func (rt *Runtime) SubmitCtx(ctx context.Context, fn func(*Worker)) *Job {
-	j := rt.Submit(fn)
-	if ctx == nil || j.aborted() {
-		return j // no context, or rejected with ErrClosed
+	if ctx == nil || ctx.Done() == nil {
+		return rt.Submit(fn) // no context, or one that can never be cancelled
 	}
-	cdone := ctx.Done()
-	if cdone == nil {
-		return j // context can never be cancelled
+	j, t, ok := rt.newRoot(fn)
+	if !ok {
+		return j // rejected with ErrClosed
 	}
 	if err := ctx.Err(); err != nil {
 		j.fail(err)
-		return j
+	} else {
+		j.ctxStop = context.AfterFunc(ctx, func() { j.fail(ctx.Err()) })
 	}
-	go func() {
-		select {
-		case <-cdone:
-			j.fail(ctx.Err())
-		case <-j.done:
-		}
-	}()
+	rt.enqueueRoot(t)
 	return j
 }
 

@@ -81,7 +81,7 @@ func (lc *loopCtx) runChunk(w *Worker, lo, hi int64) (ok bool) {
 			if au, isAbort := r.(abortUnwind); isAbort {
 				err = au.err // nested loop already recorded the panic
 			} else {
-				w.stats.panicked++
+				w.stats.panicked.Add(1)
 				if lc.job != nil {
 					lc.job.nPanicked.Add(1)
 				}
@@ -155,7 +155,7 @@ func (w *Worker) newLoopTask(lc *loopCtx, iv *Interval) *Task {
 	t.flags |= flagLoop
 	t.body = func(w2 *Worker) { w2.loopRun(lc, iv) }
 	t.job = lc.job // split-off slices stay in the loop's failure scope
-	w.stats.spawned++
+	w.stats.spawned.Add(1)
 	return t
 }
 

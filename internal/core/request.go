@@ -6,15 +6,18 @@ import (
 )
 
 // Steal-request aggregation (§II-C of the paper, after Hendler et al.'s flat
-// combining): instead of each thief locking the victim's deque, a thief posts
-// a request in the victim's request box and tries to become the combiner by
-// acquiring the victim's combiner lock. The winner — "one of the thieves is
-// elected to reply to all requests" — serves every posted request in a single
-// pass over the victim's state: tasks are popped oldest-first from the deque,
-// and any remaining requests are offered to the victim's active splitter
-// (adaptive tasks, §II-D), which divides the running task's remaining work
-// k+1 ways. Aggregation reduces the number of ready-task detections: N
-// concurrent requests cost one deque traversal instead of N.
+// combining): instead of each thief attacking the victim's deque itself, a
+// thief posts a request in the victim's request box and tries to become the
+// combiner by acquiring the victim's combiner lock. The winner — "one of the
+// thieves is elected to reply to all requests" — serves every posted request
+// in a single pass over the victim's state: tasks are CAS-stolen oldest-first
+// from the deque (the Chase–Lev steal in deque.go; the victim's owner path
+// never blocks behind the combiner), and any remaining requests are offered
+// to the victim's active splitter (adaptive tasks, §II-D), which divides the
+// running task's remaining work k+1 ways. Aggregation reduces the number of
+// ready-task detections: N concurrent requests cost one deque traversal
+// instead of N. The combiner lock serializes thieves per victim; it is an
+// election primitive, not a deque lock — the deque itself is lock-free.
 
 const (
 	reqEmpty int32 = iota
@@ -89,18 +92,19 @@ func (w *Worker) combineServe(v *Worker) {
 	}
 	w.stats.combines.Add(1)
 
-	// First source: the victim's deque, oldest tasks first.
+	// First source: the victim's deque, oldest tasks first, each taken by a
+	// lock-free CAS claim. The victim keeps pushing and popping concurrently;
+	// steal returns nil once the deque is drained (or the owner raced us to
+	// the last task), and the remaining requests fall through to the splitter.
 	served := 0
-	v.deque.mu.Lock()
 	for served < len(ids) {
-		t := v.deque.stealLocked()
+		t := v.deque.steal()
 		if t == nil {
 			break
 		}
 		reply(&v.reqs[ids[served]], t)
 		served++
 	}
-	v.deque.mu.Unlock()
 
 	// Second source: the victim's active adaptive task, split k+1 ways for
 	// the k remaining requests (one part stays with the victim, §II-E).
@@ -132,13 +136,12 @@ func reply(r *request, t *Task) {
 }
 
 // stealDirect is the non-aggregated protocol used when Config.NoAggregation
-// is set (ablation A1): the thief locks the victim's deque and takes the
-// oldest task itself, one lock acquisition per thief per attempt.
+// is set (ablation A1): every thief CAS-steals from the victim's deque for
+// itself, so N concurrent thieves cost N top-of-deque claims (and N cache
+// line bounces on head) instead of one aggregated pass.
 func (w *Worker) stealDirect(v *Worker) *Task {
 	w.stats.stealRequests.Add(1)
-	v.deque.mu.Lock()
-	t := v.deque.stealLocked()
-	v.deque.mu.Unlock()
+	t := v.deque.steal()
 	if t == nil {
 		if ad := v.adaptive.Load(); ad != nil {
 			v.comb.Lock() // still required: one splitter at a time

@@ -167,7 +167,11 @@ func (rt *Runtime) NumWorkers() int { return len(rt.workers) }
 func (rt *Runtime) Config() Config { return rt.cfg }
 
 // Stats sums the per-worker counters plus the externally submitted root
-// count. Only meaningful while the runtime is quiescent (no job in flight).
+// count. All counters are per-worker padded atomics, so Stats may be read
+// at any time; while jobs are in flight the result is a consistent lower
+// bound (each counter is monotone between resets, but the sum is not taken
+// at a single instant). Invariants such as Spawned == Executed + Cancelled
+// hold exactly only once the runtime is quiescent.
 func (rt *Runtime) Stats() Stats {
 	s := Stats{Spawned: rt.extSpawned.Load()}
 	for _, w := range rt.workers {
@@ -176,24 +180,17 @@ func (rt *Runtime) Stats() Stats {
 	return s
 }
 
-// LiveStats returns the subset of the scheduler counters that is safe to
-// read while jobs are in flight: the externally submitted root count and
-// the thief-path counters (steal requests/hits, combines, splits, parks),
-// which are all atomics. The task-path counters (Spawned beyond roots,
-// Executed, ReadyReleases, Panicked, Cancelled) are deliberately plain
-// per-worker integers — reading them concurrently with execution would be
-// a data race — and are reported as zero here; use Stats once the runtime
-// is quiescent for the full picture.
-func (rt *Runtime) LiveStats() Stats {
-	s := Stats{Spawned: rt.extSpawned.Load()}
-	for _, w := range rt.workers {
-		s.Add(w.stats.liveSnapshot())
-	}
-	return s
-}
+// LiveStats returns the scheduler counters while jobs are in flight. Since
+// the task-path counters (Spawned, Executed, ReadyReleases, Panicked,
+// Cancelled) became per-worker padded atomics they are published live too,
+// so LiveStats is now simply Stats: a monitoring endpoint polling it sees
+// Executed advance while a long job runs. The name is kept for callers
+// that want to document they read mid-flight.
+func (rt *Runtime) LiveStats() Stats { return rt.Stats() }
 
 // ResetStats zeroes all per-worker counters and the external root count.
-// Only safe while quiescent.
+// Call it only while quiescent: resetting under live increments loses no
+// memory safety (the counters are atomics) but produces meaningless sums.
 func (rt *Runtime) ResetStats() {
 	rt.extSpawned.Store(0)
 	for _, w := range rt.workers {

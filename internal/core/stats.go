@@ -38,18 +38,23 @@ func (s *Stats) Add(other Stats) {
 	s.Cancelled += other.Cancelled
 }
 
-// workerStats holds one worker's counters. Task-path counters (spawned,
-// executed, readyReleases) are plain integers: they are only written while
-// the worker executes tasks, so reading them between RunRoot calls is safe
-// and the task hot path pays nothing. Thief-path counters are atomics
-// because idle workers keep probing (and thus counting) even when the
-// runtime is quiescent from the caller's point of view.
+// workerStats holds one worker's counters. Every counter is an atomic,
+// written only by the owning worker (each worker counts against its own
+// struct, including a thief counting a steal it performed), so the
+// increments are uncontended single-line RMWs and any goroutine may read a
+// live snapshot at any time — this is what lets Runtime.LiveStats publish
+// Executed/Cancelled while jobs are in flight. The leading and trailing
+// pads keep the counter block on cache lines no neighboring field (and no
+// other worker's hot state) shares, so a /stats reader never bounces a
+// line the task hot path is writing through false sharing.
 type workerStats struct {
-	spawned       int64
-	executed      int64
-	readyReleases int64
-	panicked      int64
-	cancelled     int64
+	_ [64]byte // pad: counters start on a fresh cache line
+
+	spawned       atomic.Int64
+	executed      atomic.Int64
+	readyReleases atomic.Int64
+	panicked      atomic.Int64
+	cancelled     atomic.Int64
 
 	stealRequests atomic.Int64
 	stealHits     atomic.Int64
@@ -58,29 +63,21 @@ type workerStats struct {
 	splits        atomic.Int64
 	splitTasks    atomic.Int64
 	parks         atomic.Int64
+
+	_ [64]byte // pad: nothing after the counters shares their last line
 }
 
+// snapshot reads all counters. Safe at any time: each counter is atomic
+// and monotone between resets, so a live snapshot is a consistent lower
+// bound of each counter (the sum across workers is not a single instant,
+// but every component only grows).
 func (ws *workerStats) snapshot() Stats {
 	return Stats{
-		Spawned:       ws.spawned,
-		Executed:      ws.executed,
-		ReadyReleases: ws.readyReleases,
-		Panicked:      ws.panicked,
-		Cancelled:     ws.cancelled,
-		StealRequests: ws.stealRequests.Load(),
-		StealHits:     ws.stealHits.Load(),
-		Combines:      ws.combines.Load(),
-		CombineServed: ws.combineServed.Load(),
-		Splits:        ws.splits.Load(),
-		SplitTasks:    ws.splitTasks.Load(),
-		Parks:         ws.parks.Load(),
-	}
-}
-
-// liveSnapshot reads only the thief-path counters, which are atomics and
-// therefore safe to read while the worker is executing tasks.
-func (ws *workerStats) liveSnapshot() Stats {
-	return Stats{
+		Spawned:       ws.spawned.Load(),
+		Executed:      ws.executed.Load(),
+		ReadyReleases: ws.readyReleases.Load(),
+		Panicked:      ws.panicked.Load(),
+		Cancelled:     ws.cancelled.Load(),
 		StealRequests: ws.stealRequests.Load(),
 		StealHits:     ws.stealHits.Load(),
 		Combines:      ws.combines.Load(),
@@ -92,11 +89,11 @@ func (ws *workerStats) liveSnapshot() Stats {
 }
 
 func (ws *workerStats) reset() {
-	ws.spawned = 0
-	ws.executed = 0
-	ws.readyReleases = 0
-	ws.panicked = 0
-	ws.cancelled = 0
+	ws.spawned.Store(0)
+	ws.executed.Store(0)
+	ws.readyReleases.Store(0)
+	ws.panicked.Store(0)
+	ws.cancelled.Store(0)
 	ws.stealRequests.Store(0)
 	ws.stealHits.Store(0)
 	ws.combines.Store(0)

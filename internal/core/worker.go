@@ -66,7 +66,7 @@ func (w *Worker) Spawn(fn func(*Worker)) {
 		t.parent.children.Add(1)
 		t.job = t.parent.job
 	}
-	w.stats.spawned++
+	w.stats.spawned.Add(1)
 	w.deque.push(t)
 	w.rt.maybeWake()
 }
@@ -81,8 +81,8 @@ func (w *Worker) cancelEagerly() bool {
 	if cur == nil || cur.job == nil || !cur.job.aborted() {
 		return false
 	}
-	w.stats.spawned++
-	w.stats.cancelled++
+	w.stats.spawned.Add(1)
+	w.stats.cancelled.Add(1)
 	cur.job.nCancelled.Add(1)
 	return true
 }
@@ -107,7 +107,7 @@ func (w *Worker) SpawnTask(fn func(*Worker), accs ...Access) {
 		t.parent.children.Add(1)
 		t.job = t.parent.job
 	}
-	w.stats.spawned++
+	w.stats.spawned.Add(1)
 	if len(accs) == 0 {
 		w.deque.push(t)
 		w.rt.maybeWake()
@@ -153,10 +153,10 @@ func (w *Worker) execute(t *Task) {
 	// the ForEach caller to return. Skipping the task would strand its
 	// interval and hang the loop.
 	if j := t.job; j != nil && j.aborted() && t.flags&flagLoop == 0 {
-		w.stats.cancelled++
+		w.stats.cancelled.Add(1)
 		j.nCancelled.Add(1)
 	} else {
-		w.stats.executed++
+		w.stats.executed.Add(1)
 		if j := t.job; j != nil {
 			j.nExecuted.Add(1)
 		}
@@ -188,7 +188,7 @@ func (w *Worker) runBody(t *Task) {
 			}
 			return
 		}
-		w.stats.panicked++
+		w.stats.panicked.Add(1)
 		if t.job == nil {
 			panic(r)
 		}
@@ -213,7 +213,7 @@ func (w *Worker) complete(t *Task) {
 				// the completion of its last predecessor is enqueued on the
 				// completer's deque, so a subsequent steal (or local pop) is
 				// a constant-time operation rather than a stack traversal.
-				w.stats.readyReleases++
+				w.stats.readyReleases.Add(1)
 				w.deque.push(s)
 				w.rt.maybeWake()
 			}
@@ -354,7 +354,7 @@ func (w *Worker) NewAdaptiveTask(fn func(*Worker)) *Task {
 	t := w.alloc()
 	t.flags |= flagLoop
 	t.body = fn
-	w.stats.spawned++
+	w.stats.spawned.Add(1)
 	return t
 }
 

@@ -54,11 +54,12 @@
 //
 // # Stats and data races
 //
-// /stats reports only counters that are safe to read while the pool runs:
-// the per-endpoint aggregates (atomics maintained from per-job stats) and
-// the scheduler's thief-path counters (steal requests/hits, combines,
-// splits, parks — atomics). The task-path counters (Spawned, Executed, ...)
-// are deliberately plain per-worker integers (the hot path pays nothing for
-// them), so they are only read once the pool is quiescent — the serve
-// command prints them after its final drain.
+// /stats reports the per-endpoint aggregates (atomics maintained from
+// per-job stats) and the full live scheduler counters: every per-worker
+// counter, task-path included (Spawned, Executed, Cancelled, ...), is a
+// cache-line-padded atomic, so mid-flight reads are race-free and each
+// value is a monotone lower bound of the true count. Operators can watch
+// Executed advance while long jobs run; the exact balance
+// Spawned == Executed + Cancelled holds once the pool drains, which the
+// serve command verifies after its final drain.
 package server

@@ -292,9 +292,11 @@ type StatsReply struct {
 	InFlight  int                      `json:"in_flight"`
 	Draining  bool                     `json:"draining"`
 	Endpoints map[string]EndpointStats `json:"endpoints"`
-	// Scheduler carries the live-safe scheduler counters (submitted roots
-	// and the thief-path atomics); task-path counters are zero while the
-	// pool runs and are printed by the serve command after the final drain.
+	// Scheduler carries the full live scheduler counters: the task-path
+	// counters (Spawned/Executed/Cancelled/...) are per-worker padded
+	// atomics, so /stats reports real task throughput while jobs are in
+	// flight — each value is a monotone lower bound; exact balance
+	// (spawned == executed + cancelled) holds once the pool drains.
 	Scheduler xkaapi.Stats `json:"scheduler"`
 }
 

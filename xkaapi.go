@@ -264,12 +264,16 @@ func (r *Runtime) SubmitCtx(ctx context.Context, root func(*Proc)) *Job {
 // individual Job handles still observe their own failures.
 func (r *Runtime) Wait() error { return r.rt.Wait() }
 
-// Stats returns the summed scheduler counters; call it between Runs.
+// Stats returns the summed scheduler counters. All counters are per-worker
+// atomics, so Stats may be read while jobs are in flight (each counter is a
+// live, monotone lower bound); invariants such as Spawned == Executed +
+// Cancelled hold exactly only once the pool is quiescent.
 func (r *Runtime) Stats() Stats { return r.rt.Stats() }
 
-// LiveStats returns the counters that are safe to read while jobs are in
-// flight (submitted roots and the thief-path atomics); the task-path
-// counters are zero in a live snapshot. See core.Runtime.LiveStats.
+// LiveStats is Stats, kept as a named alias for callers that want to
+// document an intentionally mid-flight read: since the task-path counters
+// became padded per-worker atomics, Executed and Cancelled are published
+// live too. See core.Runtime.LiveStats.
 func (r *Runtime) LiveStats() Stats { return r.rt.LiveStats() }
 
 // ResetStats zeroes the scheduler counters; call it between Runs.
