@@ -8,11 +8,12 @@ test:
 	$(GO) test ./...
 
 # Race tier: the concurrency-critical packages under the race detector —
-# the scheduler core, the parallel algorithms that hammer it, the HTTP
-# front-end, and every paradigm layer that carries its own failure state
-# machine (cilk, gomp, tbbsched, quark each hand-roll the first-error-wins
-# Job protocol). -short keeps the stress tests at their trimmed sizes.
-RACE_PKGS = ./internal/core ./par ./server ./cilk ./gomp ./tbbsched ./quark
+# the shared failure state machine (internal/jobfail), the scheduler core,
+# the parallel algorithms that hammer it, the HTTP front-end, the public
+# facade, and every paradigm layer embedding the jobfail protocol (cilk,
+# gomp, komp, tbbsched, quark). -short keeps the stress tests at their
+# trimmed sizes.
+RACE_PKGS = . ./internal/jobfail ./internal/core ./par ./server ./cilk ./gomp ./komp ./tbbsched ./quark
 .PHONY: race
 race:
 	$(GO) test -race -short $(RACE_PKGS)

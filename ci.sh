@@ -20,6 +20,22 @@ fi
 echo "== gate: go vet ./..."
 go vet ./...
 
+# Duplication tripwire: the failure/cancellation protocol (PanicError,
+# first-error-wins, context fan-out) must have exactly one definition —
+# internal/jobfail — which every engine embeds. A second "type PanicError"
+# anywhere means someone re-grew a hand-rolled copy of the state machine.
+# Re-exports deliberately use the grouped alias form, `type ( PanicError =
+# jobfail.PanicError )`, so this exact-count grep stays meaningful; keep
+# them grouped.
+echo "== gate: single failure state machine (PanicError only in internal/jobfail)"
+defs=$(grep -rn "type PanicError" --include="*.go" . || true)
+count=$(printf '%s\n' "$defs" | grep -c . || true)
+if [ "$count" -ne 1 ] || ! printf '%s\n' "$defs" | grep -q "internal/jobfail/"; then
+	echo "PanicError must be defined exactly once, in internal/jobfail; found:" >&2
+	printf '%s\n' "$defs" >&2
+	exit 1
+fi
+
 echo "== tier-1: go build ./..."
 go build ./...
 
@@ -28,6 +44,13 @@ go test ./...
 
 echo "== race tier: make race"
 make race
+
+# The context-propagation stress drives the one shared failure machine from
+# every direction at once — sibling panics, deadlines, external Cancels,
+# healthy jobs — with bodies parked on Proc.Context().Done(); run it
+# un-shortened under the race detector on top of the -short package tier.
+echo "== race tier: context-propagation stress"
+go test -race -run 'TestContextPropagationStress' -count=2 ./internal/core
 
 echo "== integration tier: xkserve serve + load over HTTP"
 ./integration.sh

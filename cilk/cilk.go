@@ -18,43 +18,31 @@
 package cilk
 
 import (
-	"errors"
-	"fmt"
+	"context"
 	"runtime"
-	"runtime/debug"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"xkaapi/internal/jobfail"
 )
 
 // ErrClosed is the error of a job rejected because the pool was already
 // closing: Submit after Close returns a pre-failed Job instead of
 // panicking.
-var ErrClosed = errors.New("cilk: pool closed")
+var ErrClosed = jobfail.ErrClosed
 
 // ErrCanceled is the failure of a job abandoned with Job.Cancel.
-var ErrCanceled = errors.New("cilk: job canceled")
+var ErrCanceled = jobfail.ErrCanceled
 
 // PanicError is the error a job fails with when a task body panics: the
 // pool captures the panic (first one wins), cancels the job's remaining
-// tasks and survives.
-type PanicError struct {
-	Value any    // the value the body panicked with
-	Stack []byte // goroutine stack captured at recovery
-}
-
-// Error formats the panic value followed by the captured stack.
-func (e *PanicError) Error() string {
-	return fmt.Sprintf("cilk: task panicked: %v\n\n%s", e.Value, e.Stack)
-}
-
-// Unwrap exposes the panic value when it was itself an error.
-func (e *PanicError) Unwrap() error {
-	if err, ok := e.Value.(error); ok {
-		return err
-	}
-	return nil
-}
+// tasks and survives. It is an alias of the one shared definition in
+// internal/jobfail — the scheduling cost model of this comparator is
+// intentionally its own, the failure protocol is not.
+type (
+	PanicError = jobfail.PanicError
+)
 
 // task is a spawned closure plus the frame bookkeeping for sync.
 type task struct {
@@ -69,14 +57,9 @@ type task struct {
 // fails when one of its task bodies panics (recorded as a *PanicError,
 // first panic wins) or when it is cancelled; a failed job's remaining
 // tasks are skipped while the frame bookkeeping still drains, so the job
-// always completes.
+// always completes. The failure state machine is the shared jobfail.State.
 type Job struct {
-	done chan struct{}
-
-	failed atomic.Bool
-	mu     sync.Mutex
-	err    error
-	sealed bool
+	st jobfail.State
 }
 
 // Wait blocks until the job's task tree has fully drained, then returns
@@ -84,37 +67,24 @@ type Job struct {
 // ErrCanceled after Cancel, or ErrClosed for a rejected submission. Call
 // it only from outside the pool; a task body blocking here stalls its
 // worker.
-func (j *Job) Wait() error {
-	<-j.done
-	return j.Err()
-}
+func (j *Job) Wait() error { return j.st.Wait() }
 
 // Err returns the job's failure without blocking: nil while the job is
 // healthy, otherwise the first recorded error.
-func (j *Job) Err() error {
-	j.mu.Lock()
-	err := j.err
-	j.mu.Unlock()
-	return err
-}
+func (j *Job) Err() error { return j.st.Err() }
 
 // Cancel abandons the job: tasks that have not started are skipped and
-// Wait returns ErrCanceled. Bodies already running finish normally.
-func (j *Job) Cancel() { j.fail(ErrCanceled) }
+// Wait returns ErrCanceled. Bodies already running finish normally (or
+// return early by watching Worker.Context).
+func (j *Job) Cancel() { j.st.Cancel() }
+
+// Context returns the job's context, cancelled the instant the job fails
+// or is cancelled; see Worker.Context for use inside task bodies.
+func (j *Job) Context() context.Context { return j.st.Context() }
 
 // fail records the first failure; later ones and post-completion ones are
 // ignored.
-func (j *Job) fail(err error) {
-	if err == nil {
-		return
-	}
-	j.mu.Lock()
-	if j.err == nil && !j.sealed {
-		j.err = err
-		j.failed.Store(true)
-	}
-	j.mu.Unlock()
-}
+func (j *Job) fail(err error) { j.st.Fail(err) }
 
 // Pool is a set of workers executing fork-join computations. Many root
 // computations may be submitted concurrently from any goroutines; they all
@@ -208,6 +178,13 @@ func (p *Pool) Run(root func(*Worker)) error {
 	return p.Submit(root).Wait()
 }
 
+// RunCtx is Run bound to a context: if ctx is cancelled before the
+// computation completes, the job fails with ctx's error and its remaining
+// tasks are skipped.
+func (p *Pool) RunCtx(ctx context.Context, root func(*Worker)) error {
+	return p.SubmitCtx(ctx, root).Wait()
+}
+
 // Submit enqueues root as an independent root computation and returns its
 // handle without waiting. Any goroutine outside the pool may call it
 // concurrently: roots are injected through an MPSC inbox (external callers
@@ -215,18 +192,27 @@ func (p *Pool) Run(root func(*Worker)) error {
 // workers. Submitting to a closed pool returns a pre-failed Job with
 // ErrClosed instead of panicking.
 func (p *Pool) Submit(root func(*Worker)) *Job {
-	j := &Job{done: make(chan struct{})}
+	return p.SubmitCtx(nil, root)
+}
+
+// SubmitCtx is Submit bound to a context: cancelling ctx (or its deadline
+// expiring) fails the job, skips its not-yet-started tasks, and cancels
+// the job context every task body sees through Worker.Context.
+func (p *Pool) SubmitCtx(ctx context.Context, root func(*Worker)) *Job {
+	j := &Job{}
 	p.jobsMu.Lock()
 	if p.closing {
 		p.jobsMu.Unlock()
-		j.err = ErrClosed
-		j.failed.Store(true)
-		j.sealed = true
-		close(j.done)
+		// Init without the parent: rejection reports ErrClosed even when
+		// ctx is already cancelled (first error wins).
+		j.st.Init(nil)
+		j.st.Fail(ErrClosed)
+		j.st.Finish()
 		return j
 	}
 	p.jobsLive++
 	p.jobsMu.Unlock()
+	j.st.Init(ctx)
 	p.inboxMu.Lock()
 	p.inboxQ = append(p.inboxQ, &task{fn: root, job: j, root: true})
 	p.inboxN.Add(1)
@@ -260,6 +246,18 @@ func (p *Pool) takeSubmitted() *task {
 // ID returns the worker index.
 func (w *Worker) ID() int { return w.id }
 
+// Context returns the context of the job the current task belongs to,
+// cancelled the instant the job fails (sibling panic), is cancelled, or
+// its submission context expires. Long-running bodies select on
+// Context().Done() for prompt cooperative cancellation. Outside any job it
+// returns context.Background().
+func (w *Worker) Context() context.Context {
+	if w.cur != nil && w.cur.job != nil {
+		return w.cur.job.Context()
+	}
+	return context.Background()
+}
+
 // Spawn creates a child task. The caller continues immediately; the child
 // runs later on this worker (LIFO) or on a thief (oldest first).
 func (w *Worker) Spawn(fn func(*Worker)) {
@@ -286,7 +284,7 @@ func (w *Worker) execute(t *task) {
 	w.cur = t
 	// A task whose job already failed is cancelled: the body is skipped
 	// but the frame bookkeeping still drains.
-	if t.job == nil || !t.job.failed.Load() {
+	if t.job == nil || !t.job.st.Failed() {
 		w.runBody(t)
 	}
 	if t.children.Load() != 0 {
@@ -297,11 +295,7 @@ func (w *Worker) execute(t *task) {
 		t.parent.children.Add(-1)
 	}
 	if t.root {
-		j := t.job
-		j.mu.Lock()
-		j.sealed = true
-		j.mu.Unlock()
-		close(j.done)
+		t.job.st.Finish()
 		p := w.pool
 		p.jobsMu.Lock()
 		p.jobsLive--
@@ -320,7 +314,7 @@ func (w *Worker) runBody(t *task) {
 			if t.job == nil {
 				panic(r) // no handle to report on
 			}
-			t.job.fail(&PanicError{Value: r, Stack: debug.Stack()})
+			t.job.fail(jobfail.Capture(r))
 		}
 	}()
 	t.fn(w)

@@ -1,10 +1,12 @@
 package cilk
 
 import (
+	"context"
 	"errors"
 	"strings"
 	"sync/atomic"
 	"testing"
+	"time"
 )
 
 // TestPanicInSpawnedTask: a panic in a spawned child fails the job with a
@@ -91,5 +93,79 @@ func TestSubmitAfterCloseErrClosed(t *testing.T) {
 	}
 	if ran {
 		t.Fatal("rejected job's body ran")
+	}
+}
+
+// TestContextUnblocksOnSiblingPanic: a body parked on Worker.Context's
+// Done channel is released the instant a sibling task panics on another
+// worker — the shared failure state machine's cancellation fan-out, in the
+// Cilk comparator.
+func TestContextUnblocksOnSiblingPanic(t *testing.T) {
+	pool := NewPool(2)
+	defer pool.Close()
+	blocked := make(chan struct{})
+	err := pool.Submit(func(w *Worker) {
+		w.Spawn(func(w2 *Worker) { // blocker: stolen (oldest first)
+			close(blocked)
+			<-w2.Context().Done()
+		})
+		w.Spawn(func(*Worker) { // panicker: popped LIFO locally
+			<-blocked
+			panic("boom-cilk-ctx")
+		})
+		w.Sync()
+	}).Wait()
+	var pe *PanicError
+	if !errors.As(err, &pe) || pe.Value != "boom-cilk-ctx" {
+		t.Fatalf("Wait = %v, want PanicError(boom-cilk-ctx)", err)
+	}
+}
+
+// TestContextUnblocksOnCancel: external Job.Cancel releases a body parked
+// on the job context.
+func TestContextUnblocksOnCancel(t *testing.T) {
+	pool := NewPool(1)
+	defer pool.Close()
+	blocked := make(chan struct{})
+	j := pool.Submit(func(w *Worker) {
+		close(blocked)
+		<-w.Context().Done()
+	})
+	<-blocked
+	j.Cancel()
+	if err := j.Wait(); !errors.Is(err, ErrCanceled) {
+		t.Fatalf("Wait = %v, want ErrCanceled", err)
+	}
+}
+
+// TestSubmitCtxDeadline: the submission context's deadline reaches task
+// bodies through Worker.Context and fails the job with DeadlineExceeded.
+func TestSubmitCtxDeadline(t *testing.T) {
+	pool := NewPool(2)
+	defer pool.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	sawDeadline := false
+	err := pool.SubmitCtx(ctx, func(w *Worker) {
+		_, sawDeadline = w.Context().Deadline()
+		<-w.Context().Done()
+	}).Wait()
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Wait = %v, want DeadlineExceeded", err)
+	}
+	if !sawDeadline {
+		t.Fatal("body did not observe the submission deadline via Worker.Context")
+	}
+}
+
+// TestSubmitCtxAfterCloseReportsErrClosed: rejection beats a cancelled
+// submission context — the shutdown signal stays ErrClosed.
+func TestSubmitCtxAfterCloseReportsErrClosed(t *testing.T) {
+	pool := NewPool(1)
+	pool.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := pool.SubmitCtx(ctx, func(*Worker) {}).Wait(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Wait = %v, want ErrClosed", err)
 	}
 }

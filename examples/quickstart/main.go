@@ -7,9 +7,12 @@
 // parallel loop with a reduction, (4) concurrent job submission: many
 // goroutines sharing one worker pool through Submit/Wait, (5) error
 // handling: jobs that panic or are cancelled fail individually — the
-// runtime survives and reports the failure from Run / Job.Wait — and
+// runtime survives and reports the failure from Run / Job.Wait —
 // (6) serving jobs over HTTP: the same pool behind package server's
-// request-per-job front-end with deadlines and backpressure.
+// request-per-job front-end with deadlines and backpressure, and
+// (7) deadline-aware bodies: every task sees its job's context through
+// Proc.Context — one failure state machine cancels it on panic, Cancel,
+// deadline or disconnect, in every paradigm layer of this module.
 package main
 
 import (
@@ -20,6 +23,7 @@ import (
 	"net"
 	"net/http"
 	"sync"
+	"time"
 
 	"xkaapi"
 	"xkaapi/server"
@@ -168,4 +172,31 @@ func main() {
 	fmt.Printf("GET /fib?n=20 -> result=%d ok=%v (job executed %d tasks)\n",
 		rep.Result, rep.OK, rep.Job.Executed)
 	httpSrv.Shutdown(context.Background())
+
+	// 7. Deadline-aware bodies. Every task body can see its job's context
+	// through Proc.Context: it carries the SubmitCtx deadline and values,
+	// and is cancelled — with the failure as cause — the instant the job
+	// fails for any reason (a sibling's panic, Job.Cancel, the deadline, a
+	// client disconnect). Long kernels select on it, or hand it straight to
+	// context-aware I/O, instead of only being skipped at the next task
+	// boundary. One shared failure state machine (internal/jobfail) backs
+	// this in every scheduler of this module — the same signal exists in
+	// cilk (Worker.Context), tbbsched (Context.Ctx), gomp/komp
+	// (TC.Context) and quark (InsertTaskCtx).
+	ctx2, cancel2 := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel2()
+	blocks := 0
+	err = rt.RunCtx(ctx2, func(p *xkaapi.Proc) {
+		jctx := p.Context() // cancelled at the 50ms deadline
+		for {
+			select {
+			case <-jctx.Done():
+				return // stop early: the response window is gone
+			case <-time.After(10 * time.Millisecond):
+				blocks++ // one "block" of real work
+			}
+		}
+	})
+	fmt.Printf("deadline-aware job: processed %d blocks, err=%v\n",
+		blocks, errors.Is(err, context.DeadlineExceeded))
 }

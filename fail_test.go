@@ -115,3 +115,67 @@ func TestStatsCountPanickedCancelled(t *testing.T) {
 		time.Sleep(time.Millisecond)
 	}
 }
+
+// TestProcContextFacade: the per-job context is reachable from task bodies
+// through the public Proc.Context and from the Job handle, and is
+// cancelled by each failure source — a sibling panic and an external
+// Job.Cancel — unblocking a parked body from another worker.
+func TestProcContextFacade(t *testing.T) {
+	rt := xkaapi.New(xkaapi.WithWorkers(2), xkaapi.WithoutPinning())
+	defer rt.Close()
+
+	// Sibling panic unblocks a body parked on Proc.Context().Done().
+	blocked := make(chan struct{})
+	j := rt.Submit(func(p *xkaapi.Proc) {
+		p.Spawn(func(p2 *xkaapi.Proc) { // stolen by the second worker
+			close(blocked)
+			<-p2.Context().Done()
+		})
+		p.Spawn(func(*xkaapi.Proc) { // popped LIFO locally
+			<-blocked
+			panic("boom-facade-ctx")
+		})
+		p.Sync()
+	})
+	var pe *xkaapi.PanicError
+	if err := j.Wait(); !errors.As(err, &pe) || pe.Value != "boom-facade-ctx" {
+		t.Fatalf("Wait = %v, want PanicError(boom-facade-ctx)", err)
+	}
+	select {
+	case <-j.Context().Done():
+	default:
+		t.Fatal("Job.Context not cancelled after the job failed")
+	}
+
+	// External Cancel unblocks a parked body too.
+	blocked2 := make(chan struct{})
+	j2 := rt.Submit(func(p *xkaapi.Proc) {
+		close(blocked2)
+		<-p.Context().Done()
+	})
+	<-blocked2
+	j2.Cancel()
+	if err := j2.Wait(); !errors.Is(err, xkaapi.ErrCanceled) {
+		t.Fatalf("Wait = %v, want ErrCanceled", err)
+	}
+}
+
+// TestRunCtxDeadlineReachesBodies: RunCtx's deadline is visible inside
+// task bodies via Proc.Context and fails the job at expiry.
+func TestRunCtxDeadlineReachesBodies(t *testing.T) {
+	rt := xkaapi.New(xkaapi.WithWorkers(2), xkaapi.WithoutPinning())
+	defer rt.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	sawDeadline := false
+	err := rt.RunCtx(ctx, func(p *xkaapi.Proc) {
+		_, sawDeadline = p.Context().Deadline()
+		<-p.Context().Done()
+	})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("RunCtx = %v, want DeadlineExceeded", err)
+	}
+	if !sawDeadline {
+		t.Fatal("body did not observe the RunCtx deadline via Proc.Context")
+	}
+}

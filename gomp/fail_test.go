@@ -1,6 +1,7 @@
 package gomp
 
 import (
+	"context"
 	"errors"
 	"runtime"
 	"strings"
@@ -118,6 +119,108 @@ func TestParallelForReportsPanic(t *testing.T) {
 		var pe *PanicError
 		if !errors.As(err, &pe) || pe.Value != "boom-"+sched.String() {
 			t.Fatalf("%v ParallelFor = %v, want PanicError", sched, err)
+		}
+	}
+}
+
+// TestContextUnblocksOnSiblingPanic: a region thread parked on
+// TC.Context's Done channel is released the instant another thread of the
+// region panics — the shared failure state machine's fan-out, with the
+// region as the failure domain.
+func TestContextUnblocksOnSiblingPanic(t *testing.T) {
+	tm := NewTeam(2)
+	defer tm.Close()
+	blocked := make(chan struct{})
+	var sawCause error
+	err := tm.Parallel(func(tc *TC) {
+		if tc.TID() == 1 {
+			ctx := tc.Context()
+			close(blocked)
+			<-ctx.Done()
+			sawCause = context.Cause(ctx)
+			return
+		}
+		<-blocked // thread 1 is provably parked on Done
+		panic("boom-gomp-ctx")
+	})
+	var pe *PanicError
+	if !errors.As(err, &pe) || pe.Value != "boom-gomp-ctx" {
+		t.Fatalf("Parallel = %v, want PanicError(boom-gomp-ctx)", err)
+	}
+	if !errors.As(sawCause, &pe) {
+		t.Fatalf("context cause = %v, want the region's PanicError", sawCause)
+	}
+}
+
+// TestParallelCtxDeadline: a region bound to a context with a deadline
+// fails with DeadlineExceeded; threads see the deadline via TC.Context and
+// queued tasks are pruned after the expiry.
+func TestParallelCtxDeadline(t *testing.T) {
+	tm := NewTeam(2)
+	defer tm.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	sawDeadline := false
+	err := tm.ParallelCtx(ctx, func(tc *TC) {
+		if tc.TID() == 0 {
+			_, sawDeadline = tc.Context().Deadline()
+			<-tc.Context().Done() // deadline-aware region code
+		}
+	})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("ParallelCtx = %v, want DeadlineExceeded", err)
+	}
+	if !sawDeadline {
+		t.Fatal("region did not observe the deadline via TC.Context")
+	}
+}
+
+// TestParallelCtxPreCancelled: a pre-cancelled context fails the region
+// up front — explicit tasks created inside are skipped — while the SPMD
+// bodies still run to the barrier (OpenMP semantics: the region itself is
+// not skippable).
+func TestParallelCtxPreCancelled(t *testing.T) {
+	tm := NewTeam(2)
+	defer tm.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var taskRan atomic.Int32
+	err := tm.ParallelCtx(ctx, func(tc *TC) {
+		tc.Single(func() {
+			tc.Task(func(*TC) { taskRan.Add(1) })
+		})
+		tc.Taskwait()
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("ParallelCtx = %v, want context.Canceled", err)
+	}
+	if taskRan.Load() != 0 {
+		t.Fatalf("%d explicit tasks ran in a pre-cancelled region", taskRan.Load())
+	}
+}
+
+// TestParallelForCtxCancelledEverySchedule: a pre-cancelled context must
+// prune the loop under every schedule branch — including static with an
+// explicit chunk, which once bypassed the context binding — and report the
+// context error.
+func TestParallelForCtxCancelledEverySchedule(t *testing.T) {
+	tm := NewTeam(2)
+	defer tm.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, tc := range []struct {
+		sched Schedule
+		chunk int
+	}{{Static, 0}, {Static, 4}, {Dynamic, 4}, {Guided, 4}} {
+		var ran atomic.Int32
+		err := tm.ParallelForCtx(ctx, 0, 1000, tc.sched, tc.chunk, func(_, lo, hi int) {
+			ran.Add(int32(hi - lo))
+		})
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("%v/chunk=%d: ParallelForCtx = %v, want context.Canceled", tc.sched, tc.chunk, err)
+		}
+		if ran.Load() != 0 {
+			t.Fatalf("%v/chunk=%d: %d iterations ran under a pre-cancelled context", tc.sched, tc.chunk, ran.Load())
 		}
 	}
 }

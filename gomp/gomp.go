@@ -16,36 +16,25 @@
 package gomp
 
 import (
-	"fmt"
+	"context"
 	"runtime"
-	"runtime/debug"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"xkaapi/internal/jobfail"
 )
 
 // PanicError is the error a parallel region fails with when code inside it
 // — the SPMD body on any thread, or an explicit task — panics. The region
 // captures the first panic, cancels its queued tasks, completes the
 // barrier and reports the error from Parallel, instead of the panic
-// killing the team's threads.
-type PanicError struct {
-	Value any    // the value the code panicked with
-	Stack []byte // goroutine stack captured at recovery
-}
-
-// Error formats the panic value followed by the captured stack.
-func (e *PanicError) Error() string {
-	return fmt.Sprintf("gomp: region panicked: %v\n\n%s", e.Value, e.Stack)
-}
-
-// Unwrap exposes the panic value when it was itself an error.
-func (e *PanicError) Unwrap() error {
-	if err, ok := e.Value.(error); ok {
-		return err
-	}
-	return nil
-}
+// killing the team's threads. It is an alias of the one shared definition
+// in internal/jobfail: this comparator keeps libGOMP's scheduling cost
+// model, not its own failure protocol.
+type (
+	PanicError = jobfail.PanicError
+)
 
 // Schedule selects a worksharing loop schedule, mirroring the OpenMP
 // schedule() clause.
@@ -138,7 +127,10 @@ func (tm *Team) Close() {
 // Threads returns the team size.
 func (tm *Team) Threads() int { return tm.p }
 
-// region is one parallel region instance.
+// region is one parallel region instance. Its failure domain — first
+// panic wins, queued tasks cancelled, context fan-out to running bodies —
+// is the shared jobfail.State; the region is to gomp what a Job is to the
+// task schedulers.
 type region struct {
 	team    *Team
 	fn      func(*TC)
@@ -149,35 +141,25 @@ type region struct {
 	qlen    atomic.Int64
 	done    sync.WaitGroup
 
-	failed atomic.Bool // a body panicked: skip queued task bodies
-	errMu  sync.Mutex
-	err    error // first panic of the region
+	st jobfail.State // failure state machine (first panic / cancel wins)
 }
 
 // fail records the first failure of the region and cancels its queued
-// tasks (their bodies are skipped at the scheduling points).
-func (r *region) fail(err error) {
-	r.errMu.Lock()
-	if r.err == nil {
-		r.err = err
-	}
-	r.errMu.Unlock()
-	r.failed.Store(true)
-}
+// tasks (their bodies are skipped at the scheduling points) and the
+// region's context.
+func (r *region) fail(err error) { r.st.Fail(err) }
+
+// failed reports whether the region has failed (hot-path skip check).
+func (r *region) failed() bool { return r.st.Failed() }
 
 // firstErr returns the region's recorded failure, if any.
-func (r *region) firstErr() error {
-	r.errMu.Lock()
-	err := r.err
-	r.errMu.Unlock()
-	return err
-}
+func (r *region) firstErr() error { return r.st.Err() }
 
 // invoke runs fn behind a panic barrier; a panic fails the region.
 func (r *region) invoke(fn func(*TC), tc *TC) {
 	defer func() {
 		if v := recover(); v != nil {
-			r.fail(&PanicError{Value: v, Stack: debug.Stack()})
+			r.fail(jobfail.Capture(v))
 		}
 	}()
 	fn(tc)
@@ -204,6 +186,13 @@ func (tc *TC) TID() int { return tc.tid }
 // NumThreads returns the team size.
 func (tc *TC) NumThreads() int { return tc.team.p }
 
+// Context returns the region's context: derived from the ParallelCtx
+// parent (Background for Parallel), and cancelled — with the failure as
+// cause — the instant the region fails on any thread or the parent
+// context is cancelled or times out. Long-running region code selects on
+// Context().Done() instead of waiting for the next scheduling point.
+func (tc *TC) Context() context.Context { return tc.r.st.Context() }
+
 // Parallel executes fn once per team thread (SPMD, like #pragma omp
 // parallel) and returns after the implicit barrier at region end, which also
 // waits for every explicit task created inside the region. Concurrent
@@ -216,12 +205,23 @@ func (tc *TC) NumThreads() int { return tc.team.p }
 // barrier, and Parallel returns the error. The team remains usable for
 // further regions.
 func (tm *Team) Parallel(fn func(tc *TC)) error {
+	return tm.ParallelCtx(nil, fn)
+}
+
+// ParallelCtx is Parallel bound to a context: if ctx is cancelled (or its
+// deadline expires) before the region completes, the region fails with
+// ctx's error, its queued tasks are skipped, every thread still reaches
+// the barrier, and the error is returned. The region's own context —
+// cancelled by the first panic as well — is available to region code as
+// TC.Context.
+func (tm *Team) ParallelCtx(ctx context.Context, fn func(tc *TC)) error {
 	tm.runMu.Lock()
 	defer tm.runMu.Unlock()
 	if tm.closed {
 		panic("gomp: Parallel called after Close")
 	}
 	r := &region{team: tm, fn: fn}
+	r.st.Init(ctx)
 	r.fnsLeft.Store(int32(tm.p))
 	r.done.Add(tm.p)
 	for _, c := range tm.cmds {
@@ -229,7 +229,7 @@ func (tm *Team) Parallel(fn func(tc *TC)) error {
 	}
 	r.run(0)
 	r.done.Wait()
-	return r.firstErr()
+	return r.st.Finish()
 }
 
 // Single runs fn on thread 0 only, approximating #pragma omp single: other
@@ -350,7 +350,7 @@ func (tc *TC) runTask(t *gtask) {
 	tc.cur = t
 	// Tasks of a failed region are cancelled: the body is skipped but the
 	// counters still drain so the barrier completes.
-	if !tc.r.failed.Load() {
+	if !tc.r.failed() {
 		tc.r.invoke(t.fn, tc)
 	}
 	// OpenMP tasks complete when their body finishes; children are awaited
@@ -383,6 +383,16 @@ func (tc *TC) runTask(t *gtask) {
 // failure, so one panicking thread prunes the whole region's remaining work
 // instead of only its own block.
 func (tm *Team) ParallelFor(lo, hi int, sched Schedule, chunk int, body func(tid, lo, hi int)) error {
+	return tm.ParallelForCtx(nil, lo, hi, sched, chunk, body)
+}
+
+// ParallelForCtx is ParallelFor bound to a context: cancelling ctx (or its
+// deadline expiring) fails the region, and with every schedule the threads
+// stop claiming chunks once they observe the failure — the same pruning a
+// body panic triggers. The region's context is visible to bodies through
+// TC.Context inside an enclosing ParallelCtx, and here through the pruning
+// itself.
+func (tm *Team) ParallelForCtx(ctx context.Context, lo, hi int, sched Schedule, chunk int, body func(tid, lo, hi int)) error {
 	if hi <= lo {
 		return nil
 	}
@@ -391,19 +401,19 @@ func (tm *Team) ParallelFor(lo, hi int, sched Schedule, chunk int, body func(tid
 	case Static:
 		if chunk <= 0 {
 			n := hi - lo
-			return tm.Parallel(func(tc *TC) {
+			return tm.ParallelCtx(ctx, func(tc *TC) {
 				b := lo + tc.tid*n/p
 				e := lo + (tc.tid+1)*n/p
 				// One contiguous block per thread: the failure check can
 				// only prune whole blocks not yet started.
-				if e > b && !tc.r.failed.Load() {
+				if e > b && !tc.r.failed() {
 					body(tc.tid, b, e)
 				}
 			})
 		}
-		return tm.Parallel(func(tc *TC) {
+		return tm.ParallelCtx(ctx, func(tc *TC) {
 			for b := lo + tc.tid*chunk; b < hi; b += p * chunk {
-				if tc.r.failed.Load() {
+				if tc.r.failed() {
 					return // region failed: stop before the next chunk
 				}
 				e := b + chunk
@@ -419,8 +429,8 @@ func (tm *Team) ParallelFor(lo, hi int, sched Schedule, chunk int, body func(tid
 		}
 		var next atomic.Int64
 		next.Store(int64(lo))
-		return tm.Parallel(func(tc *TC) {
-			for !tc.r.failed.Load() {
+		return tm.ParallelCtx(ctx, func(tc *TC) {
+			for !tc.r.failed() {
 				b := next.Add(int64(chunk)) - int64(chunk)
 				if b >= int64(hi) {
 					return
@@ -438,8 +448,8 @@ func (tm *Team) ParallelFor(lo, hi int, sched Schedule, chunk int, body func(tid
 		}
 		var next atomic.Int64
 		next.Store(int64(lo))
-		return tm.Parallel(func(tc *TC) {
-			for !tc.r.failed.Load() {
+		return tm.ParallelCtx(ctx, func(tc *TC) {
+			for !tc.r.failed() {
 				b := next.Load()
 				if b >= int64(hi) {
 					return

@@ -94,25 +94,46 @@ func SubmitKaapi(ctx context.Context, rt *xkaapi.Runtime, t *tile.Tiled) (*xkaap
 		}
 	}
 	job := rt.SubmitCtx(ctx, func(p *xkaapi.Proc) {
+		// Every kernel body consults the per-job context (Proc.Context) on
+		// entry: it is cancelled by the request deadline, a client
+		// disconnect, Job.Cancel or a sibling failure. The runtime's
+		// execute-time skip already covers almost everything — the guard
+		// only closes the instruction-scale window between that check and
+		// body entry — but it costs one context read per O(nb³) kernel,
+		// i.e. nothing, and it is the documented deadline-aware-body shape
+		// for dataflow workloads (no JobFailed polling).
+		dead := func(wp *xkaapi.Proc) bool { return wp.Context().Err() != nil }
 		for k := 0; k < nt; k++ {
 			k := k
-			p.SpawnTask(func(*xkaapi.Proc) {
+			p.SpawnTask(func(wp *xkaapi.Proc) {
+				if dead(wp) {
+					return
+				}
 				fail(blas.PotrfLower(t.Rows(k), t.Tile(k, k), nb))
 			}, xkaapi.ReadWrite(h(k, k)))
 			for m := k + 1; m < nt; m++ {
 				m := m
-				p.SpawnTask(func(*xkaapi.Proc) {
+				p.SpawnTask(func(wp *xkaapi.Proc) {
+					if dead(wp) {
+						return
+					}
 					blas.TrsmRLTN(t.Rows(m), t.Rows(k), t.Tile(k, k), nb, t.Tile(m, k), nb)
 				}, xkaapi.Read(h(k, k)), xkaapi.ReadWrite(h(m, k)))
 			}
 			for m := k + 1; m < nt; m++ {
 				m := m
-				p.SpawnTask(func(*xkaapi.Proc) {
+				p.SpawnTask(func(wp *xkaapi.Proc) {
+					if dead(wp) {
+						return
+					}
 					blas.SyrkLN(t.Rows(m), t.Rows(k), t.Tile(m, k), nb, t.Tile(m, m), nb)
 				}, xkaapi.Read(h(m, k)), xkaapi.ReadWrite(h(m, m)))
 				for n := k + 1; n < m; n++ {
 					n := n
-					p.SpawnTask(func(*xkaapi.Proc) {
+					p.SpawnTask(func(wp *xkaapi.Proc) {
+						if dead(wp) {
+							return
+						}
 						blas.GemmNT(t.Rows(m), t.Rows(n), t.Rows(k),
 							t.Tile(m, k), nb, t.Tile(n, k), nb, t.Tile(m, n), nb)
 					}, xkaapi.Read(h(m, k)), xkaapi.Read(h(n, k)), xkaapi.ReadWrite(h(m, n)))

@@ -1,6 +1,10 @@
 package core
 
-import "sync/atomic"
+import (
+	"sync/atomic"
+
+	"xkaapi/internal/jobfail"
+)
 
 // Adaptive is the handle a running task publishes to make its remaining work
 // divisible (§II-D of the paper). While a worker has an Adaptive installed
@@ -38,16 +42,20 @@ func (ad *Adaptive) split(w *Worker, n int) (out []*Task) {
 	// invariant. Crediting cancelled — rather than rolling spawned back —
 	// preserves the live-stats contract that every counter is monotone:
 	// only the thief itself creates tasks during Split, all against w's own
-	// counters, so the delta below is exact.
-	preSpawned := w.stats.spawned.Load()
+	// counters (spawnedTotal includes w's unpublished increment cache), so
+	// the delta below is exact. The flush publishes the spawn counts the
+	// cancelled credit balances against, so the invariant holds as soon as
+	// the job drains, not a batch window later.
+	preSpawned := w.spawnedTotal()
 	defer func() {
 		if r := recover(); r != nil {
 			w.stats.panicked.Add(1)
-			if lost := w.stats.spawned.Load() - preSpawned; lost > 0 {
+			if lost := w.spawnedTotal() - preSpawned; lost > 0 {
 				w.stats.cancelled.Add(lost)
 			}
+			w.flushStats()
 			if ad.job != nil {
-				ad.job.fail(newPanicError(r))
+				ad.job.fail(jobfail.Capture(r))
 			}
 			out = nil
 		}

@@ -1,0 +1,68 @@
+package core
+
+import (
+	"testing"
+	"time"
+)
+
+// TestStealBackoffIdlePool exercises the steal-probe backoff on a
+// mostly-idle pool: tiny singleton jobs trickle in, each waking one worker
+// that finds the root in the inbox (never in a deque), so every steal
+// sweep a winding-down worker performs sees all victims empty. With the
+// backoff, an empty sweep counts double against the spin budget, so a
+// worker parks after at most 2 sweeps of at most 2N probes each — without
+// it, the budget was 4 sweeps (8N probes) per park. The test asserts the
+// probes/park ratio stays under 3 sweeps' worth, which the pre-backoff
+// behavior violates, i.e. the wasted-probe rate on an idle pool improved
+// and is observable next to Parks in the stats.
+func TestStealBackoffIdlePool(t *testing.T) {
+	const workers = 4
+	rt := NewRuntime(Config{Workers: workers, DisablePinning: true})
+	defer rt.Close()
+
+	bursts := 30
+	if testing.Short() {
+		bursts = 10
+	}
+	for i := 0; i < bursts; i++ {
+		if err := rt.Submit(func(*Worker) {}).Wait(); err != nil {
+			t.Fatalf("burst job: %v", err)
+		}
+		time.Sleep(2 * time.Millisecond) // let the woken worker wind down and park
+	}
+
+	// Wait for quiescence: parks stop advancing across spaced samples.
+	deadline := time.Now().Add(10 * time.Second)
+	s := rt.Stats()
+	for stable := 0; stable < 3; {
+		time.Sleep(5 * time.Millisecond)
+		next := rt.Stats()
+		if next.Parks == s.Parks {
+			stable++
+		} else {
+			stable = 0
+		}
+		s = next
+		if time.Now().After(deadline) {
+			t.Fatal("pool never quiesced")
+		}
+	}
+
+	if s.Parks == 0 {
+		t.Fatal("no parks observed on an idle pool")
+	}
+	if s.StealProbes == 0 {
+		t.Fatal("no steal probes counted (StealProbes instrumentation broken)")
+	}
+	// A sweep makes 2N victim selections of which the expected 2(N-1) are
+	// non-self probes. With the backoff a worker parks after 2 empty
+	// sweeps (~2*2(N-1) probes); without it, after 4 (~4*2(N-1)). The
+	// bound sits at 3 sweeps' worth — above the backoff's expectation,
+	// below the non-backoff one — and the ratio concentrates over the
+	// dozens of park cycles the trickle produced.
+	maxProbes := s.Parks * 3 * 2 * (workers - 1)
+	if s.StealProbes > maxProbes {
+		t.Fatalf("StealProbes=%d > %d (Parks=%d * 3 sweeps * 2(N-1)): backoff not limiting idle probing",
+			s.StealProbes, maxProbes, s.Parks)
+	}
+}

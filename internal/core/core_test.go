@@ -3,6 +3,7 @@ package core
 import (
 	"sync/atomic"
 	"testing"
+	"time"
 )
 
 func withRuntime(t *testing.T, cfg Config, fn func(rt *Runtime)) {
@@ -282,7 +283,14 @@ func TestStatsCounters(t *testing.T) {
 		rt.ResetStats()
 		var r int64
 		rt.RunRoot(func(w *Worker) { fibTask(w, &r, 15) })
+		// The second worker publishes its batched counters as it goes
+		// idle, which can trail RunRoot by a scheduling quantum.
+		deadline := time.Now().Add(5 * time.Second)
 		s := rt.Stats()
+		for s.Executed != s.Spawned && time.Now().Before(deadline) {
+			time.Sleep(time.Millisecond)
+			s = rt.Stats()
+		}
 		if s.Spawned == 0 || s.Executed == 0 {
 			t.Fatalf("stats not collected: %+v", s)
 		}

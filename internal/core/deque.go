@@ -106,21 +106,28 @@ func (d *deque) grow(b int64) {
 // exactly one side. Only the two-or-more case uses the Chase–Lev
 // decrement-first dance: publish the new bottom, then re-read head to see
 // whether thieves caught up while we were doing it.
+//
+// An empty pop is also the owner's quiescence point, where a buffer grown
+// for a past frontier is released (shrink).
 func (d *deque) pop() *Task {
 	b := d.tail.Load() - 1
 	h := d.head.Load()
 	if h > b {
-		return nil // empty (h == b+1): only the owner adds tasks
+		d.shrink() // empty (h == b+1): only the owner adds tasks
+		return nil
 	}
 	buf := d.buf.Load()
 	if h == b {
 		// Single task: race thieves for it with the claiming CAS. No tail
 		// update needed — on either outcome head becomes b+1 == tail, the
-		// canonical empty state.
+		// canonical empty state. Only the (rare, contended) losing outcome
+		// shrinks: the winning pop is the spawn-sync hot path, and the next
+		// empty pop will release the buffer anyway.
 		t := buf.slot[b&buf.mask].Load()
 		if d.head.CompareAndSwap(b, b+1) {
 			return t
 		}
+		d.shrink()
 		return nil
 	}
 	// At least two tasks were present: take the bottom one. Publish the
@@ -138,14 +145,41 @@ func (d *deque) pop() *Task {
 		// Thieves drained everything, index b included, before our
 		// decrement was visible. Restore the canonical empty state.
 		d.tail.Store(b + 1)
+		d.shrink()
 		return nil
 	}
 	// h == b: ours is the last task and thieves may be racing for it.
 	if !d.head.CompareAndSwap(b, b+1) {
 		t = nil // a thief won the claim
+		d.tail.Store(b + 1)
+		d.shrink()
+		return nil
 	}
 	d.tail.Store(b + 1)
 	return t
+}
+
+// shrink resets a grown buffer back to the initial capacity once the owner
+// observes its deque empty, so a worker that once held a huge frontier (a
+// wide fan-out, a big loop) does not keep the doubled buffers for the rest
+// of the runtime's life. Owner only, and only from the empty state
+// (head >= tail): no live index exists, so no thief can be claiming a slot
+// — a thief that later observes tail > head is, by seq-cst ordering,
+// guaranteed to reload the buffer pointer published before that push (the
+// same publication argument as grow). Slots are fresh, so stale *Task
+// pointers in the old buffer are unreachable and collectable immediately.
+//
+// Every pop path that returns nil ends in the canonical empty state and
+// calls shrink — including the thief-won races — so "pop returned nil"
+// deterministically implies "buffer is back at the initial capacity".
+// Successful pops never pay the check: the owner's next miss releases the
+// memory, which keeps the spawn-sync hot path (push one, pop it back)
+// untouched.
+func (d *deque) shrink() {
+	if d.buf.Load().mask == dequeInitCap-1 {
+		return // still at the initial size: nothing to release
+	}
+	d.buf.Store(&dequeBuf{mask: dequeInitCap - 1, slot: make([]atomic.Pointer[Task], dequeInitCap)})
 }
 
 // steal removes and returns the oldest task, or nil if the deque is empty.

@@ -219,10 +219,13 @@ func TestDequeStealVsGrow(t *testing.T) {
 
 	// Owner: push everything without popping, so tail outruns head and the
 	// buffer must double whenever the thieves fall behind; pop the leftovers
-	// at the end against the still-running thieves.
+	// at the end against the still-running thieves. The grow check happens
+	// here, before the drain: once the owner pops the deque empty, the
+	// quiescence shrink resets the buffer to its initial size by design.
 	for i := 0; i < total; i++ {
 		d.push(&tasks[i])
 	}
+	grewTo := d.buf.Load().mask + 1
 	for {
 		if task := d.pop(); task != nil {
 			ct.claim(task, "owner")
@@ -236,8 +239,11 @@ func TestDequeStealVsGrow(t *testing.T) {
 	stop.Store(true)
 	wg.Wait()
 	ct.verify(total)
-	if buf := d.buf.Load(); buf.mask+1 < int64(dequeInitCap*2) {
-		t.Fatalf("buffer never grew: cap=%d (the test must exercise grow)", buf.mask+1)
+	if grewTo < int64(dequeInitCap*2) {
+		t.Fatalf("buffer never grew: cap=%d (the test must exercise grow)", grewTo)
+	}
+	if buf := d.buf.Load(); buf.mask+1 != int64(dequeInitCap) {
+		t.Fatalf("buffer not shrunk after the owner drained it: cap=%d", buf.mask+1)
 	}
 }
 

@@ -216,3 +216,100 @@ func TestDequeQuickNoLossOwnerOnly(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestDequeGrowThenShrink: a deque grown by a large frontier releases the
+// memory once its owner drains it — the owner's first empty pop resets the
+// buffer to the initial capacity — and keeps working correctly afterwards.
+func TestDequeGrowThenShrink(t *testing.T) {
+	var d deque
+	d.init()
+	const n = 4 * dequeInitCap
+	tasks := make([]Task, n)
+	for i := range tasks {
+		d.push(&tasks[i])
+	}
+	if got := int64(len(d.buf.Load().slot)); got < n {
+		t.Fatalf("buffer did not grow: %d slots for %d tasks", got, n)
+	}
+	for i := n - 1; i >= 0; i-- {
+		if d.pop() != &tasks[i] {
+			t.Fatalf("pop lost task %d", i)
+		}
+	}
+	// Successful pops never pay the shrink check; the release happens at
+	// the quiescence probe — any pop that returns nil.
+	if got := len(d.buf.Load().slot); got != 4*dequeInitCap {
+		t.Fatalf("buffer resized before the empty pop: %d", got)
+	}
+	if d.pop() != nil {
+		t.Fatal("expected empty deque")
+	}
+	if got := len(d.buf.Load().slot); got != dequeInitCap {
+		t.Fatalf("buffer not shrunk at quiescence: %d slots, want %d", got, dequeInitCap)
+	}
+	// Still a working deque after the reset, including re-growth.
+	for i := range tasks {
+		d.push(&tasks[i])
+	}
+	for i := n - 1; i >= 0; i-- {
+		if d.pop() != &tasks[i] {
+			t.Fatalf("pop after shrink lost task %d", i)
+		}
+	}
+	if d.steal() != nil {
+		t.Fatal("steal on drained deque returned a task")
+	}
+}
+
+// TestDequeShrinkWithConcurrentThieves: owners shrinking at quiescence
+// while thieves keep probing must never lose or duplicate a task. The
+// owner repeatedly fills past the grow threshold and drains to empty
+// (shrinking each round); thieves hammer steal throughout.
+func TestDequeShrinkWithConcurrentThieves(t *testing.T) {
+	var d deque
+	d.init()
+	const rounds = 50
+	const batch = 3 * dequeInitCap
+	var stolen atomic.Int64
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if d.steal() != nil {
+					stolen.Add(1)
+				}
+			}
+		}()
+	}
+	popped := int64(0)
+	tasks := make([]Task, batch)
+	for r := 0; r < rounds; r++ {
+		for i := range tasks {
+			d.push(&tasks[i])
+		}
+		for d.pop() != nil {
+			popped++
+		}
+		// The empty pop above shrank the buffer; next round re-grows it.
+		if got := len(d.buf.Load().slot); got != dequeInitCap {
+			t.Fatalf("round %d: buffer not shrunk: %d slots", r, got)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	// Drain anything the last empty-pop race left behind.
+	for d.pop() != nil {
+		popped++
+	}
+	if total := popped + stolen.Load(); total != rounds*batch {
+		t.Fatalf("popped %d + stolen %d = %d, want %d", popped, stolen.Load(), total, rounds*batch)
+	}
+}

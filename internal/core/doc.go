@@ -33,9 +33,12 @@
 //     call Runtime.Submit to inject an independent root job; the pool
 //     multiplexes all live jobs over the same workers. This extends the
 //     paper's single-parallel-region model to a shared service pool.
-//   - Failure and cancellation (errors.go, job.go): jobs are the failure
-//     domain — panics are captured per job, jobs can be cancelled, and the
-//     pool survives both.
+//   - Failure and cancellation (job.go + internal/jobfail): jobs are the
+//     failure domain — panics are captured per job, jobs can be cancelled,
+//     and the pool survives both. The state machine itself (first-error-
+//     wins, sealing, per-job context fan-out, pre-failed ErrClosed jobs)
+//     is not defined here: it is the shared jobfail.State, the single
+//     definition the cilk, tbbsched, gomp and quark engines embed too.
 //
 // # Submit/Wait lifecycle and external-submission rules
 //
@@ -71,10 +74,15 @@
 // frame counters drain, dataflow successors are released (and in turn
 // skipped), Handle frontiers mark the task done — so the task tree always
 // drains, Wait always returns, and the handles remain usable by later
-// jobs. Cancellation of already-running bodies is cooperative: poll
-// Worker.JobFailed from long loops; ForEach does so at every grain
-// extraction and unwinds the enclosing body (so code after a failed loop
-// never runs on partial results).
+// jobs. Cancellation of already-running bodies is cooperative, with two
+// instruments: Worker.Context returns the per-job context — derived from
+// the SubmitCtx context (Background for Submit), carrying its deadline and
+// values, cancelled with the failure as cause the instant the job fails
+// from any source — so bodies doing I/O or long kernels select on
+// Context().Done() and unblock without reaching a scheduling point; and
+// Worker.JobFailed remains the cheaper flag-poll for tight loops. ForEach
+// checks the failure at every grain extraction and unwinds the enclosing
+// body (so code after a failed loop never runs on partial results).
 //
 // Jobs can be abandoned from outside: SubmitCtx ties a job to a context
 // (cancellation fails the job with ctx.Err()), Job.Cancel fails it with

@@ -1,53 +1,31 @@
 package core
 
-import (
-	"errors"
-	"fmt"
-	"runtime/debug"
-)
+import "xkaapi/internal/jobfail"
+
+// The failure and cancellation protocol — panic capture, first-error-wins,
+// cancellation fan-out through a per-job context, pre-failed jobs — is not
+// defined here: it lives in internal/jobfail, the single state machine every
+// engine in this module (core, cilk, tbbsched, gomp, quark's native engine)
+// embeds. This file only re-exports the shared identifiers under the names
+// the core API always had.
 
 // ErrClosed is the error of a job rejected because the runtime was already
 // closing: Submit after Close returns a pre-failed Job whose Err and Wait
 // report ErrClosed, instead of panicking as earlier versions did.
-var ErrClosed = errors.New("core: runtime closed")
+var ErrClosed = jobfail.ErrClosed
 
 // ErrCanceled is the error a job fails with when Job.Cancel is called. Jobs
 // cancelled through a context (SubmitCtx) fail with the context's own error
 // (context.Canceled or context.DeadlineExceeded) instead.
-var ErrCanceled = errors.New("core: job canceled")
+var ErrCanceled = jobfail.ErrCanceled
 
 // PanicError is the error a job fails with when one of its task bodies —
-// fork-join, dataflow, adaptive splitter or parallel-loop chunk — panics.
-// The panicking task's job records the first panic (with the stack captured
-// at the panic site), cancels the job's remaining tasks, and the worker pool
-// survives: the panic never propagates past the runtime.
-type PanicError struct {
-	// Value is the value the task body panicked with.
-	Value any
-	// Stack is the goroutine stack captured at recovery, which includes the
-	// frames of the panic site.
-	Stack []byte
-}
-
-// newPanicError wraps a recovered value; it must be called from the deferred
-// function that recovered it so the stack still holds the panic frames.
-func newPanicError(v any) *PanicError {
-	return &PanicError{Value: v, Stack: debug.Stack()}
-}
-
-// Error formats the panic value followed by the captured stack.
-func (e *PanicError) Error() string {
-	return fmt.Sprintf("task panicked: %v\n\n%s", e.Value, e.Stack)
-}
-
-// Unwrap exposes the panic value when it was itself an error, so
-// errors.Is/As see through a panic(err).
-func (e *PanicError) Unwrap() error {
-	if err, ok := e.Value.(error); ok {
-		return err
-	}
-	return nil
-}
+// fork-join, dataflow, adaptive splitter or parallel-loop chunk — panics;
+// it carries the panic value and the stack captured at the panic site. It
+// is an alias of the one shared definition in internal/jobfail.
+type (
+	PanicError = jobfail.PanicError
+)
 
 // abortUnwind is the panic sentinel used internally to unwind a task body
 // whose job has already failed (for example out of a ForEach whose loop

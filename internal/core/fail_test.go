@@ -3,7 +3,9 @@ package core
 import (
 	"context"
 	"errors"
+	"fmt"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -364,7 +366,7 @@ func TestAbortedForEachWaitsForRunningChunks(t *testing.T) {
 	<-inChunk
 	j.Cancel()
 	select {
-	case <-j.done:
+	case <-j.st.DoneChan():
 		t.Fatal("job completed while a chunk body was still running")
 	case <-time.After(100 * time.Millisecond):
 	}
@@ -438,5 +440,171 @@ func TestConcurrentJobsIsolated(t *testing.T) {
 		if results[i] != want {
 			t.Fatalf("job %d: fib=%d want %d", i, results[i], want)
 		}
+	}
+}
+
+// TestContextUnblocksOnSiblingPanic: a body parked on Proc.Context().Done()
+// is released the instant a sibling task panics, from another worker,
+// without the blocked body ever reaching a scheduling point — the
+// cancellation fan-out half of the shared failure state machine. The panic
+// is also the context's cause.
+func TestContextUnblocksOnSiblingPanic(t *testing.T) {
+	rt := NewRuntime(Config{Workers: 2, DisablePinning: true})
+	defer rt.Close()
+	blocked := make(chan struct{})
+	var sawCause error
+	j := rt.Submit(func(w *Worker) {
+		w.Spawn(func(w2 *Worker) { // blocker: stolen by the second worker
+			ctx := w2.Context()
+			close(blocked)
+			<-ctx.Done()
+			sawCause = context.Cause(ctx)
+		})
+		w.Spawn(func(*Worker) { // panicker: popped LIFO by the first
+			<-blocked // the blocker is provably parked on Done
+			panic("boom-ctx-sibling")
+		})
+		w.Sync()
+	})
+	err := j.Wait()
+	wantPanicErr(t, err, "boom-ctx-sibling", "")
+	var pe *PanicError
+	if !errors.As(sawCause, &pe) || pe.Value != "boom-ctx-sibling" {
+		t.Fatalf("context cause = %v, want the sibling's PanicError", sawCause)
+	}
+}
+
+// TestContextUnblocksOnJobCancel: an external Job.Cancel releases a body
+// parked on the job context, with ErrCanceled as the cause.
+func TestContextUnblocksOnJobCancel(t *testing.T) {
+	rt := NewRuntime(Config{Workers: 1})
+	defer rt.Close()
+	blocked := make(chan struct{})
+	var sawCause error
+	j := rt.Submit(func(w *Worker) {
+		ctx := w.Context()
+		close(blocked)
+		<-ctx.Done()
+		sawCause = context.Cause(ctx)
+	})
+	<-blocked
+	j.Cancel()
+	if err := j.Wait(); !errors.Is(err, ErrCanceled) {
+		t.Fatalf("Wait = %v, want ErrCanceled", err)
+	}
+	if !errors.Is(sawCause, ErrCanceled) {
+		t.Fatalf("context cause = %v, want ErrCanceled", sawCause)
+	}
+}
+
+// TestContextCarriesSubmitDeadline: a SubmitCtx job's tasks see the
+// submission deadline through Proc.Context — Deadline() reports it, Done()
+// fires at expiry, and Wait reports context.DeadlineExceeded.
+func TestContextCarriesSubmitDeadline(t *testing.T) {
+	rt := NewRuntime(Config{Workers: 2, DisablePinning: true})
+	defer rt.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	sawDeadline := false
+	j := rt.SubmitCtx(ctx, func(w *Worker) {
+		jctx := w.Context()
+		_, sawDeadline = jctx.Deadline()
+		<-jctx.Done() // deadline-aware body: released by the timer
+	})
+	if err := j.Wait(); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Wait = %v, want DeadlineExceeded", err)
+	}
+	if !sawDeadline {
+		t.Fatal("body did not observe the submission deadline via Proc.Context")
+	}
+}
+
+// TestContextPropagationStress is the -race stress over the whole failure
+// state machine: jobs whose bodies park on Proc.Context().Done() are
+// concurrently released by sibling panics, external Cancels and context
+// deadlines, interleaved with healthy jobs, all over one small pool. Every
+// blocked body's release comes from outside the pool's progress (a root
+// panic on its own worker, a timer, or the test goroutine), so the stress
+// cannot deadlock however the scheduler interleaves.
+func TestContextPropagationStress(t *testing.T) {
+	rt := NewRuntime(Config{Workers: 4, DisablePinning: true})
+	defer rt.Close()
+	jobs := 120
+	if testing.Short() {
+		jobs = 40
+	}
+	var wg sync.WaitGroup
+	errCh := make(chan error, 1)
+	fail := func(format string, args ...any) {
+		select {
+		case errCh <- fmt.Errorf(format, args...):
+		default:
+		}
+	}
+	for i := 0; i < jobs; i++ {
+		wg.Add(1)
+		i := i
+		go func() {
+			defer wg.Done()
+			switch i % 4 {
+			case 0: // sibling panic releases a Done-parked child
+				j := rt.Submit(func(w *Worker) {
+					w.Spawn(func(w2 *Worker) { <-w2.Context().Done() })
+					panic("boom-stress")
+				})
+				var pe *PanicError
+				if err := j.Wait(); !errors.As(err, &pe) {
+					fail("panic job %d: Wait = %v, want PanicError", i, err)
+				}
+			case 1: // deadline releases a Done-parked root
+				ctx, cancel := context.WithTimeout(context.Background(), time.Duration(1+i%5)*time.Millisecond)
+				j := rt.SubmitCtx(ctx, func(w *Worker) { <-w.Context().Done() })
+				if err := j.Wait(); !errors.Is(err, context.DeadlineExceeded) && !errors.Is(err, context.Canceled) {
+					fail("deadline job %d: Wait = %v, want a context error", i, err)
+				}
+				cancel()
+			case 2: // external Cancel releases a Done-parked root
+				started := make(chan struct{})
+				j := rt.Submit(func(w *Worker) {
+					close(started)
+					<-w.Context().Done()
+				})
+				<-started
+				j.Cancel()
+				if err := j.Wait(); !errors.Is(err, ErrCanceled) {
+					fail("cancel job %d: Wait = %v, want ErrCanceled", i, err)
+				}
+			default: // healthy job sharing the pool
+				var r int64
+				j := rt.Submit(func(w *Worker) { fibTask(w, &r, 12) })
+				if err := j.Wait(); err != nil {
+					fail("healthy job %d failed: %v", i, err)
+				} else if r != 144 {
+					fail("healthy job %d: fib=%d want 144", i, r)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	select {
+	case err := <-errCh:
+		t.Fatal(err)
+	default:
+	}
+	rt.Wait()
+}
+
+// TestSubmitCtxAfterCloseReportsErrClosed: rejection must win over the
+// submission context's own state — SubmitCtx on a closed runtime reports
+// ErrClosed even when ctx is already cancelled, so errors.Is(err,
+// ErrClosed) remains the reliable shutdown signal.
+func TestSubmitCtxAfterCloseReportsErrClosed(t *testing.T) {
+	rt := NewRuntime(Config{Workers: 1})
+	rt.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	j := rt.SubmitCtx(ctx, func(*Worker) {})
+	if err := j.Wait(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Wait = %v, want ErrClosed", err)
 	}
 }

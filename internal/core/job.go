@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+
+	"xkaapi/internal/jobfail"
 )
 
 // Job is the handle of one externally submitted root task. A Job is created
@@ -18,27 +20,17 @@ import (
 // or when Cancel is called. Once failed, the job's remaining tasks are
 // cancelled: their bodies are skipped, but the completion bookkeeping still
 // runs, so dataflow frontiers stay consistent and the job always finishes.
+// The failure state machine itself — first-error-wins, sealing, the per-job
+// context that fans cancellation out to running bodies — is the shared
+// jobfail.State every engine in this module embeds.
 type Job struct {
-	rt   *Runtime
-	done chan struct{}
-
-	failed atomic.Bool // fast-path flag mirroring err != nil
-	mu     sync.Mutex
-	err    error // first failure; immutable once set
-	sealed bool  // job finished: late fail calls are ignored
-
-	// ctxStop deregisters the context.AfterFunc a SubmitCtx job armed for
-	// cancellation. It is set before the root task is enqueued and called
-	// once by finish, so a completed job costs the context package one
-	// removal instead of leaving a callback behind.
-	ctxStop func() bool
+	st jobfail.State
+	rt *Runtime
 
 	// Per-job attribution of the task outcome counters (the pool-global
 	// Stats remain the sum over workers). Atomics: tasks of one job execute
 	// on many workers concurrently.
-	nExecuted  atomic.Int64
-	nCancelled atomic.Int64
-	nPanicked  atomic.Int64
+	counts jobfail.Counters
 }
 
 // JobStats is a snapshot of one job's task outcome counters, the per-job
@@ -56,11 +48,8 @@ type JobStats struct {
 // time, including while the job runs; the snapshot is only guaranteed
 // complete once the job is Done.
 func (j *Job) Stats() JobStats {
-	return JobStats{
-		Executed:  j.nExecuted.Load(),
-		Cancelled: j.nCancelled.Load(),
-		Panicked:  j.nPanicked.Load(),
-	}
+	executed, cancelled, panicked := j.counts.Snapshot()
+	return JobStats{Executed: executed, Cancelled: cancelled, Panicked: panicked}
 }
 
 // Wait blocks until the job's whole task tree has completed, then returns
@@ -71,69 +60,45 @@ func (j *Job) Stats() JobStats {
 // Wait must be called from outside the worker pool: a task body that blocks
 // in Wait stalls its worker and can deadlock the runtime. From inside a
 // task, spawn the work as a child and use Worker.Sync instead.
-func (j *Job) Wait() error {
-	<-j.done
-	return j.Err()
-}
+func (j *Job) Wait() error { return j.st.Wait() }
 
 // Done reports (without blocking) whether the job has completed.
-func (j *Job) Done() bool {
-	select {
-	case <-j.done:
-		return true
-	default:
-		return false
-	}
-}
+func (j *Job) Done() bool { return j.st.Done() }
 
 // Err returns the job's failure without waiting: nil while the job is
 // running and has not failed, otherwise the first recorded error.
-func (j *Job) Err() error {
-	j.mu.Lock()
-	err := j.err
-	j.mu.Unlock()
-	return err
-}
+func (j *Job) Err() error { return j.st.Err() }
 
 // Cancel asks the runtime to abandon the job: tasks of the job that have
 // not started yet are skipped, and Wait returns ErrCanceled. Tasks already
-// executing run to completion (cancellation is cooperative; long bodies can
-// poll Worker.JobFailed). Cancel after completion, or after another
-// failure, is a no-op.
-func (j *Job) Cancel() { j.fail(ErrCanceled) }
+// executing run to completion (cancellation is cooperative; long bodies
+// block on Context().Done() or poll Worker.JobFailed). Cancel after
+// completion, or after another failure, is a no-op.
+func (j *Job) Cancel() { j.st.Cancel() }
+
+// Context returns the job's context: derived from the SubmitCtx submission
+// context (context.Background for Submit), carrying its deadline and
+// values, and cancelled — with the failure as cause — the instant the job
+// fails or is cancelled. Task bodies reach it through Worker.Context; it is
+// also available here so code holding only the Job handle (a server
+// tracking in-flight requests, say) can select on the same signal. Note
+// that the context is also cancelled when the job completes successfully
+// (cause context.Canceled), so Done firing means "job over", not
+// necessarily "job failed" — check Err to distinguish.
+func (j *Job) Context() context.Context { return j.st.Context() }
 
 // fail records err as the job's failure if it is the first one; later
 // failures and failures after completion are ignored.
-func (j *Job) fail(err error) {
-	if err == nil {
-		return
-	}
-	j.mu.Lock()
-	if j.err == nil && !j.sealed {
-		j.err = err
-		j.failed.Store(true)
-	}
-	j.mu.Unlock()
-}
+func (j *Job) fail(err error) { j.st.Fail(err) }
 
 // aborted is the hot-path check task execution uses to decide whether to
 // skip a body.
-func (j *Job) aborted() bool { return j.failed.Load() }
+func (j *Job) aborted() bool { return j.st.Failed() }
 
 // finish marks the job complete and credits the runtime's live-job count.
 // It is called exactly once, by the worker completing the root task.
 func (j *Job) finish() {
-	j.mu.Lock()
-	j.sealed = true
-	err := j.err
-	j.mu.Unlock()
-	if j.ctxStop != nil {
-		// Deregister the context cancellation hook; sealed is already set,
-		// so a callback that fired in the window is a no-op.
-		j.ctxStop()
-		j.ctxStop = nil
-	}
-	close(j.done)
+	err := j.st.Finish()
 	rt := j.rt
 	if err != nil {
 		rt.noteFailed(err)
@@ -208,44 +173,48 @@ func (ib *inbox) size() int64 { return ib.n.Load() }
 // pre-failed Job whose Wait and Err report ErrClosed and whose task never
 // runs.
 func (rt *Runtime) Submit(fn func(*Worker)) *Job {
-	j, t, ok := rt.newRoot(fn)
+	j, t, ok := rt.newRoot(nil, fn)
 	if ok {
 		rt.enqueueRoot(t)
 	}
 	return j
 }
 
-// newRoot builds the job handle and its root task and registers the job
-// with the runtime. ok reports whether the runtime accepted it; on false
-// the job is pre-failed with ErrClosed and already finished. On true the
-// caller must call enqueueRoot(t) to make the root runnable — the gap
-// between the two is where SubmitCtx arms its cancellation hook, so the
-// hook is always installed before any worker can finish the job.
-func (rt *Runtime) newRoot(fn func(*Worker)) (j *Job, t *Task, ok bool) {
+// newRoot builds the job handle — its failure state bound to parent
+// (Background if nil) — and its root task, and registers the job with the
+// runtime. ok reports whether the runtime accepted it; on false the job is
+// pre-failed with ErrClosed and already finished. On true the caller must
+// call enqueueRoot(t) to make the root runnable. The parent-cancellation
+// hook is armed inside Init, before the root can possibly be enqueued, so
+// it is always installed before any worker can finish the job.
+func (rt *Runtime) newRoot(parent context.Context, fn func(*Worker)) (j *Job, t *Task, ok bool) {
 	if fn == nil {
 		panic("core: Submit with nil function")
 	}
-	j = &Job{rt: rt, done: make(chan struct{})}
-	t = new(Task) // external path: worker free lists are owner-only
-	t.body = fn
-	t.job = j
-	t.flags = flagRoot
+	j = &Job{rt: rt}
 	// The closing check and the live-job registration are one critical
 	// section: a Submit racing Close either registers before the drain
 	// (Close then waits for this job too) or observes closing and is
 	// rejected with ErrClosed; it can never slip a job past the drain into
-	// a dead pool.
+	// a dead pool. The failure state initializes after the check — and for
+	// a rejected job without the parent — so rejection always reports
+	// ErrClosed, even when the submission context is already cancelled
+	// (first error wins, and rejection must be the first).
 	rt.jobsMu.Lock()
 	if rt.closing {
 		rt.jobsMu.Unlock()
-		j.err = ErrClosed
-		j.failed.Store(true)
-		j.sealed = true
-		close(j.done)
+		j.st.Init(nil)
+		j.st.Fail(ErrClosed)
+		j.st.Finish()
 		return j, nil, false
 	}
 	rt.jobsLive++
 	rt.jobsMu.Unlock()
+	j.st.Init(parent)
+	t = new(Task) // external path: worker free lists are owner-only
+	t.body = fn
+	t.job = j
+	t.flags = flagRoot
 	return j, t, true
 }
 
@@ -261,28 +230,22 @@ func (rt *Runtime) enqueueRoot(t *Task) {
 // job completes, the job fails with ctx.Err() and its remaining tasks are
 // skipped. A context already cancelled at submission still returns a Job
 // (its root is enqueued but its body never runs), so callers have one code
-// path: check Wait's error.
+// path: check Wait's error. The job's own context (Job.Context,
+// Worker.Context) is derived from ctx, so task bodies see its deadline and
+// values and unblock the instant the job fails for any reason.
 //
 // Cancellation is watcher-free: instead of a goroutine per job parked on
 // ctx.Done() (which a server submitting one job per request would multiply
-// by the whole in-flight set), the job registers a context.AfterFunc —
-// a callback on the context's own cancel/timer machinery — before its root
-// is enqueued, and finish deregisters it. A context-bound job therefore
-// costs no goroutine at all, and an uncancelled one leaves nothing behind.
+// by the whole in-flight set), the job's failure state registers a
+// context.AfterFunc — a callback on the context's own cancel/timer
+// machinery — before its root is enqueued, and finish deregisters it. A
+// context-bound job therefore costs no goroutine at all, and an uncancelled
+// one leaves nothing behind.
 func (rt *Runtime) SubmitCtx(ctx context.Context, fn func(*Worker)) *Job {
-	if ctx == nil || ctx.Done() == nil {
-		return rt.Submit(fn) // no context, or one that can never be cancelled
+	j, t, ok := rt.newRoot(ctx, fn)
+	if ok {
+		rt.enqueueRoot(t)
 	}
-	j, t, ok := rt.newRoot(fn)
-	if !ok {
-		return j // rejected with ErrClosed
-	}
-	if err := ctx.Err(); err != nil {
-		j.fail(err)
-	} else {
-		j.ctxStop = context.AfterFunc(ctx, func() { j.fail(ctx.Err()) })
-	}
-	rt.enqueueRoot(t)
 	return j
 }
 

@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"xkaapi/internal/jobfail"
 	"xkaapi/internal/xrand"
 )
 
@@ -83,9 +84,9 @@ func (lc *loopCtx) runChunk(w *Worker, lo, hi int64) (ok bool) {
 			} else {
 				w.stats.panicked.Add(1)
 				if lc.job != nil {
-					lc.job.nPanicked.Add(1)
+					lc.job.counts.Panicked.Add(1)
 				}
-				err = newPanicError(r)
+				err = jobfail.Capture(r)
 			}
 			lc.fail(err)
 			if lc.job != nil {
@@ -155,7 +156,7 @@ func (w *Worker) newLoopTask(lc *loopCtx, iv *Interval) *Task {
 	t.flags |= flagLoop
 	t.body = func(w2 *Worker) { w2.loopRun(lc, iv) }
 	t.job = lc.job // split-off slices stay in the loop's failure scope
-	w.stats.spawned.Add(1)
+	w.noteSpawned()
 	return t
 }
 
@@ -307,6 +308,9 @@ func (w *Worker) ForEach(lo, hi int64, opt LoopOpts, body func(w *Worker, lo, hi
 			continue
 		}
 		idle++
+		if idle == 1 {
+			w.flushStats() // out of work: publish cached counters
+		}
 		if idle < idleSpinBeforeSleep {
 			runtime.Gosched()
 		} else {

@@ -170,8 +170,11 @@ func (rt *Runtime) Config() Config { return rt.cfg }
 // count. All counters are per-worker padded atomics, so Stats may be read
 // at any time; while jobs are in flight the result is a consistent lower
 // bound (each counter is monotone between resets, but the sum is not taken
-// at a single instant). Invariants such as Spawned == Executed + Cancelled
-// hold exactly only once the runtime is quiescent.
+// at a single instant, and a busy worker may hold up to statFlushEvery
+// spawned/executed increments in its batch cache). Invariants such as
+// Spawned == Executed + Cancelled hold exactly once the runtime is
+// quiescent: every path into idleness — park, failed steal round, wait
+// loops, root completion, worker exit — publishes the cache first.
 func (rt *Runtime) Stats() Stats {
 	s := Stats{Spawned: rt.extSpawned.Load()}
 	for _, w := range rt.workers {
@@ -180,18 +183,31 @@ func (rt *Runtime) Stats() Stats {
 	return s
 }
 
-// LiveStats returns the scheduler counters while jobs are in flight. Since
-// the task-path counters (Spawned, Executed, ReadyReleases, Panicked,
-// Cancelled) became per-worker padded atomics they are published live too,
-// so LiveStats is now simply Stats: a monitoring endpoint polling it sees
-// Executed advance while a long job runs. The name is kept for callers
-// that want to document they read mid-flight.
+// LiveStats returns the scheduler counters while jobs are in flight. The
+// task-path counters (Spawned, Executed, Cancelled, ...) are per-worker
+// padded atomics, so LiveStats is simply Stats: a monitoring endpoint
+// polling it sees Executed advance while a long job runs — in steps of at
+// most statFlushEvery per worker, the price of keeping the per-task hot
+// path free of LOCK-prefixed RMWs. The name is kept for callers that want
+// to document they read mid-flight.
 func (rt *Runtime) LiveStats() Stats { return rt.Stats() }
 
 // ResetStats zeroes all per-worker counters and the external root count.
 // Call it only while quiescent: resetting under live increments loses no
 // memory safety (the counters are atomics) but produces meaningless sums.
+// On a quiescent pool it first waits (a bounded spin) for workers still
+// winding down to publish their increment caches; once a worker has
+// parked its cache is clean, so in practice a reset right after Wait is
+// not followed by a stale flush reinflating the zeroed counters. The wait
+// is bounded, not a guarantee — a worker descheduled mid-wind-down past
+// the bound can still flush late, which is one more reason this API is
+// quiescent-only.
 func (rt *Runtime) ResetStats() {
+	for _, w := range rt.workers {
+		for i := 0; w.cache.dirty.Load() && i < 10_000; i++ {
+			runtime.Gosched()
+		}
+	}
 	rt.extSpawned.Store(0)
 	for _, w := range rt.workers {
 		w.stats.reset()

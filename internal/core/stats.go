@@ -2,6 +2,30 @@ package core
 
 import "sync/atomic"
 
+// statFlushEvery is the batching window of the per-worker increment cache:
+// the task-path counters (spawned, executed) are accumulated in plain
+// owner-private fields and folded into the published atomics every this
+// many increments, as well as at every idle transition (park, failed
+// steal round, wait loops), at root-task completion and at worker exit.
+// Go has no relaxed atomics, so each published increment is a full
+// LOCK-prefixed RMW; batching divides that cost by the window while
+// keeping LiveStats at most one window stale on a busy worker — and exact
+// whenever the pool is quiescent, because every path into idleness
+// flushes.
+const statFlushEvery = 64
+
+// statCache is one worker's pending increments. Only the owning worker
+// touches the counts; dirty is the single cross-thread word — set (once
+// per batch) when the cache becomes non-empty, cleared by flush — so
+// ResetStats can wait for quiescent workers to publish without reading
+// unsynchronized counters.
+type statCache struct {
+	spawned  int64
+	executed int64
+	pending  int64 // increments since the last flush
+	dirty    atomic.Bool
+}
+
 // Stats is a snapshot of the scheduler event counters, summed over workers.
 // The counters exist to validate the design experimentally: request
 // aggregation should drive Combines well below StealRequests, and adaptive
@@ -13,6 +37,7 @@ type Stats struct {
 	ReadyReleases int64 // dataflow successors released on completion
 	StealRequests int64 // requests posted to victims
 	StealHits     int64 // requests answered with a task
+	StealProbes   int64 // victim inspections by idle thieves (incl. empty probes)
 	Combines      int64 // combiner passes (aggregated service of N requests)
 	CombineServed int64 // requests answered during combiner passes
 	Splits        int64 // splitter invocations on adaptive tasks
@@ -29,6 +54,7 @@ func (s *Stats) Add(other Stats) {
 	s.ReadyReleases += other.ReadyReleases
 	s.StealRequests += other.StealRequests
 	s.StealHits += other.StealHits
+	s.StealProbes += other.StealProbes
 	s.Combines += other.Combines
 	s.CombineServed += other.CombineServed
 	s.Splits += other.Splits
@@ -43,10 +69,15 @@ func (s *Stats) Add(other Stats) {
 // struct, including a thief counting a steal it performed), so the
 // increments are uncontended single-line RMWs and any goroutine may read a
 // live snapshot at any time — this is what lets Runtime.LiveStats publish
-// Executed/Cancelled while jobs are in flight. The leading and trailing
-// pads keep the counter block on cache lines no neighboring field (and no
-// other worker's hot state) shares, so a /stats reader never bounces a
-// line the task hot path is writing through false sharing.
+// Executed/Cancelled while jobs are in flight. The two task-path counters
+// (spawned, executed) are additionally batched through statCache: the
+// worker publishes them every statFlushEvery tasks and at every idle
+// transition, so a live read sees them advance in small steps rather than
+// per task; all other counters (cancelled, panicked, steal/combine/split,
+// parks, probes) are bumped directly and stay exactly live. The leading
+// and trailing pads keep the counter block on cache lines no neighboring
+// field (and no other worker's hot state) shares, so a /stats reader never
+// bounces a line the task hot path is writing through false sharing.
 type workerStats struct {
 	_ [64]byte // pad: counters start on a fresh cache line
 
@@ -58,6 +89,7 @@ type workerStats struct {
 
 	stealRequests atomic.Int64
 	stealHits     atomic.Int64
+	stealProbes   atomic.Int64
 	combines      atomic.Int64
 	combineServed atomic.Int64
 	splits        atomic.Int64
@@ -80,6 +112,7 @@ func (ws *workerStats) snapshot() Stats {
 		Cancelled:     ws.cancelled.Load(),
 		StealRequests: ws.stealRequests.Load(),
 		StealHits:     ws.stealHits.Load(),
+		StealProbes:   ws.stealProbes.Load(),
 		Combines:      ws.combines.Load(),
 		CombineServed: ws.combineServed.Load(),
 		Splits:        ws.splits.Load(),
@@ -96,6 +129,7 @@ func (ws *workerStats) reset() {
 	ws.cancelled.Store(0)
 	ws.stealRequests.Store(0)
 	ws.stealHits.Store(0)
+	ws.stealProbes.Store(0)
 	ws.combines.Store(0)
 	ws.combineServed.Store(0)
 	ws.splits.Store(0)

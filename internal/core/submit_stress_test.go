@@ -88,7 +88,14 @@ func TestSubmitConcurrentStress(t *testing.T) {
 			for e := range errs {
 				t.Errorf("workers=%d: %s", workers, e)
 			}
+			// Workers publish their batched counters as they go idle,
+			// trailing Wait by at most a scheduling quantum; poll briefly.
+			deadline := time.Now().Add(5 * time.Second)
 			s := rt.Stats()
+			for s.Spawned != s.Executed && time.Now().Before(deadline) {
+				time.Sleep(time.Millisecond)
+				s = rt.Stats()
+			}
 			if s.Spawned != s.Executed {
 				t.Errorf("workers=%d: spawned=%d executed=%d (counters must balance)",
 					workers, s.Spawned, s.Executed)
@@ -190,7 +197,7 @@ func TestSubmitCloseRace(t *testing.T) {
 		close(results)
 		for r := range results {
 			select {
-			case <-r.job.done:
+			case <-r.job.st.DoneChan():
 			case <-time.After(10 * time.Second):
 				t.Fatalf("round %d: accepted job stranded by Close (Wait would hang)", i)
 			}

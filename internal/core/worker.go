@@ -1,11 +1,13 @@
 package core
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"xkaapi/internal/jobfail"
 	"xkaapi/internal/xrand"
 )
 
@@ -27,11 +29,67 @@ type Worker struct {
 	reqScratch []int
 
 	stats workerStats
+	cache statCache // batched spawned/executed increments (owner-only)
 
 	deque    deque
 	adaptive atomic.Pointer[Adaptive]
 	comb     sync.Mutex // combiner election lock (request.go)
 	reqs     []request  // request box; slot i belongs to worker i
+}
+
+// noteSpawned counts one task creation against the worker's increment
+// cache; the published atomic advances every statFlushEvery increments and
+// at the flush points (idle, park, root completion, exit). This is the
+// batched-counter optimization: the amortized cost per task is one plain
+// increment instead of a LOCK-prefixed RMW.
+func (w *Worker) noteSpawned() {
+	c := &w.cache
+	if c.pending == 0 {
+		c.dirty.Store(true)
+	}
+	c.spawned++
+	c.pending++
+	if c.pending >= statFlushEvery {
+		w.flushStats()
+	}
+}
+
+// noteExecuted counts one executed task body; see noteSpawned.
+func (w *Worker) noteExecuted() {
+	c := &w.cache
+	if c.pending == 0 {
+		c.dirty.Store(true)
+	}
+	c.executed++
+	c.pending++
+	if c.pending >= statFlushEvery {
+		w.flushStats()
+	}
+}
+
+// spawnedTotal is the worker's spawn count including the unpublished
+// cache; owner-only (the adaptive splitter uses it to compute exact
+// rollback deltas).
+func (w *Worker) spawnedTotal() int64 {
+	return w.stats.spawned.Load() + w.cache.spawned
+}
+
+// flushStats publishes the worker's cached increments into the padded
+// atomics any goroutine may read. Owner-only; called every statFlushEvery
+// increments and whenever the worker transitions toward idleness, so a
+// quiescent pool always has fully published counters.
+func (w *Worker) flushStats() {
+	c := &w.cache
+	if c.spawned != 0 {
+		w.stats.spawned.Add(c.spawned)
+		c.spawned = 0
+	}
+	if c.executed != 0 {
+		w.stats.executed.Add(c.executed)
+		c.executed = 0
+	}
+	c.pending = 0
+	c.dirty.Store(false)
 }
 
 // ID returns the worker index in [0, NumWorkers).
@@ -66,7 +124,7 @@ func (w *Worker) Spawn(fn func(*Worker)) {
 		t.parent.children.Add(1)
 		t.job = t.parent.job
 	}
-	w.stats.spawned.Add(1)
+	w.noteSpawned()
 	w.deque.push(t)
 	w.rt.maybeWake()
 }
@@ -81,9 +139,9 @@ func (w *Worker) cancelEagerly() bool {
 	if cur == nil || cur.job == nil || !cur.job.aborted() {
 		return false
 	}
-	w.stats.spawned.Add(1)
+	w.noteSpawned()
 	w.stats.cancelled.Add(1)
-	cur.job.nCancelled.Add(1)
+	cur.job.counts.Cancelled.Add(1)
 	return true
 }
 
@@ -107,7 +165,7 @@ func (w *Worker) SpawnTask(fn func(*Worker), accs ...Access) {
 		t.parent.children.Add(1)
 		t.job = t.parent.job
 	}
-	w.stats.spawned.Add(1)
+	w.noteSpawned()
 	if len(accs) == 0 {
 		w.deque.push(t)
 		w.rt.maybeWake()
@@ -154,11 +212,11 @@ func (w *Worker) execute(t *Task) {
 	// interval and hang the loop.
 	if j := t.job; j != nil && j.aborted() && t.flags&flagLoop == 0 {
 		w.stats.cancelled.Add(1)
-		j.nCancelled.Add(1)
+		j.counts.Cancelled.Add(1)
 	} else {
-		w.stats.executed.Add(1)
+		w.noteExecuted()
 		if j := t.job; j != nil {
-			j.nExecuted.Add(1)
+			j.counts.Executed.Add(1)
 		}
 		w.runBody(t)
 	}
@@ -192,8 +250,8 @@ func (w *Worker) runBody(t *Task) {
 		if t.job == nil {
 			panic(r)
 		}
-		t.job.nPanicked.Add(1)
-		t.job.fail(newPanicError(r))
+		t.job.counts.Panicked.Add(1)
+		t.job.fail(jobfail.Capture(r))
 	}()
 	t.body(w)
 }
@@ -223,6 +281,12 @@ func (w *Worker) complete(t *Task) {
 		p.children.Add(-1)
 	}
 	if t.flags&flagRoot != 0 {
+		// Publish this worker's cached counters before the job becomes
+		// observable as done: a single-worker pool then satisfies the
+		// quiescent Spawned == Executed + Cancelled invariant the moment
+		// Wait returns (other workers publish on their own idle
+		// transitions, microseconds behind).
+		w.flushStats()
 		j := t.job
 		t.job = nil
 		j.finish()
@@ -239,6 +303,9 @@ func (w *Worker) waitCounter(c *atomic.Int32) {
 			continue
 		}
 		idle++
+		if idle == 1 {
+			w.flushStats() // out of work: publish cached counters
+		}
 		if idle < idleSpinBeforeSleep {
 			runtime.Gosched()
 		} else {
@@ -263,7 +330,7 @@ func (w *Worker) schedOnce() bool {
 		w.execute(t)
 		return true
 	}
-	if t := w.trySteal(); t != nil {
+	if t, _ := w.trySteal(); t != nil {
 		w.execute(t)
 		return true
 	}
@@ -274,34 +341,44 @@ func (w *Worker) schedOnce() bool {
 	return false
 }
 
-// trySteal performs one round of steal attempts on randomly selected victims
-// and returns a stolen task, or nil if the round failed.
-func (w *Worker) trySteal() *Task {
+// trySteal performs one round of steal attempts on randomly selected
+// victims and returns a stolen task, or nil if the round failed. sawWork
+// reports whether any probed victim even looked like it had work (non-empty
+// deque or an open adaptive section): a round that swept every victim empty
+// is the signal the backoff in run uses to park sooner instead of burning
+// further probe sweeps on a mostly-idle pool. Every victim inspection is
+// counted in StealProbes (one batched add per round), which is what makes
+// the wasted-probe rate observable in /stats next to Parks.
+func (w *Worker) trySteal() (t *Task, sawWork bool) {
 	rt := w.rt
 	n := len(rt.workers)
 	if n == 1 {
-		return nil
+		return nil, false
 	}
+	probes := int64(0)
+	defer func() { w.stats.stealProbes.Add(probes) }()
 	for attempt := 0; attempt < 2*n; attempt++ {
 		v := rt.workers[w.rng.Intn(n)]
 		if v == w {
 			continue
 		}
+		probes++
 		// Cheap probe before posting a request.
 		if v.deque.size() == 0 && v.adaptive.Load() == nil {
 			continue
 		}
+		sawWork = true
 		if rt.cfg.NoAggregation {
 			if t := w.stealDirect(v); t != nil {
-				return t
+				return t, true
 			}
 			continue
 		}
 		if t, _ := w.stealFrom(v); t != nil {
-			return t
+			return t, true
 		}
 	}
-	return nil
+	return nil, sawWork
 }
 
 // SetAdaptive installs ad as the splitter target for the task currently
@@ -345,6 +422,26 @@ func (w *Worker) JobErr() error {
 	return w.cur.job.Err()
 }
 
+// Context returns the context of the job the current task belongs to:
+// derived from the SubmitCtx submission context (Background for Submit),
+// carrying its deadline and values, and cancelled — with the failure as
+// cause — the instant the job fails, is cancelled, or its parent context
+// expires. Task bodies doing deadline-aware work (I/O, long kernels,
+// blocking waits) should select on Context().Done() instead of polling
+// JobFailed; the signal fires from any worker the instant a sibling
+// panics, without waiting for this body to reach a scheduling point.
+//
+// For a task outside any job (a hand-built adaptive task) it returns
+// context.Background(). The context is valid beyond the body's return —
+// it is the job's, not the task's — but is cancelled once the job
+// completes, successfully or not.
+func (w *Worker) Context() context.Context {
+	if w.cur != nil && w.cur.job != nil {
+		return w.cur.job.Context()
+	}
+	return context.Background()
+}
+
 // NewAdaptiveTask wraps fn into a free-standing ready task, for returning
 // from an Adaptive splitter. The task has no parent frame: user-level
 // adaptive algorithms must track completion themselves (typically with a
@@ -354,7 +451,7 @@ func (w *Worker) NewAdaptiveTask(fn func(*Worker)) *Task {
 	t := w.alloc()
 	t.flags |= flagLoop
 	t.body = fn
-	w.stats.spawned.Add(1)
+	w.noteSpawned()
 	return t
 }
 
@@ -392,6 +489,16 @@ func (w *Worker) recycle(t *Task) {
 	w.freeList = t
 }
 
+// idleRoundsBeforePark is how many failed scheduling rounds a worker spins
+// through (with Gosched between them) before parking on the condvar. A
+// round whose steal sweep found every victim empty counts double — the
+// steal-probe backoff: on a mostly-idle pool there is no evidence any work
+// exists, so the worker stops paying 2N probes per round and goes to sleep
+// in half the rounds, while a pool with observed-but-contended work keeps
+// the full spin budget. park's final anyWork scan still closes the race
+// with work produced during the last sweep.
+const idleRoundsBeforePark = 4
+
 // run is the main loop of a pool worker. At top level (no frame open) a
 // fresh root from the inbox is preferred over stealing: a submitted job is
 // guaranteed work, while a steal attempt may fail, and draining roots early
@@ -407,6 +514,7 @@ func (w *Worker) run() {
 		defer runtime.UnlockOSThread()
 	}
 	defer rt.wg.Done()
+	defer w.flushStats() // publish cached counters before Close's wg.Wait returns
 	fails := 0
 	for {
 		if rt.stop.Load() {
@@ -422,13 +530,20 @@ func (w *Worker) run() {
 			fails = 0
 			continue
 		}
-		if t := w.trySteal(); t != nil {
+		t, sawWork := w.trySteal()
+		if t != nil {
 			w.execute(t)
 			fails = 0
 			continue
 		}
+		if fails == 0 {
+			w.flushStats() // out of work: publish cached counters
+		}
 		fails++
-		if fails < 4 {
+		if !sawWork {
+			fails++ // empty sweep: no evidence of work anywhere, park sooner
+		}
+		if fails < idleRoundsBeforePark {
 			runtime.Gosched()
 			continue
 		}
@@ -440,6 +555,7 @@ func (w *Worker) run() {
 // park blocks the worker until new work may exist. A final scan of all
 // deques after advertising idleness closes the race with concurrent pushes.
 func (w *Worker) park() {
+	w.flushStats() // a parked worker's counters are fully published
 	rt := w.rt
 	rt.idle.Add(1)
 	w.stats.parks.Add(1)

@@ -1,0 +1,217 @@
+package jobfail
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+)
+
+// ErrClosed is the failure of a job rejected because its scheduler was
+// already closing: submission after Close yields a pre-failed handle
+// reporting ErrClosed instead of panicking.
+var ErrClosed = errors.New("xkaapi: runtime closed")
+
+// ErrCanceled is the failure of a job abandoned with Cancel. Jobs cancelled
+// through a context fail with the context's own error instead.
+var ErrCanceled = errors.New("xkaapi: job canceled")
+
+// PanicError is the error a job fails with when one of its task bodies —
+// fork-join child, dataflow task, loop chunk, adaptive splitter, SPMD
+// region thread — panics. The owning job records the first panic (with the
+// stack captured at the panic site), cancels the job's remaining tasks, and
+// the worker pool survives: the panic never propagates past the runtime.
+type PanicError struct {
+	// Value is the value the task body panicked with.
+	Value any
+	// Stack is the goroutine stack captured at recovery, which includes the
+	// frames of the panic site.
+	Stack []byte
+}
+
+// Capture wraps a recovered value into a *PanicError; it must be called
+// from the deferred function that recovered it so the stack still holds the
+// panic frames.
+func Capture(v any) *PanicError {
+	return &PanicError{Value: v, Stack: debug.Stack()}
+}
+
+// Error formats the panic value followed by the captured stack.
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("task panicked: %v\n\n%s", e.Value, e.Stack)
+}
+
+// Unwrap exposes the panic value when it was itself an error, so
+// errors.Is/As see through a panic(err).
+func (e *PanicError) Unwrap() error {
+	if err, ok := e.Value.(error); ok {
+		return err
+	}
+	return nil
+}
+
+// State is the failure state machine of one failure domain — a job, a
+// parallel region, a QUARK run. The zero value is not ready: call Init
+// first, Finish exactly once when the domain's bookkeeping has drained.
+// All other methods may be called concurrently from any goroutine.
+type State struct {
+	failed atomic.Bool // fast-path flag mirroring err != nil
+	mu     sync.Mutex
+	err    error // first failure; immutable once set
+	sealed bool  // Finish ran: late Fail calls are ignored
+
+	done chan struct{} // closed by Finish
+
+	// ctx is the domain's context: derived from the submission context (or
+	// Background), cancelled with the failure as cause the instant the
+	// domain fails, and cancelled unconditionally at Finish so the context
+	// machinery never leaks. Task bodies obtain it through the engine
+	// (Proc.Context() and friends) for deadline-aware work.
+	ctx    context.Context
+	cancel context.CancelCauseFunc
+
+	// ctxStop deregisters the context.AfterFunc Init armed to propagate
+	// parent cancellation into Fail. Finish calls it once, so a completed
+	// domain costs the context package one removal instead of leaving a
+	// callback behind.
+	ctxStop func() bool
+}
+
+// Init readies the state: a fresh done channel and a cancellable context
+// derived from parent (context.Background if parent is nil). If parent is
+// cancellable, its cancellation is propagated into Fail watcher-free via
+// context.AfterFunc — no goroutine per job — armed here, before the domain
+// can possibly finish, and disarmed by Finish. A parent already cancelled
+// at Init fails the state immediately.
+func (s *State) Init(parent context.Context) {
+	if parent == nil {
+		parent = context.Background()
+	}
+	s.done = make(chan struct{})
+	s.ctx, s.cancel = context.WithCancelCause(parent)
+	if parent.Done() != nil {
+		if err := parent.Err(); err != nil {
+			s.Fail(err)
+		} else {
+			s.ctxStop = context.AfterFunc(parent, func() { s.Fail(parent.Err()) })
+		}
+	}
+}
+
+// Fail records err as the domain's failure if it is the first one and the
+// domain has not finished, and cancels the domain's context with err as its
+// cause. Later failures, nil errors and failures after Finish are ignored.
+// It reports whether err was recorded.
+func (s *State) Fail(err error) bool {
+	if err == nil {
+		return false
+	}
+	s.mu.Lock()
+	if s.err != nil || s.sealed {
+		s.mu.Unlock()
+		return false
+	}
+	s.err = err
+	s.failed.Store(true)
+	s.mu.Unlock()
+	// Fan out after dropping the lock: cancel runs AfterFunc callbacks
+	// registered on s.ctx inline, and those may call back into Err.
+	s.cancel(err)
+	return true
+}
+
+// Failed reports (cheaply, lock-free) whether the domain has failed. This
+// is the hot-path check engines use to decide whether to skip a task body.
+func (s *State) Failed() bool { return s.failed.Load() }
+
+// Err returns the domain's failure without waiting: nil while it is
+// healthy, otherwise the first recorded error.
+func (s *State) Err() error {
+	s.mu.Lock()
+	err := s.err
+	s.mu.Unlock()
+	return err
+}
+
+// Cancel abandons the domain: it fails with ErrCanceled. Cancel after
+// completion, or after another failure, is a no-op.
+func (s *State) Cancel() { s.Fail(ErrCanceled) }
+
+// Context returns the domain's context: cancelled (with the failure as
+// cause) the instant the domain fails or is cancelled, and carrying the
+// submission context's deadline and values. Task bodies block on
+// Context().Done() instead of polling the failed flag.
+func (s *State) Context() context.Context { return s.ctx }
+
+// Wait blocks until Finish has run, then returns the final error.
+func (s *State) Wait() error {
+	<-s.done
+	return s.Err()
+}
+
+// Done reports (without blocking) whether Finish has run.
+func (s *State) Done() bool {
+	select {
+	case <-s.done:
+		return true
+	default:
+		return false
+	}
+}
+
+// DoneChan exposes the completion channel for select-based waits.
+func (s *State) DoneChan() <-chan struct{} { return s.done }
+
+// Finish seals the state — late Fail calls become no-ops — disarms the
+// parent-cancellation hook, cancels the domain's context (releasing its
+// timers and parent registration; the cause is the failure, if any),
+// closes the done channel and returns the final error. It must be called
+// exactly once, by whichever worker completes the domain's bookkeeping.
+func (s *State) Finish() error {
+	s.mu.Lock()
+	if s.err == nil {
+		// Close the parent-cancellation race: the context tree propagates a
+		// parent cancel/deadline into s.ctx before our AfterFunc runs, so a
+		// body parked on Context().Done() can unblock, return, and complete
+		// the domain while the hook that would record the failure is still
+		// in flight. s.cancel only ever runs with s.err already set, so
+		// s.ctx being cancelled here can only mean the parent chain fired:
+		// record its error now, before sealing, and the domain
+		// deterministically reports the cancellation its bodies observed.
+		if err := s.ctx.Err(); err != nil {
+			s.err = err
+			s.failed.Store(true)
+		}
+	}
+	s.sealed = true
+	err := s.err
+	s.mu.Unlock()
+	if s.ctxStop != nil {
+		// Deregister the parent hook; sealed is already set, so a callback
+		// that fired in the window is a no-op.
+		s.ctxStop()
+		s.ctxStop = nil
+	}
+	s.cancel(err)
+	close(s.done)
+	return err
+}
+
+// Counters is the per-domain task outcome accounting behind the drain
+// invariant: every task a failure domain created is, by quiescence, either
+// executed or cancelled (and a cancelled one never ran its body), so
+// Spawned == Executed + Cancelled and the domain always drains. Engines
+// bump these at execution time; any goroutine may snapshot them live.
+type Counters struct {
+	Executed  atomic.Int64 // task bodies that ran
+	Cancelled atomic.Int64 // tasks skipped after the domain failed
+	Panicked  atomic.Int64 // task bodies that panicked
+}
+
+// Snapshot reads the counters. Safe at any time; the values are exact only
+// once the domain is done.
+func (c *Counters) Snapshot() (executed, cancelled, panicked int64) {
+	return c.Executed.Load(), c.Cancelled.Load(), c.Panicked.Load()
+}

@@ -1,0 +1,226 @@
+package jobfail
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestFirstErrorWins: only the first Fail is recorded; the rest (including
+// Cancel) are ignored, and Failed/Err/Context all agree.
+func TestFirstErrorWins(t *testing.T) {
+	var s State
+	s.Init(nil)
+	first := errors.New("first")
+	if !s.Fail(first) {
+		t.Fatal("first Fail not recorded")
+	}
+	if s.Fail(errors.New("second")) {
+		t.Fatal("second Fail recorded")
+	}
+	s.Cancel()
+	if err := s.Err(); err != first {
+		t.Fatalf("Err = %v, want first", err)
+	}
+	if !s.Failed() {
+		t.Fatal("Failed() = false after Fail")
+	}
+	select {
+	case <-s.Context().Done():
+	default:
+		t.Fatal("Context not cancelled by Fail")
+	}
+	if cause := context.Cause(s.Context()); cause != first {
+		t.Fatalf("Cause = %v, want first", cause)
+	}
+	if err := s.Finish(); err != first {
+		t.Fatalf("Finish = %v, want first", err)
+	}
+}
+
+// TestFailAfterFinishIgnored: the state seals at Finish.
+func TestFailAfterFinishIgnored(t *testing.T) {
+	var s State
+	s.Init(nil)
+	if err := s.Finish(); err != nil {
+		t.Fatalf("Finish = %v, want nil", err)
+	}
+	if s.Fail(errors.New("late")) {
+		t.Fatal("Fail after Finish recorded")
+	}
+	if err := s.Wait(); err != nil {
+		t.Fatalf("Wait = %v, want nil", err)
+	}
+	if !s.Done() {
+		t.Fatal("Done() = false after Finish")
+	}
+}
+
+// TestParentCancellationPropagates: cancelling the parent context fails the
+// state (watcher-free AfterFunc) and cancels the derived context.
+func TestParentCancellationPropagates(t *testing.T) {
+	parent, cancel := context.WithCancel(context.Background())
+	var s State
+	s.Init(parent)
+	if s.Failed() {
+		t.Fatal("failed before parent cancel")
+	}
+	cancel()
+	deadline := time.Now().Add(5 * time.Second)
+	for !s.Failed() {
+		if time.Now().After(deadline) {
+			t.Fatal("parent cancel never propagated")
+		}
+	}
+	if err := s.Err(); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Err = %v, want context.Canceled", err)
+	}
+	<-s.Context().Done()
+	s.Finish()
+}
+
+// TestParentDeadlinePropagates: the derived context carries the parent's
+// deadline, and its expiry fails the state.
+func TestParentDeadlinePropagates(t *testing.T) {
+	parent, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	var s State
+	s.Init(parent)
+	if _, ok := s.Context().Deadline(); !ok {
+		t.Fatal("derived context lost the parent deadline")
+	}
+	select {
+	case <-s.Context().Done():
+	case <-time.After(5 * time.Second):
+		t.Fatal("deadline never fired")
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for !s.Failed() {
+		if time.Now().After(deadline) {
+			t.Fatal("deadline expiry never failed the state")
+		}
+	}
+	if err := s.Err(); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Err = %v, want DeadlineExceeded", err)
+	}
+	s.Finish()
+}
+
+// TestPreCancelledParent: a parent already cancelled at Init pre-fails the
+// state.
+func TestPreCancelledParent(t *testing.T) {
+	parent, cancel := context.WithCancel(context.Background())
+	cancel()
+	var s State
+	s.Init(parent)
+	if !s.Failed() {
+		t.Fatal("state not pre-failed by cancelled parent")
+	}
+	if err := s.Finish(); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Finish = %v, want context.Canceled", err)
+	}
+}
+
+// TestPreFailedClosed: the rejected-submission shape — Init, Fail(ErrClosed),
+// Finish — yields a handle that reports ErrClosed everywhere.
+func TestPreFailedClosed(t *testing.T) {
+	var s State
+	s.Init(nil)
+	s.Fail(ErrClosed)
+	s.Finish()
+	if err := s.Wait(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Wait = %v, want ErrClosed", err)
+	}
+	if cause := context.Cause(s.Context()); !errors.Is(cause, ErrClosed) {
+		t.Fatalf("Cause = %v, want ErrClosed", cause)
+	}
+}
+
+// TestContextValuesFlow: values on the submission context reach the
+// domain's context.
+func TestContextValuesFlow(t *testing.T) {
+	type key struct{}
+	parent := context.WithValue(context.Background(), key{}, "v")
+	var s State
+	s.Init(parent)
+	defer s.Finish()
+	if got := s.Context().Value(key{}); got != "v" {
+		t.Fatalf("Value = %v, want v", got)
+	}
+}
+
+// TestCaptureStackAndUnwrap: Capture records the panic site's frames and
+// unwraps error values.
+func TestCaptureStackAndUnwrap(t *testing.T) {
+	sentinel := errors.New("sentinel")
+	var pe *PanicError
+	func() {
+		defer func() { pe = Capture(recover()) }()
+		panicSite(sentinel)
+	}()
+	if !strings.Contains(string(pe.Stack), "panicSite") {
+		t.Fatalf("stack lacks panic site:\n%s", pe.Stack)
+	}
+	if !errors.Is(pe, sentinel) {
+		t.Fatal("PanicError does not unwrap to the panic value")
+	}
+	if !strings.Contains(pe.Error(), "sentinel") {
+		t.Fatalf("Error() lacks the value: %s", pe.Error())
+	}
+}
+
+//go:noinline
+func panicSite(err error) { panic(err) }
+
+// TestConcurrentFailRace: many goroutines race Fail and Cancel; exactly one
+// error is recorded, everyone observes the same one, and Wait unblocks.
+func TestConcurrentFailRace(t *testing.T) {
+	var s State
+	s.Init(nil)
+	const n = 32
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if i%2 == 0 {
+				s.Fail(errors.New("racer"))
+			} else {
+				s.Cancel()
+			}
+		}()
+	}
+	wg.Wait()
+	first := s.Err()
+	if first == nil {
+		t.Fatal("no error recorded")
+	}
+	go s.Finish()
+	if err := s.Wait(); err != first {
+		t.Fatalf("Wait = %v, want %v", err, first)
+	}
+}
+
+// TestFinishRecordsParentCancelBeforeHook: the context tree cancels the
+// derived context before the AfterFunc records the failure; a domain that
+// completes in that window must still report the parent's error — Finish
+// closes the race by consulting the context before sealing.
+func TestFinishRecordsParentCancelBeforeHook(t *testing.T) {
+	parent, cancel := context.WithCancel(context.Background())
+	var s State
+	s.Init(parent)
+	cancel()
+	// Do not wait for s.Failed(): finish immediately, as a body that saw
+	// Context().Done() and returned would make the domain do.
+	<-s.Context().Done()
+	if err := s.Finish(); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Finish = %v, want context.Canceled", err)
+	}
+	if err := s.Wait(); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Wait = %v, want context.Canceled", err)
+	}
+}

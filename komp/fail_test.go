@@ -1,9 +1,12 @@
 package komp_test
 
 import (
+	"context"
 	"errors"
+	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"xkaapi"
 	"xkaapi/komp"
@@ -64,5 +67,73 @@ func TestParallelForReportsPanic(t *testing.T) {
 	var pe *xkaapi.PanicError
 	if !errors.As(err, &pe) || pe.Value != "boom-komp-for" {
 		t.Fatalf("ParallelFor = %v, want PanicError(boom-komp-for)", err)
+	}
+}
+
+// TestContextUnblocksOnSiblingPanic: a virtual thread parked on
+// TC.Context's Done channel is released the instant another virtual
+// thread of the same region panics — Proc.Context through the komp
+// mapping, since a virtual thread is an X-Kaapi task.
+func TestContextUnblocksOnSiblingPanic(t *testing.T) {
+	tm := komp.NewTeam(2)
+	defer tm.Close()
+	blocked := make(chan struct{})
+	err := tm.Parallel(func(tc *komp.TC) {
+		if tc.TID() == 1 {
+			close(blocked)
+			<-tc.Context().Done()
+			return
+		}
+		<-blocked // the other virtual thread is provably parked on Done
+		panic("boom-komp-ctx")
+	})
+	var pe *xkaapi.PanicError
+	if !errors.As(err, &pe) || pe.Value != "boom-komp-ctx" {
+		t.Fatalf("Parallel = %v, want PanicError(boom-komp-ctx)", err)
+	}
+}
+
+// TestParallelCtxDeadline: ParallelCtx fails the region's job at the
+// parent deadline; virtual threads observe it through TC.Context.
+func TestParallelCtxDeadline(t *testing.T) {
+	tm := komp.NewTeam(2)
+	defer tm.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	sawDeadline := false
+	err := tm.ParallelCtx(ctx, func(tc *komp.TC) {
+		if tc.TID() == 0 {
+			_, sawDeadline = tc.Context().Deadline()
+			<-tc.Context().Done()
+		}
+	})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("ParallelCtx = %v, want DeadlineExceeded", err)
+	}
+	if !sawDeadline {
+		t.Fatal("virtual thread did not observe the deadline via TC.Context")
+	}
+}
+
+// TestParallelForCtxCancelled: a cancelled context aborts the adaptive
+// worksharing loop instead of finishing the range.
+func TestParallelForCtxCancelled(t *testing.T) {
+	tm := komp.NewTeam(2)
+	defer tm.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	var chunks atomic.Int64
+	var once sync.Once
+	err := tm.ParallelForCtx(ctx, 0, 1<<30, func(_, lo, hi int) {
+		once.Do(cancel)
+		// The cancellation hook runs asynchronously; linger so the job
+		// fails while chunks remain, proving the loop stops claiming them.
+		time.Sleep(time.Millisecond)
+		chunks.Add(int64(hi - lo))
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("ParallelForCtx = %v, want context.Canceled", err)
+	}
+	if chunks.Load() >= 1<<30 {
+		t.Fatal("cancelled worksharing loop executed the whole range")
 	}
 }

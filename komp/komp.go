@@ -23,6 +23,7 @@
 package komp
 
 import (
+	"context"
 	"runtime"
 
 	"xkaapi"
@@ -62,6 +63,14 @@ func (tc *TC) TID() int { return tc.tid }
 // NumThreads returns the team size.
 func (tc *TC) NumThreads() int { return tc.team.p }
 
+// Context returns the region's job context — cancelled the instant the
+// region fails on any virtual thread (panic in SPMD code or an explicit
+// task), or when the ParallelCtx parent context is cancelled or times out.
+// Region code doing deadline-aware work selects on Context().Done(); this
+// is the komp mapping of the same Proc.Context every X-Kaapi task body
+// has, since a virtual thread is just a task.
+func (tc *TC) Context() context.Context { return tc.proc.Context() }
+
 // Parallel executes fn once per virtual thread (SPMD) and returns after
 // all of them — and every task they created — completed. Each virtual
 // thread is an X-Kaapi task, so an idle core steals whole threads as well
@@ -73,7 +82,16 @@ func (tc *TC) NumThreads() int { return tc.team.p }
 // region's remaining tasks are cancelled, and the pool survives for
 // further regions.
 func (tm *Team) Parallel(fn func(tc *TC)) error {
-	return tm.rt.Run(func(p *xkaapi.Proc) {
+	return tm.ParallelCtx(context.Background(), fn)
+}
+
+// ParallelCtx is Parallel bound to a context: cancelling ctx (or its
+// deadline expiring) fails the region's job, prunes the virtual threads
+// and tasks not yet started, and cancels the context every thread sees
+// through TC.Context. Unlike gomp — where a region owns the whole team —
+// a cancelled komp region frees its workers for other jobs immediately.
+func (tm *Team) ParallelCtx(ctx context.Context, fn func(tc *TC)) error {
+	return tm.rt.RunCtx(ctx, func(p *xkaapi.Proc) {
 		for tid := 1; tid < tm.p; tid++ {
 			tid := tid
 			p.Spawn(func(wp *xkaapi.Proc) {
@@ -112,7 +130,14 @@ func (tc *TC) Taskwait() { tc.proc.Sync() }
 // body receives the id of the X-Kaapi worker executing the chunk. A
 // panicking body aborts the loop and is reported as a *xkaapi.PanicError.
 func (tm *Team) ParallelFor(lo, hi int, body func(tid, lo, hi int)) error {
-	return tm.rt.Run(func(p *xkaapi.Proc) {
+	return tm.ParallelForCtx(context.Background(), lo, hi, body)
+}
+
+// ParallelForCtx is ParallelFor bound to a context: cancelling ctx (or its
+// deadline expiring) aborts the adaptive loop at the next grain boundary
+// and returns ctx's error, exactly like a body panic would.
+func (tm *Team) ParallelForCtx(ctx context.Context, lo, hi int, body func(tid, lo, hi int)) error {
+	return tm.rt.RunCtx(ctx, func(p *xkaapi.Proc) {
 		xkaapi.Foreach(p, lo, hi, func(wp *xkaapi.Proc, l, h int) {
 			body(wp.ID(), l, h)
 		})

@@ -1,9 +1,12 @@
 package par
 
 import (
+	"context"
 	"errors"
+	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"xkaapi"
 )
@@ -70,5 +73,66 @@ func TestForEachReportsPanic(t *testing.T) {
 	}
 	if sum.Load() != 499_500 {
 		t.Fatalf("sum = %d, want 499500", sum.Load())
+	}
+}
+
+// TestDoContextUnblocksOnSiblingPanic: a Do sibling parked on
+// Proc.Context's Done channel is released by another sibling's panic.
+func TestDoContextUnblocksOnSiblingPanic(t *testing.T) {
+	rt := xkaapi.New(xkaapi.WithWorkers(2), xkaapi.WithoutPinning())
+	defer rt.Close()
+	blocked := make(chan struct{})
+	err := Do(rt,
+		func(p *xkaapi.Proc) { // runs in the root body
+			<-blocked // the blocker sibling is provably parked on Done
+			panic("boom-do-ctx")
+		},
+		func(p *xkaapi.Proc) { // spawned sibling, stolen by the other worker
+			close(blocked)
+			<-p.Context().Done()
+		},
+	)
+	var pe *xkaapi.PanicError
+	if !errors.As(err, &pe) || pe.Value != "boom-do-ctx" {
+		t.Fatalf("Do = %v, want PanicError(boom-do-ctx)", err)
+	}
+}
+
+// TestDoCtxDeadline: DoCtx fails the whole sibling group at the parent
+// deadline, releasing siblings parked on the job context.
+func TestDoCtxDeadline(t *testing.T) {
+	rt := xkaapi.New(xkaapi.WithWorkers(2), xkaapi.WithoutPinning())
+	defer rt.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	err := DoCtx(ctx, rt,
+		func(p *xkaapi.Proc) { <-p.Context().Done() },
+		func(p *xkaapi.Proc) { <-p.Context().Done() },
+	)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("DoCtx = %v, want DeadlineExceeded", err)
+	}
+}
+
+// TestForEachCtxCancelled: cancelling the loop's context aborts it with
+// the context error instead of finishing the range.
+func TestForEachCtxCancelled(t *testing.T) {
+	rt := xkaapi.New(xkaapi.WithWorkers(2), xkaapi.WithoutPinning())
+	defer rt.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	var once sync.Once
+	var iters atomic.Int64
+	err := ForEachCtx(ctx, rt, 0, 1<<30, func(p *xkaapi.Proc, lo, hi int) {
+		once.Do(cancel)
+		// The cancellation hook runs asynchronously; linger per chunk so
+		// the job fails while most of the range is still unclaimed.
+		time.Sleep(time.Millisecond)
+		iters.Add(int64(hi - lo))
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("ForEachCtx = %v, want context.Canceled", err)
+	}
+	if iters.Load() >= 1<<30 {
+		t.Fatal("cancelled loop executed the entire range")
 	}
 }

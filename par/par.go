@@ -22,6 +22,7 @@
 package par
 
 import (
+	"context"
 	"sort"
 
 	"xkaapi"
@@ -36,13 +37,22 @@ import (
 // multiplex over rt's one worker pool, so concurrent clients do not need
 // private runtimes.
 func Do(rt *xkaapi.Runtime, fns ...func(*xkaapi.Proc)) error {
+	return DoCtx(context.Background(), rt, fns...)
+}
+
+// DoCtx is Do bound to a context: cancelling ctx (or its deadline
+// expiring) fails the job, prunes the siblings not yet started, and
+// cancels the context every sibling sees through Proc.Context — the same
+// signal a sibling panic fires — so long-running siblings can select on
+// it and return early.
+func DoCtx(ctx context.Context, rt *xkaapi.Runtime, fns ...func(*xkaapi.Proc)) error {
 	switch len(fns) {
 	case 0:
 		return nil
 	case 1:
-		return rt.Run(fns[0])
+		return rt.RunCtx(ctx, fns[0])
 	}
-	return rt.Run(func(p *xkaapi.Proc) {
+	return rt.RunCtx(ctx, func(p *xkaapi.Proc) {
 		for _, fn := range fns[1:] {
 			p.Spawn(fn)
 		}
@@ -56,7 +66,15 @@ func Do(rt *xkaapi.Runtime, fns ...func(*xkaapi.Proc)) error {
 // and surfaces as a *xkaapi.PanicError). Like Do it is safe to call from
 // any goroutine; concurrent loops share the pool.
 func ForEach(rt *xkaapi.Runtime, lo, hi int, body func(p *xkaapi.Proc, lo, hi int)) error {
-	return rt.Run(func(p *xkaapi.Proc) { xkaapi.Foreach(p, lo, hi, body) })
+	return ForEachCtx(context.Background(), rt, lo, hi, body)
+}
+
+// ForEachCtx is ForEach bound to a context: cancelling ctx (or its
+// deadline expiring) aborts the loop at the next grain boundary with ctx's
+// error; bodies doing per-chunk I/O can additionally take p.Context() for
+// intra-chunk deadline awareness.
+func ForEachCtx(ctx context.Context, rt *xkaapi.Runtime, lo, hi int, body func(p *xkaapi.Proc, lo, hi int)) error {
+	return rt.RunCtx(ctx, func(p *xkaapi.Proc) { xkaapi.Foreach(p, lo, hi, body) })
 }
 
 // Map applies f to every element of src, writing dst (which must have the

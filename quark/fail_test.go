@@ -1,9 +1,11 @@
 package quark
 
 import (
+	"context"
 	"errors"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"xkaapi"
 )
@@ -99,6 +101,69 @@ func TestMasterPanicReported(t *testing.T) {
 		var pe *PanicError
 		if !errors.As(err, &pe) || pe.Value != "boom-master" {
 			t.Fatalf("engine %v: Run = %v, want PanicError(boom-master)", eng, err)
+		}
+		q.Delete()
+	}
+}
+
+// ctxUnblock exercises one engine: task A parks on the run's context (via
+// InsertTaskCtx), task B — independent, no shared pointer — panics once A
+// is provably parked; A must unblock with the run's failure as the
+// context's cause and Run must report the panic.
+func ctxUnblock(t *testing.T, q *Quark) {
+	t.Helper()
+	var x, y int
+	blocked := make(chan struct{})
+	var sawErr error
+	err := q.Run(func(q *Quark) {
+		q.InsertTaskCtx(func(ctx context.Context) {
+			close(blocked)
+			<-ctx.Done()
+			sawErr = ctx.Err()
+		}, Arg{Ptr: &x, Flag: OUTPUT})
+		q.InsertTaskCtx(func(context.Context) {
+			<-blocked
+			panic("boom-quark-ctx")
+		}, Arg{Ptr: &y, Flag: OUTPUT})
+	})
+	var pe *PanicError
+	if !errors.As(err, &pe) || pe.Value != "boom-quark-ctx" {
+		t.Fatalf("Run = %v, want PanicError(boom-quark-ctx)", err)
+	}
+	if sawErr == nil {
+		t.Fatal("parked task body never observed the cancelled run context")
+	}
+}
+
+// TestNativeContextUnblocksOnSiblingPanic: the centralized engine.
+func TestNativeContextUnblocksOnSiblingPanic(t *testing.T) {
+	q := New(4, EngineNative)
+	defer q.Delete()
+	ctxUnblock(t, q)
+}
+
+// TestKaapiContextUnblocksOnSiblingPanic: the X-Kaapi engine.
+func TestKaapiContextUnblocksOnSiblingPanic(t *testing.T) {
+	q := New(4, EngineKaapi)
+	defer q.Delete()
+	ctxUnblock(t, q)
+}
+
+// TestRunCtxDeadline: a RunCtx deadline reaches task bodies on both
+// engines and fails the run with DeadlineExceeded.
+func TestRunCtxDeadline(t *testing.T) {
+	for _, eng := range []Engine{EngineNative, EngineKaapi} {
+		q := New(2, eng)
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+		var x int
+		err := q.RunCtx(ctx, func(q *Quark) {
+			q.InsertTaskCtx(func(tctx context.Context) {
+				<-tctx.Done() // released by the deadline
+			}, Arg{Ptr: &x, Flag: OUTPUT})
+		})
+		cancel()
+		if !errors.Is(err, context.DeadlineExceeded) {
+			t.Fatalf("engine %v: RunCtx = %v, want DeadlineExceeded", eng, err)
 		}
 		q.Delete()
 	}

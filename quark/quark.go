@@ -22,18 +22,21 @@
 package quark
 
 import (
+	"context"
 	"runtime"
-	"runtime/debug"
 	"sync"
 	"sync/atomic"
 
 	"xkaapi"
+	"xkaapi/internal/jobfail"
 )
 
-// PanicError is re-exported from the xkaapi runtime: both engines report a
-// panicking task (or master) through it, carrying the panic value and the
-// stack of the panic site.
-type PanicError = xkaapi.PanicError
+// PanicError is the module's one shared panic-failure type: both engines
+// report a panicking task (or master) through it, carrying the panic value
+// and the stack of the panic site.
+type (
+	PanicError = jobfail.PanicError
+)
 
 // Flag classifies a task argument, as in QUARK's quark_direction_t.
 type Flag int
@@ -138,23 +141,32 @@ func (q *Quark) Workers() int { return q.nw }
 // per insertion stream (NewOnRuntime makes contexts cheap) for parallel
 // clients.
 func (q *Quark) Run(master func(q *Quark)) error {
+	return q.RunCtx(nil, master)
+}
+
+// RunCtx is Run bound to a context: if ctx is cancelled (or its deadline
+// expires) before the run's tasks drain, the run fails with ctx's error
+// and tasks not yet started are cancelled — on both engines. Task bodies
+// inserted with InsertTaskCtx receive the run's derived context, cancelled
+// the instant the run fails for any reason, for deadline-aware kernels.
+func (q *Quark) RunCtx(ctx context.Context, master func(q *Quark)) error {
 	q.runMu.Lock()
 	defer q.runMu.Unlock()
 	switch q.engine {
 	case EngineNative:
-		q.nat.reset()
+		q.nat.reset(ctx)
 		func() {
 			defer func() {
 				if r := recover(); r != nil {
-					q.nat.fail(&PanicError{Value: r, Stack: debug.Stack()})
+					q.nat.fail(jobfail.Capture(r))
 				}
 			}()
 			master(q)
 		}()
 		q.Barrier()
-		return q.nat.firstErr()
+		return q.nat.finish()
 	case EngineKaapi:
-		return q.krt.Run(func(p *xkaapi.Proc) {
+		return q.krt.RunCtx(ctx, func(p *xkaapi.Proc) {
 			q.kproc = p
 			defer func() { q.kproc = nil }()
 			master(q)
@@ -169,6 +181,15 @@ func (q *Quark) Run(master func(q *Quark)) error {
 // from the flags (sequential consistency: the parallel execution computes
 // what the insertion order would).
 func (q *Quark) InsertTask(fn func(), args ...Arg) {
+	q.InsertTaskCtx(func(context.Context) { fn() }, args...)
+}
+
+// InsertTaskCtx is InsertTask for deadline-aware task bodies: fn receives
+// the run's context — cancelled the instant the run fails (a sibling task
+// panic, RunCtx cancellation or deadline) — so long kernels can select on
+// its Done channel or pass it to context-aware I/O instead of running to
+// completion after the run is already dead.
+func (q *Quark) InsertTaskCtx(fn func(ctx context.Context), args ...Arg) {
 	switch q.engine {
 	case EngineNative:
 		q.nat.insert(fn, args)
@@ -196,7 +217,7 @@ func (q *Quark) InsertTask(fn func(), args ...Arg) {
 			}
 			accs = append(accs, xkaapi.Access{Handle: h, Mode: m})
 		}
-		q.kproc.SpawnTask(func(*xkaapi.Proc) { fn() }, accs...)
+		q.kproc.SpawnTask(func(p *xkaapi.Proc) { fn(p.Context()) }, accs...)
 	}
 }
 
@@ -230,7 +251,7 @@ func (q *Quark) Delete() {
 
 // ntask is a task of the native engine.
 type ntask struct {
-	fn   func()
+	fn   func(ctx context.Context)
 	wait atomic.Int32
 
 	mu   sync.Mutex
@@ -260,43 +281,35 @@ type nativeSched struct {
 
 	fronts map[any]*frontier
 
-	failed atomic.Bool // a task panicked: skip bodies of the rest
-	errMu  sync.Mutex
-	err    error // first panic of the current Run
+	// st is the failure domain of the current Run — the shared
+	// jobfail.State machine (first panic/cancel wins, context fan-out) a
+	// fresh instance of which reset installs per Run. Workers read it only
+	// while tasks of that Run are in flight, and reset only runs while the
+	// scheduler is quiescent (Run holds runMu and ends with a Barrier), so
+	// the plain field is published through the ready-list mutex.
+	st *jobfail.State
 }
 
 // fail records the first failure of the current Run and cancels the bodies
 // of every task that has not started yet (dependency release and the
-// pending count still drain, so Barrier completes).
-func (s *nativeSched) fail(err error) {
-	s.errMu.Lock()
-	if s.err == nil {
-		s.err = err
-	}
-	s.errMu.Unlock()
-	s.failed.Store(true)
+// pending count still drain, so Barrier completes) plus the run's context.
+func (s *nativeSched) fail(err error) { s.st.Fail(err) }
+
+// reset installs a fresh failure domain for the next Run, bound to parent
+// (Background if nil); the scheduler must be quiescent.
+func (s *nativeSched) reset(parent context.Context) {
+	s.st = new(jobfail.State)
+	s.st.Init(parent)
 }
 
-// firstErr returns the failure of the current Run, if any.
-func (s *nativeSched) firstErr() error {
-	s.errMu.Lock()
-	defer s.errMu.Unlock()
-	return s.err
-}
-
-// reset clears the failure state between Runs; the context must be
-// quiescent (Run holds runMu and ends with a Barrier).
-func (s *nativeSched) reset() {
-	s.errMu.Lock()
-	s.err = nil
-	s.errMu.Unlock()
-	s.failed.Store(false)
-}
+// finish seals the current Run's failure domain and returns its error.
+func (s *nativeSched) finish() error { return s.st.Finish() }
 
 func newNativeSched(n int) *nativeSched {
 	s := &nativeSched{fronts: make(map[any]*frontier)}
 	s.cond = sync.NewCond(&s.mu)
 	s.barCond = sync.NewCond(&s.mu)
+	s.reset(nil) // placeholder domain until the first Run
 	for i := 0; i < n; i++ {
 		s.wg.Add(1)
 		go s.worker()
@@ -304,7 +317,7 @@ func newNativeSched(n int) *nativeSched {
 	return s
 }
 
-func (s *nativeSched) insert(fn func(), args []Arg) {
+func (s *nativeSched) insert(fn func(ctx context.Context), args []Arg) {
 	t := &ntask{fn: fn}
 	t.wait.Store(1) // creation bias
 	for _, a := range args {
@@ -378,7 +391,7 @@ func (s *nativeSched) worker() {
 
 		// A task of a failed run is cancelled: skip the body, but still
 		// release successors and repay the pending count below.
-		if !s.failed.Load() {
+		if !s.st.Failed() {
 			s.runTask(t)
 		}
 
@@ -402,13 +415,14 @@ func (s *nativeSched) worker() {
 
 // runTask executes t.fn behind a panic barrier: a panic fails the run and
 // cancels the tasks that have not started, instead of killing the worker.
+// The body receives the run's context for deadline-aware work.
 func (s *nativeSched) runTask(t *ntask) {
 	defer func() {
 		if r := recover(); r != nil {
-			s.fail(&PanicError{Value: r, Stack: debug.Stack()})
+			s.fail(jobfail.Capture(r))
 		}
 	}()
-	t.fn()
+	t.fn(s.st.Context())
 }
 
 func (s *nativeSched) barrier() {

@@ -11,11 +11,25 @@ import (
 	"xkaapi/internal/tile"
 )
 
+// fibCutoff is the subtree size above which fibTask consults the job
+// context before descending. ctx.Err is a mutex-guarded read of the one
+// shared job context, so the cutoff keeps it strictly off the fine-grain
+// hot path: only the coarse nodes (a vanishing fraction of the tree) pay
+// it, while a deadline still abandons a request within milliseconds.
+const fibCutoff = 16
+
 // fibTask is the paper's Fig. 1 fork-join recursion: one task per node.
+// Deadline-aware: coarse nodes check the per-job context (cancelled by the
+// request deadline, a client disconnect, or a sibling failure) and return
+// early instead of expanding a subtree the response can no longer use;
+// eager cancel at spawn prunes whatever was already enqueued.
 func fibTask(p *xkaapi.Proc, r *int64, n int) {
 	if n < 2 {
 		*r = int64(n)
 		return
+	}
+	if n >= fibCutoff && p.Context().Err() != nil {
+		return // job dead: leave *r partial, the handler reports the error
 	}
 	var a, b int64
 	p.Spawn(func(p *xkaapi.Proc) { fibTask(p, &a, n-1) })
@@ -101,7 +115,16 @@ func (s *Server) handleLoop(w http.ResponseWriter, r *http.Request) {
 	var sum atomic.Int64
 	start := time.Now()
 	job := s.rt.SubmitCtx(ctx, func(p *xkaapi.Proc) {
+		// The per-job context is cancelled by the request deadline, client
+		// disconnect or a panic anywhere in the job; checking it per chunk
+		// keeps a worker from summing a range the response can no longer
+		// use (the loop itself also stops claiming chunks once the job
+		// fails — this is the body-level half of cooperative cancel).
+		jctx := p.Context()
 		xkaapi.Foreach(p, 0, n, func(_ *xkaapi.Proc, lo, hi int) {
+			if jctx.Err() != nil {
+				return
+			}
 			s := int64(0)
 			for i := lo; i < hi; i++ {
 				s += int64(i)

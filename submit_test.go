@@ -4,6 +4,7 @@ import (
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"xkaapi"
 )
@@ -68,8 +69,18 @@ func TestConcurrentRunSharedPool(t *testing.T) {
 	}
 	wg.Wait()
 	rt.Wait()
-	s := rt.Stats()
-	if s.Spawned != s.Executed {
-		t.Fatalf("spawned=%d executed=%d", s.Spawned, s.Executed)
+	// Workers publish their batched spawn/execute counters as they go idle,
+	// which can trail Wait by a scheduling quantum; poll until the balance
+	// invariant closes.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		s := rt.Stats()
+		if s.Spawned == s.Executed {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("spawned=%d executed=%d", s.Spawned, s.Executed)
+		}
+		time.Sleep(time.Millisecond)
 	}
 }

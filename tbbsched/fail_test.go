@@ -1,10 +1,12 @@
 package tbbsched
 
 import (
+	"context"
 	"errors"
 	"strings"
 	"sync/atomic"
 	"testing"
+	"time"
 )
 
 // TestPanicInTask: a panic inside a spawned Task fails the job with a
@@ -87,5 +89,79 @@ func TestSubmitAfterCloseErrClosed(t *testing.T) {
 	}
 	if ran {
 		t.Fatal("rejected job's body ran")
+	}
+}
+
+// TestContextUnblocksOnSiblingPanic: a task body parked on Context.Ctx's
+// Done channel is released the instant a sibling task panics on another
+// worker — the shared failure state machine's fan-out, in the TBB
+// comparator.
+func TestContextUnblocksOnSiblingPanic(t *testing.T) {
+	s := NewScheduler(2)
+	defer s.Close()
+	blocked := make(chan struct{})
+	err := s.Run(func(c *Context) {
+		c.Spawn(FuncTask(func(c2 *Context) { // blocker: stolen from the front
+			close(blocked)
+			<-c2.Ctx().Done()
+		}))
+		c.Spawn(FuncTask(func(*Context) { // panicker: popped from the back
+			<-blocked
+			panic("boom-tbb-ctx")
+		}))
+		c.Wait()
+	})
+	var pe *PanicError
+	if !errors.As(err, &pe) || pe.Value != "boom-tbb-ctx" {
+		t.Fatalf("Run = %v, want PanicError(boom-tbb-ctx)", err)
+	}
+}
+
+// TestContextUnblocksOnCancel: external Job.Cancel releases a body parked
+// on the job context.
+func TestContextUnblocksOnCancel(t *testing.T) {
+	s := NewScheduler(1)
+	defer s.Close()
+	blocked := make(chan struct{})
+	j := s.Submit(FuncTask(func(c *Context) {
+		close(blocked)
+		<-c.Ctx().Done()
+	}))
+	<-blocked
+	j.Cancel()
+	if err := j.Wait(); !errors.Is(err, ErrCanceled) {
+		t.Fatalf("Wait = %v, want ErrCanceled", err)
+	}
+}
+
+// TestSubmitCtxDeadline: the submission deadline reaches Execute bodies
+// through Context.Ctx and fails the job with DeadlineExceeded.
+func TestSubmitCtxDeadline(t *testing.T) {
+	s := NewScheduler(2)
+	defer s.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	sawDeadline := false
+	err := s.SubmitCtx(ctx, FuncTask(func(c *Context) {
+		_, sawDeadline = c.Ctx().Deadline()
+		<-c.Ctx().Done()
+	})).Wait()
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Wait = %v, want DeadlineExceeded", err)
+	}
+	if !sawDeadline {
+		t.Fatal("body did not observe the submission deadline via Context.Ctx")
+	}
+}
+
+// TestSubmitCtxAfterCloseReportsErrClosed: rejection beats a cancelled
+// submission context — the shutdown signal stays ErrClosed.
+func TestSubmitCtxAfterCloseReportsErrClosed(t *testing.T) {
+	s := NewScheduler(1)
+	s.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := s.SubmitCtx(ctx, FuncTask(func(*Context) {})).Wait(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Wait = %v, want ErrClosed", err)
 	}
 }

@@ -13,44 +13,33 @@
 package tbbsched
 
 import (
-	"errors"
-	"fmt"
+	"context"
 	"runtime"
-	"runtime/debug"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"xkaapi/internal/jobfail"
 )
 
 // ErrClosed is the error of a job rejected because the scheduler was
 // already closing: Submit after Close returns a pre-failed Job instead of
 // panicking.
-var ErrClosed = errors.New("tbbsched: scheduler closed")
+var ErrClosed = jobfail.ErrClosed
 
 // ErrCanceled is the failure of a job abandoned with Job.Cancel. It mirrors
 // TBB's task-group cancellation: queued tasks of the group are skipped.
-var ErrCanceled = errors.New("tbbsched: job canceled")
+var ErrCanceled = jobfail.ErrCanceled
 
 // PanicError is the error a job fails with when a task body panics — the
 // analogue of TBB capturing an exception in task::execute and rethrowing it
-// from wait_for_all, except the first panic is reported as an error.
-type PanicError struct {
-	Value any    // the value the body panicked with
-	Stack []byte // goroutine stack captured at recovery
-}
-
-// Error formats the panic value followed by the captured stack.
-func (e *PanicError) Error() string {
-	return fmt.Sprintf("tbbsched: task panicked: %v\n\n%s", e.Value, e.Stack)
-}
-
-// Unwrap exposes the panic value when it was itself an error.
-func (e *PanicError) Unwrap() error {
-	if err, ok := e.Value.(error); ok {
-		return err
-	}
-	return nil
-}
+// from wait_for_all, except the first panic is reported as an error. It is
+// an alias of the one shared definition in internal/jobfail: the per-task
+// cost model of this comparator is intentionally TBB's, the failure
+// protocol is the module's single state machine.
+type (
+	PanicError = jobfail.PanicError
+)
 
 // Task is the unit of work, dispatched through an interface as in TBB.
 type Task interface {
@@ -76,51 +65,33 @@ type node struct {
 // fails when one of its task bodies panics (recorded as a *PanicError,
 // first panic wins) or when it is cancelled; a failed job's queued tasks
 // are skipped while the reference counting still drains, so the job always
-// completes.
+// completes. The failure state machine is the shared jobfail.State.
 type Job struct {
-	done chan struct{}
-
-	failed atomic.Bool
-	mu     sync.Mutex
-	err    error
-	sealed bool
+	st jobfail.State
 }
 
 // Wait blocks until the job's task tree has fully drained, then returns
 // the job's error: nil on success, a *PanicError if a body panicked,
 // ErrCanceled after Cancel, or ErrClosed for a rejected submission. Call
 // it only from outside the pool.
-func (j *Job) Wait() error {
-	<-j.done
-	return j.Err()
-}
+func (j *Job) Wait() error { return j.st.Wait() }
 
 // Err returns the job's failure without blocking: nil while the job is
 // healthy, otherwise the first recorded error.
-func (j *Job) Err() error {
-	j.mu.Lock()
-	err := j.err
-	j.mu.Unlock()
-	return err
-}
+func (j *Job) Err() error { return j.st.Err() }
 
 // Cancel abandons the job: tasks that have not started are skipped and
-// Wait returns ErrCanceled. Bodies already running finish normally.
-func (j *Job) Cancel() { j.fail(ErrCanceled) }
+// Wait returns ErrCanceled. Bodies already running finish normally (or
+// return early by watching Context.Ctx).
+func (j *Job) Cancel() { j.st.Cancel() }
+
+// Context returns the job's context, cancelled the instant the job fails
+// or is cancelled; see Context.Ctx for use inside task bodies.
+func (j *Job) Context() context.Context { return j.st.Context() }
 
 // fail records the first failure; later ones and post-completion ones are
 // ignored.
-func (j *Job) fail(err error) {
-	if err == nil {
-		return
-	}
-	j.mu.Lock()
-	if j.err == nil && !j.sealed {
-		j.err = err
-		j.failed.Store(true)
-	}
-	j.mu.Unlock()
-}
+func (j *Job) fail(err error) { j.st.Fail(err) }
 
 // Scheduler owns the worker pool. Root task trees may be submitted
 // concurrently from any goroutines and share the same workers.
@@ -207,24 +178,40 @@ func (s *Scheduler) Run(root func(c *Context)) error {
 	return s.Submit(FuncTask(root)).Wait()
 }
 
+// RunCtx is Run bound to a context: if ctx is cancelled before the tree
+// completes, the job fails with ctx's error and its queued tasks are
+// skipped.
+func (s *Scheduler) RunCtx(ctx context.Context, root func(c *Context)) error {
+	return s.SubmitCtx(ctx, FuncTask(root)).Wait()
+}
+
 // Submit enqueues t as an independent root task tree and returns its handle
 // without waiting. Any goroutine outside the pool may call it concurrently;
 // roots are claimed by idle workers from an MPSC inbox. Submitting to a
 // closed scheduler returns a pre-failed Job with ErrClosed instead of
 // panicking.
 func (s *Scheduler) Submit(t Task) *Job {
-	j := &Job{done: make(chan struct{})}
+	return s.SubmitCtx(nil, t)
+}
+
+// SubmitCtx is Submit bound to a context: cancelling ctx (or its deadline
+// expiring) fails the job, skips its queued tasks, and cancels the job
+// context every task body sees through Context.Ctx.
+func (s *Scheduler) SubmitCtx(ctx context.Context, t Task) *Job {
+	j := &Job{}
 	s.jobsMu.Lock()
 	if s.closing {
 		s.jobsMu.Unlock()
-		j.err = ErrClosed
-		j.failed.Store(true)
-		j.sealed = true
-		close(j.done)
+		// Init without the parent: rejection reports ErrClosed even when
+		// ctx is already cancelled (first error wins).
+		j.st.Init(nil)
+		j.st.Fail(ErrClosed)
+		j.st.Finish()
 		return j
 	}
 	s.jobsLive++
 	s.jobsMu.Unlock()
+	j.st.Init(ctx)
 	s.inboxMu.Lock()
 	s.inboxQ = append(s.inboxQ, &node{t: t, job: j, root: true})
 	s.inboxN.Add(1)
@@ -257,6 +244,18 @@ func (s *Scheduler) takeSubmitted() *node {
 
 // ID returns the worker index.
 func (c *Context) ID() int { return c.id }
+
+// Ctx returns the context of the job the current task belongs to,
+// cancelled the instant the job fails (sibling panic), is cancelled, or
+// its submission context expires. Long-running Execute bodies select on
+// Ctx().Done() for prompt cooperative cancellation. Outside any job it
+// returns context.Background().
+func (c *Context) Ctx() context.Context {
+	if c.cur != nil && c.cur.job != nil {
+		return c.cur.job.Context()
+	}
+	return context.Background()
+}
 
 // Spawn allocates a child task of the current task and enqueues it.
 func (c *Context) Spawn(t Task) {
@@ -297,7 +296,7 @@ func (c *Context) execute(n *node) {
 	c.cur = n
 	// A node whose job already failed is cancelled: the body is skipped
 	// but the reference counting still drains.
-	if n.job == nil || !n.job.failed.Load() {
+	if n.job == nil || !n.job.st.Failed() {
 		c.runBody(n)
 	}
 	// Implicit wait_for_all: a task is not complete until its subtree is.
@@ -319,11 +318,7 @@ func (c *Context) execute(n *node) {
 		n.parent.refs.Add(-1)
 	}
 	if n.root {
-		j := n.job
-		j.mu.Lock()
-		j.sealed = true
-		j.mu.Unlock()
-		close(j.done)
+		n.job.st.Finish()
 		s := c.sched
 		s.jobsMu.Lock()
 		s.jobsLive--
@@ -343,7 +338,7 @@ func (c *Context) runBody(n *node) {
 			if n.job == nil {
 				panic(r) // no handle to report on
 			}
-			n.job.fail(&PanicError{Value: r, Stack: debug.Stack()})
+			n.job.fail(jobfail.Capture(r))
 		}
 	}()
 	n.t.Execute(c)

@@ -63,11 +63,40 @@
 //
 // Jobs can also be abandoned: SubmitCtx binds a job to a context
 // (cancellation fails the job with the context's error and stops scheduling
-// its tasks), Job.Cancel does the same with ErrCanceled. Cancellation is
-// cooperative for bodies already running — poll Proc.JobFailed from long
-// loops. Submitting to a closed runtime no longer panics: it returns a
-// pre-failed Job whose Wait reports ErrClosed. CloseErr is Close plus a
-// summary error if any job failed over the runtime's lifetime.
+// its tasks), Job.Cancel does the same with ErrCanceled. Submitting to a
+// closed runtime no longer panics: it returns a pre-failed Job whose Wait
+// reports ErrClosed. CloseErr is Close plus a summary error if any job
+// failed over the runtime's lifetime.
+//
+// This whole protocol — panic capture, first-error-wins, cancellation
+// fan-out, pre-failed jobs, the Spawned == Executed + Cancelled drain
+// invariant — is one state machine, defined once in internal/jobfail and
+// embedded by every scheduler in this module: the X-Kaapi runtime here and
+// the cilk, tbbsched, gomp and quark comparator packages. The comparators
+// differ from X-Kaapi in scheduling cost on purpose; they never differ in
+// failure semantics.
+//
+// # Deadline-aware task bodies
+//
+// Cancellation is cooperative for bodies already running, and every task
+// body can see it coming: Proc.Context returns a per-job context, derived
+// from the SubmitCtx submission context (Background for Submit), that is
+// cancelled — with the failure as cause — the instant the job fails for
+// any reason: a sibling's panic, Job.Cancel, or the submission context's
+// deadline or disconnect. Long kernels select on it, and context-aware
+// I/O can take it directly:
+//
+//	rt.SubmitCtx(ctx, func(p *xkaapi.Proc) {
+//	    for _, block := range blocks {
+//	        if p.Context().Err() != nil {
+//	            return // job failed or deadline hit: stop early
+//	        }
+//	        process(block)
+//	    }
+//	})
+//
+// Proc.JobFailed remains as the cheaper flag-poll for tight loops that
+// cannot afford a context check per iteration.
 //
 // # Serving jobs over HTTP
 //
@@ -107,12 +136,16 @@ var ErrCanceled = core.ErrCanceled
 // PanicError is the error a job fails with when one of its task bodies
 // panics; it carries the panic value and the stack captured at the panic
 // site, and unwraps to the value when the body panicked with an error.
-type PanicError = core.PanicError
+// It is an alias of the module's one shared definition (internal/jobfail),
+// so a PanicError from cilk, tbbsched, gomp or quark is the same type.
+type (
+	PanicError = core.PanicError
+)
 
 // Proc is the execution context handed to every task body: spawning,
 // syncing and parallel loops are methods on it. See the methods of the
-// underlying scheduler worker: Spawn, SpawnTask, Sync, ForEach, ID,
-// NumWorkers.
+// underlying scheduler worker: Spawn, SpawnTask, Sync, ForEach, Context,
+// ID, NumWorkers.
 type Proc = core.Worker
 
 // Handle identifies a shared memory region for dataflow synchronization.
@@ -201,8 +234,9 @@ type Runtime struct {
 // Job is the completion handle of one submitted root job. Wait returns the
 // job's error (nil, *PanicError, a context error, ErrCanceled or
 // ErrClosed), Err peeks without blocking, Cancel abandons the job's
-// not-yet-started tasks, Stats returns the job's own task outcome counters.
-// See Runtime.Submit and Runtime.SubmitCtx.
+// not-yet-started tasks, Context returns the per-job context task bodies
+// see through Proc.Context, Stats returns the job's own task outcome
+// counters. See Runtime.Submit and Runtime.SubmitCtx.
 type Job = core.Job
 
 // JobStats is the per-job attribution of the scheduler's task outcome
