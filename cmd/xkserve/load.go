@@ -7,6 +7,7 @@ import (
 	"io"
 	"net/http"
 	"os"
+	"sort"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -77,6 +78,9 @@ func runLoad(args []string) int {
 	burst := fs.Int("burst", 0, "fire N simultaneous cholesky requests first (backpressure probe)")
 	expectDrain := fs.Bool("expect-drain", false, "tolerate 503s/connection errors as a graceful mid-load server drain")
 	expect429 := fs.Bool("expect-429", false, "fail unless the burst phase observed at least one 429")
+	fibBurst := fs.Int("fib-burst", 0, "fire N simultaneous /fib requests with no retry (queued-admission SLO probe)")
+	burstSLO := fs.Duration("burst-slo", 5*time.Second, "per-request completion SLO for -fib-burst")
+	burstMinOK := fs.Float64("burst-min-ok", 0.9, "minimum fraction of -fib-burst requests that must answer 200 within the SLO")
 	wait := fs.Duration("wait", 10*time.Second, "how long to wait for the server to become healthy")
 	fs.Parse(args)
 
@@ -93,6 +97,12 @@ func runLoad(args []string) int {
 			*burst, observed429)
 		if *expect429 && observed429 == 0 {
 			fmt.Fprintln(os.Stderr, "xkserve load: burst saw no 429 — backpressure not engaging")
+			return 1
+		}
+	}
+
+	if *fibBurst > 0 {
+		if !runFibBurst(*addr, *fibBurst, *fibN, *burstSLO, *burstMinOK, &lt) {
 			return 1
 		}
 	}
@@ -152,6 +162,92 @@ func runLoad(args []string) int {
 	}
 	fmt.Println("xkserve load: all completed requests verified")
 	return 0
+}
+
+// runFibBurst is the queued-admission SLO probe: it fires n simultaneous
+// /fib requests with NO retry — before the admission queue, anything past
+// the in-flight budget came back as an instant 429 — and requires at least
+// minOK of them to answer a verified 200 within slo. A queued server
+// absorbs the whole burst (modulo its queue bound): waiting a few
+// milliseconds for a slot, and riding a coalesced batch job, converts
+// would-be 429s into completed responses. The probe prints the latency
+// spread so the queue/batch knobs are tuned against numbers, not guesses.
+func runFibBurst(addr string, n, fibN int, slo time.Duration, minOK float64, lt *loadTally) bool {
+	url := fmt.Sprintf("%s/fib?n=%d&timeout=%s", addr, fibN, slo)
+	want := server.FibSeq(fibN)
+	type burstOut struct {
+		status  int
+		ok      bool
+		elapsed time.Duration
+	}
+	outs := make([]burstOut, n)
+	var wg sync.WaitGroup
+	var release sync.WaitGroup
+	release.Add(1)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			release.Wait() // line everybody up for a genuinely simultaneous burst
+			start := time.Now()
+			resp, err := http.Get(url)
+			if err != nil {
+				outs[i] = burstOut{status: -1}
+				return
+			}
+			var rep loadReply
+			decodeOK := json.NewDecoder(resp.Body).Decode(&rep) == nil
+			resp.Body.Close()
+			outs[i] = burstOut{
+				status:  resp.StatusCode,
+				ok:      decodeOK && rep.OK && rep.Result == want,
+				elapsed: time.Since(start),
+			}
+		}(i)
+	}
+	release.Done()
+	wg.Wait()
+
+	within, rejected, other := 0, 0, 0
+	var durs []time.Duration
+	for _, o := range outs {
+		switch {
+		case o.status == http.StatusOK && o.ok:
+			durs = append(durs, o.elapsed)
+			lt.okBy[loadKindFib].Add(1)
+			if o.elapsed <= slo {
+				within++
+			}
+		case o.status == http.StatusOK:
+			lt.bad.Add(1)
+		case o.status == http.StatusTooManyRequests:
+			rejected++
+		default:
+			other++
+		}
+	}
+	sort.Slice(durs, func(i, j int) bool { return durs[i] < durs[j] })
+	pct := func(q float64) time.Duration {
+		if len(durs) == 0 {
+			return 0
+		}
+		i := int(q * float64(len(durs)-1))
+		return durs[i]
+	}
+	frac := float64(within) / float64(n)
+	fmt.Printf("xkserve load: fib burst of %d simultaneous requests: %d ok within %v SLO (%.0f%%), %d x 429, %d other\n",
+		n, within, slo, 100*frac, rejected, other)
+	if len(durs) > 0 {
+		fmt.Printf("  burst latency p50=%v p99=%v max=%v\n",
+			pct(0.50).Round(time.Millisecond), pct(0.99).Round(time.Millisecond),
+			durs[len(durs)-1].Round(time.Millisecond))
+	}
+	if frac < minOK {
+		fmt.Fprintf(os.Stderr, "xkserve load: FAILED: fib burst completed %.0f%% within SLO, want >= %.0f%% — queued admission is not absorbing the burst\n",
+			100*frac, 100*minOK)
+		return false
+	}
+	return true
 }
 
 // waitHealthy polls /healthz until it answers 200 or the budget elapses.

@@ -24,6 +24,9 @@ func runServe(args []string) int {
 	addr := fs.String("addr", ":8080", "listen address")
 	workers := fs.Int("workers", runtime.GOMAXPROCS(0), "worker threads in the shared pool")
 	budget := fs.Int("budget", 0, "max in-flight jobs (0 = 2x workers)")
+	queue := fs.Int("queue", 0, "admission queue depth: requests beyond the budget wait here under their deadline (0 = 4x budget, -1 = no queue)")
+	batchWindow := fs.Duration("batch-window", 0, "coalescing window for /fib and /loop (0 = 500µs default, -1ns = no batching)")
+	batchMax := fs.Int("batch-max", 0, "max requests folded into one batched job (0 = 8)")
 	timeout := fs.Duration("timeout", 30*time.Second, "default per-request deadline (0 = none)")
 	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "max time to wait for in-flight requests on shutdown")
 	maxFib := fs.Int("max-fib", 0, "cap on fib request size (0 = default)")
@@ -35,6 +38,9 @@ func runServe(args []string) int {
 	srv := server.New(server.Config{
 		Runtime:        rt,
 		Budget:         *budget,
+		QueueDepth:     *queue,
+		BatchWindow:    *batchWindow,
+		BatchMax:       *batchMax,
 		DefaultTimeout: *timeout,
 		MaxFib:         *maxFib,
 		MaxLoop:        *maxLoop,
@@ -47,8 +53,8 @@ func runServe(args []string) int {
 
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.ListenAndServe() }()
-	fmt.Printf("xkserve: serving on %s (%d workers, budget %d, default timeout %v)\n",
-		*addr, rt.Workers(), srv.Budget(), *timeout)
+	fmt.Printf("xkserve: serving on %s (%d workers, budget %d, queue %d, default timeout %v)\n",
+		*addr, rt.Workers(), srv.Budget(), srv.QueueCap(), *timeout)
 
 	select {
 	case <-ctx.Done():
@@ -74,6 +80,7 @@ func runServe(args []string) int {
 		fmt.Fprintf(os.Stderr, "xkserve: shutdown incomplete: %v\n", err)
 		clean = false
 	}
+	srv.Close() // no handler can submit anymore: stop the batch collectors
 	if err := rt.Wait(); err != nil {
 		// Failures here were already reported per request; jobs failing
 		// with cancellation during a drain are expected, anything else is

@@ -2,13 +2,19 @@
 # Integration tier: the xkserve serve/load pipeline over real HTTP.
 #
 # Phase 1 runs the verified mixed workload (fib fork-join + adaptive loop +
-# Cholesky dataflow) plus an over-budget burst that must be answered with
-# 429s. Phase 2 asserts /stats publishes live task counters: while /loop
-# requests are in flight, the scheduler's Executed count must advance (the
-# per-worker counters are padded atomics, so mid-flight reads are exact and
-# race-free). Phase 3 SIGTERMs the server mid-load: it must drain in-flight
-# jobs and exit 0 with balanced scheduler counters (spawned == executed +
-# cancelled), while the load generator tolerates the drain.
+# Cholesky dataflow) plus an over-capacity burst that must be answered with
+# 429s once budget AND admission queue are full. Phase 2 is the burst-SLO
+# probe: a 4x-budget burst of simultaneous /fib requests, fired with no
+# retry, must complete >= 90% as verified 200s within the SLO — the
+# admission queue (plus request coalescing) converts what used to be
+# instant 429s into completed responses — and /stats must publish the
+# per-endpoint latency quantiles. Phase 3 asserts /stats publishes live
+# task counters: while /loop requests are in flight, the scheduler's
+# Executed count must advance (the per-worker counters are padded atomics,
+# so mid-flight reads are exact and race-free). Phase 4 SIGTERMs the server
+# mid-load: it must drain in-flight jobs and exit 0 with balanced scheduler
+# counters (spawned == executed + cancelled), while the load generator
+# tolerates the drain.
 set -eu
 
 ADDR=127.0.0.1:18097
@@ -22,9 +28,27 @@ go build -o "$BIN" ./cmd/xkserve
 SERVE_PID=$!
 trap 'kill "$SERVE_PID" 2>/dev/null || true' EXIT
 
-echo "== integration: mixed workload + backpressure burst"
+# Budget 4, queue 16 (the 4x default): a cholesky burst of 24 overflows
+# both (4 running + 16 queued) and must see 429s for the remainder.
+echo "== integration: mixed workload + over-capacity backpressure burst"
 "$BIN" load -addr "http://$ADDR" -clients 6 -jobs 12 \
-	-fib 20 -loop 100000 -chol 128 -nb 32 -burst 16 -expect-429
+	-fib 20 -loop 100000 -chol 128 -nb 32 -burst 24 -expect-429
+
+# 4x-budget simultaneous /fib requests, no retry: the admission queue must
+# absorb the whole burst (16 = 4 slots + 12 of the 16 queue places) within
+# the SLO, where the pre-queue server answered instant 429s.
+echo "== integration: queued admission absorbs a 4x-budget fib burst within SLO"
+"$BIN" load -addr "http://$ADDR" -clients 0 -jobs 0 \
+	-fib 24 -fib-burst 16 -burst-slo 10s -burst-min-ok 0.9
+
+echo "== integration: /stats publishes per-endpoint latency quantiles + queue histograms"
+STATS=$(curl -s "http://$ADDR/stats")
+for key in p50_ns p99_ns queue_wait queue_depth server_cancelled; do
+	if ! printf '%s' "$STATS" | grep -q "\"$key\""; then
+		echo "integration: /stats missing $key" >&2
+		exit 1
+	fi
+done
 
 echo "== integration: /stats must publish live executed counts mid-flight"
 # The scheduler's Executed counter in /stats (the only "Executed" key in the

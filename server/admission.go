@@ -1,0 +1,173 @@
+package server
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// admitCode is the outcome of one admission attempt.
+type admitCode int
+
+const (
+	// admitOK: a budget slot was granted; the caller must release() it.
+	admitOK admitCode = iota
+	// admitDraining: the server is draining; refuse with 503.
+	admitDraining
+	// admitQueueFull: budget and queue both exhausted; refuse with 429.
+	admitQueueFull
+	// admitDeadline: the request deadline expired while queued; 504.
+	admitDeadline
+	// admitDisconnect: the request context was cancelled (client gone or
+	// handler chain torn down) while queued; 499.
+	admitDisconnect
+)
+
+// waiter is one request parked in the admission queue. All fields are
+// guarded by the owning admitQueue's mutex except grant, which is a
+// buffered channel written exactly once, under that mutex, when the
+// waiter's outcome is decided.
+type waiter struct {
+	grant   chan admitCode // buffered(1): decided outcome
+	decided bool           // an outcome was sent on grant
+	code    admitCode      // the outcome sent (valid when decided)
+	gone    bool           // the waiting handler gave up (ctx died first)
+}
+
+// admitQueue is the server's admission control: a fixed budget of in-flight
+// slots fronted by a bounded FIFO queue. A request that misses a free slot
+// waits in the queue under its own context; release hands the freed slot
+// directly to the oldest live waiter (FIFO, no thundering herd), and only a
+// full queue is refused outright.
+//
+// Every transition — grant, refusal, drain, abandon — happens under one
+// mutex, which is what closes the historical StartDrain/admit race: a
+// request could previously pass the atomic draining check and then win a
+// budget slot after drain had begun. Here startDrain flips the flag and
+// flushes the queue in the same critical section grants use, so once
+// startDrain returns, no acquire can ever return admitOK again.
+type admitQueue struct {
+	mu       sync.Mutex
+	free     int // unheld budget slots
+	budget   int
+	maxQueue int // bound on queued waiters; 0 disables queueing
+	waiters  []*waiter
+	queued   int // live (non-abandoned) waiters, <= maxQueue
+	draining bool
+}
+
+func newAdmitQueue(budget, maxQueue int) *admitQueue {
+	return &admitQueue{free: budget, budget: budget, maxQueue: maxQueue}
+}
+
+// acquire obtains a budget slot for one request, queueing under ctx when
+// the budget is busy. It returns the outcome and, for requests that
+// queued, the time spent waiting (queued reports whether it waited at
+// all, so zero-wait grants and queue-path grants are distinguishable).
+func (q *admitQueue) acquire(ctx context.Context) (code admitCode, wait time.Duration, queued bool) {
+	q.mu.Lock()
+	if q.draining {
+		q.mu.Unlock()
+		return admitDraining, 0, false
+	}
+	if q.free > 0 {
+		q.free--
+		q.mu.Unlock()
+		return admitOK, 0, false
+	}
+	if q.queued >= q.maxQueue {
+		q.mu.Unlock()
+		return admitQueueFull, 0, false
+	}
+	w := &waiter{grant: make(chan admitCode, 1)}
+	q.waiters = append(q.waiters, w)
+	q.queued++
+	q.mu.Unlock()
+
+	start := time.Now()
+	select {
+	case code = <-w.grant:
+		return code, time.Since(start), true
+	case <-ctx.Done():
+	}
+	// The context died while queued — but a grant may have been decided
+	// concurrently. Settle under the lock: either mark the waiter gone
+	// (release will skip it) or, if a slot was already handed to it, pass
+	// that slot on so it is not leaked.
+	q.mu.Lock()
+	if w.decided {
+		if w.code == admitOK {
+			q.releaseLocked()
+		}
+		q.mu.Unlock()
+		// The slot was granted before the caller could observe it; the
+		// request still reports its context outcome (it can no longer use
+		// the slot — its deadline is gone).
+	} else {
+		w.gone = true
+		q.queued--
+		q.mu.Unlock()
+	}
+	if ctx.Err() == context.DeadlineExceeded {
+		return admitDeadline, time.Since(start), true
+	}
+	return admitDisconnect, time.Since(start), true
+}
+
+// release returns one slot: to the oldest live waiter if any (FIFO
+// handoff), otherwise back to the free pool.
+func (q *admitQueue) release() {
+	q.mu.Lock()
+	q.releaseLocked()
+	q.mu.Unlock()
+}
+
+func (q *admitQueue) releaseLocked() {
+	for len(q.waiters) > 0 {
+		w := q.waiters[0]
+		q.waiters[0] = nil
+		q.waiters = q.waiters[1:]
+		if w.gone {
+			continue // abandoned while queued: skip
+		}
+		w.decided, w.code = true, admitOK
+		q.queued--
+		w.grant <- admitOK
+		return
+	}
+	q.free++
+}
+
+// startDrain atomically switches to draining and refuses every queued
+// waiter. Grants and the draining flag share the mutex, so after
+// startDrain returns no acquire — racing or future — can be admitted.
+func (q *admitQueue) startDrain() {
+	q.mu.Lock()
+	q.draining = true
+	for _, w := range q.waiters {
+		if w == nil || w.gone || w.decided {
+			continue
+		}
+		w.decided, w.code = true, admitDraining
+		q.queued--
+		w.grant <- admitDraining
+	}
+	q.waiters = nil
+	q.mu.Unlock()
+}
+
+// inFlight is the number of budget slots currently held.
+func (q *admitQueue) inFlight() int {
+	q.mu.Lock()
+	n := q.budget - q.free
+	q.mu.Unlock()
+	return n
+}
+
+// depth is the number of requests currently waiting in the queue.
+func (q *admitQueue) depth() int {
+	q.mu.Lock()
+	n := q.queued
+	q.mu.Unlock()
+	return n
+}

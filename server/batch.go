@@ -1,0 +1,213 @@
+package server
+
+import (
+	"context"
+	"sync/atomic"
+	"time"
+
+	"xkaapi"
+)
+
+// batchItem carries one admitted request into a batcher: its problem size,
+// its request context (checked before the item's subtree is spawned, so a
+// dead request costs the batch nothing), and the channel its sub-result
+// comes back on. done is buffered, so result delivery never blocks on a
+// handler that already gave up.
+type batchItem struct {
+	n    int
+	ctx  context.Context
+	done chan batchResult
+}
+
+// batchResult is one item's share of a completed batch job.
+type batchResult struct {
+	result int64           // the item's sub-result
+	size   int             // how many requests rode this batch
+	stats  xkaapi.JobStats // the whole batch job's task counters
+	err    error           // the batch job's error, if it failed
+}
+
+// batcher coalesces concurrent small-job requests into one batched root
+// job, in the channel-fed count-or-timeout style: the collector goroutine
+// takes the first item, gathers whatever else is already pending plus
+// anything arriving within the window (up to max items), and hands the
+// batch to run. run dispatches the batch job asynchronously, so collection
+// never stalls behind execution — while one batch computes, the next one
+// fills.
+//
+// The point is amortization: N requests in a window become one SubmitCtx —
+// one job allocation, one inbox transit, one failure domain, one context
+// registration — with one fan-out spawning N sub-tasks that the scheduler
+// load-balances like any other task tree. Per-request overhead that PR 3
+// paid N times is paid once per batch.
+type batcher struct {
+	ch     chan *batchItem
+	stop   chan struct{}
+	window time.Duration
+	max    int
+	run    func([]*batchItem)
+}
+
+func newBatcher(window time.Duration, max int, run func([]*batchItem)) *batcher {
+	b := &batcher{
+		ch:     make(chan *batchItem, 2*max),
+		stop:   make(chan struct{}),
+		window: window,
+		max:    max,
+		run:    run,
+	}
+	go b.loop()
+	return b
+}
+
+// submit hands an item to the collector. It reports false if the batcher
+// is stopped or the item's context dies first; the caller then falls back
+// to the direct one-job-per-request path.
+func (b *batcher) submit(it *batchItem) bool {
+	select {
+	case b.ch <- it:
+		return true
+	case <-it.ctx.Done():
+		return false
+	case <-b.stop:
+		return false
+	}
+}
+
+// close stops the collector. Items already collected are still dispatched;
+// close is only called once no handler can submit anymore (after drain, or
+// after the test server is torn down).
+func (b *batcher) close() { close(b.stop) }
+
+func (b *batcher) loop() {
+	for {
+		select {
+		case <-b.stop:
+			return
+		case first := <-b.ch:
+			b.run(b.fill([]*batchItem{first}))
+		}
+	}
+}
+
+// fill gathers items for one batch: everything already pending, then
+// whatever arrives within the window, capped at max.
+func (b *batcher) fill(items []*batchItem) []*batchItem {
+	for len(items) < b.max {
+		select {
+		case it := <-b.ch:
+			items = append(items, it)
+			continue
+		default:
+		}
+		break
+	}
+	if len(items) >= b.max || b.window <= 0 {
+		return items
+	}
+	timer := time.NewTimer(b.window)
+	defer timer.Stop()
+	for len(items) < b.max {
+		select {
+		case it := <-b.ch:
+			items = append(items, it)
+		case <-timer.C:
+			return items
+		case <-b.stop:
+			return items
+		}
+	}
+	return items
+}
+
+// batchContext builds the batch job's context: alive while any member
+// request is alive, cancelled (watcher-free, via context.AfterFunc on each
+// member) once every member's context has died — so one slow client cannot
+// be cancelled by its batch neighbours, and a batch whose every requester
+// is gone stops computing. The returned stop releases the member hooks;
+// the batch dispatcher calls it when the job completes.
+func batchContext(items []*batchItem) (context.Context, context.CancelFunc) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var live atomic.Int64
+	live.Store(int64(len(items)))
+	stops := make([]func() bool, len(items))
+	for i, it := range items {
+		stops[i] = context.AfterFunc(it.ctx, func() {
+			if live.Add(-1) == 0 {
+				cancel()
+			}
+		})
+	}
+	return ctx, func() {
+		for _, stop := range stops {
+			stop()
+		}
+		cancel()
+	}
+}
+
+// runBatch folds items into one batched root job: one SubmitCtx, one
+// fan-out. Each live item gets one spawned sub-task computing kernel(n)
+// into its own slot; items whose request died before the fan-out are
+// skipped for free. The job is dispatched asynchronously: a goroutine
+// waits for it, folds the batch's task counters into the endpoint once
+// (not once per member), and delivers each member's sub-result.
+//
+// Failure semantics are those of one job, because the batch is one job: a
+// panic in any member's subtree fails the whole batch, and every member
+// reports the error. The small-job kernels (/fib, /loop) do not panic in
+// normal operation, and each member still verifies its own sub-result, so
+// the blast radius trade is taken for the amortization.
+func (s *Server) runBatch(ep *endpointStats, items []*batchItem,
+	kernel func(p *xkaapi.Proc, n int, out *int64)) {
+	bctx, release := batchContext(items)
+	results := make([]int64, len(items))
+	job := s.rt.SubmitCtx(bctx, func(p *xkaapi.Proc) {
+		for i := range items {
+			it := items[i]
+			if it.ctx.Err() != nil {
+				continue // requester already gone: skip its subtree
+			}
+			out := &results[i]
+			p.Spawn(func(p *xkaapi.Proc) { kernel(p, it.n, out) })
+		}
+		p.Sync()
+	})
+	go func() {
+		defer release()
+		jerr := job.Wait()
+		js := job.Stats()
+		ep.taskExecuted.Add(js.Executed)
+		ep.taskCancelled.Add(js.Cancelled)
+		ep.taskPanicked.Add(js.Panicked)
+		if len(items) > 1 {
+			ep.batches.Add(1)
+			ep.batched.Add(int64(len(items)))
+		}
+		for i, it := range items {
+			it.done <- batchResult{result: results[i], size: len(items), stats: js, err: jerr}
+		}
+	}()
+}
+
+// fibKernel is fibTask as a batch member.
+func fibKernel(p *xkaapi.Proc, n int, out *int64) { fibTask(p, out, n) }
+
+// loopKernel is the /loop worksharing sum as a batch member: the adaptive
+// ForEach runs inside this member's sub-task, so concurrent members'
+// loops coexist in one job and are load-balanced together.
+func loopKernel(p *xkaapi.Proc, n int, out *int64) {
+	var sum atomic.Int64
+	jctx := p.Context()
+	xkaapi.Foreach(p, 0, n, func(_ *xkaapi.Proc, lo, hi int) {
+		if jctx.Err() != nil {
+			return
+		}
+		s := int64(0)
+		for i := lo; i < hi; i++ {
+			s += int64(i)
+		}
+		sum.Add(s)
+	})
+	*out = sum.Load()
+}

@@ -1,14 +1,13 @@
 // Package server is the X-Kaapi network front-end: an HTTP layer that maps
-// each request onto one runtime job, so the scheduler — not ad-hoc
-// goroutines — owns scheduling, failure containment and cancellation for
-// the whole request path.
+// requests onto runtime jobs, so the scheduler — not ad-hoc goroutines —
+// owns scheduling, failure containment and cancellation for the whole
+// request path.
 //
 // # Request → job mapping
 //
-// Every workload endpoint handles a request by submitting exactly one job
-// with Runtime.SubmitCtx, bound to the request's context. The three
-// paradigms of the paper are exposed as endpoints over one shared worker
-// pool:
+// Every workload endpoint handles a request by submitting work through
+// Runtime.SubmitCtx, bound to the request's context. The three paradigms
+// of the paper are exposed as endpoints over one shared worker pool:
 //
 //	GET /fib?n=22                      fork-join recursion (Spawn/Sync)
 //	GET /loop?n=200000                 adaptive parallel loop (the gomp/komp
@@ -22,44 +21,101 @@
 // (a timeout=DURATION query parameter, or the server's default) and client
 // disconnects cancel the job through the runtime's machinery: remaining
 // tasks are skipped eagerly at spawn (or at execution for tasks already
-// enqueued), bookkeeping drains, and the pool moves on. A deadline maps to
-// 504, a client disconnect to 499, a task panic to 500 — one failed
-// request never disturbs another.
+// enqueued), bookkeeping drains, and the pool moves on.
 //
 // Per-job outcome counters (core.Job.Stats: Executed, Cancelled, Panicked)
 // are returned in every response and aggregated per endpoint, giving the
 // per-request attribution a multi-tenant service needs on top of the
 // pool-global scheduler counters.
 //
-// # Admission control and backpressure
+// # Admission pipeline: queue → batch → submit
 //
-// The server holds a bounded budget of in-flight jobs (Config.Budget,
-// default 2x the worker count). A request that finds the budget exhausted
-// is rejected immediately with 429 Too Many Requests and a Retry-After
-// header — backpressure is applied at admission, before any work is
-// submitted, so an over-budget burst cannot queue unbounded work on the
-// pool. /healthz and /stats bypass the budget.
+// Admission is a pipeline, not a gate. The server holds a bounded budget
+// of in-flight jobs (Config.Budget, default 2x the worker count) fronted
+// by a bounded FIFO admission queue (Config.QueueDepth, default 4x the
+// budget):
+//
+//  1. A request that finds a free budget slot is admitted immediately.
+//  2. Otherwise it joins the queue and waits under its own deadline.
+//     Slots are handed to waiters strictly FIFO as running requests
+//     finish. Time spent queued counts against the request's deadline —
+//     queueing narrows, never widens, the SLO.
+//  3. Only when the queue itself is full does the server answer
+//     429 Too Many Requests with a Retry-After header. Backpressure is
+//     still applied at admission, before any work reaches the pool, so an
+//     over-capacity burst cannot queue unbounded work — but a burst that
+//     fits the queue now completes instead of bouncing.
+//
+// A request whose deadline fires while queued gets 504; one whose client
+// disconnects while queued gets 499, and its queue slot is abandoned (an
+// abandoned waiter granted a slot concurrently passes the slot straight
+// to the next live waiter — slots never leak). /healthz and /stats bypass
+// admission entirely. QueueDepth < 0 disables the queue and restores the
+// instant-429 behaviour.
+//
+// # Request coalescing
+//
+// Admitted /fib and /loop requests pass through a per-endpoint batcher: a
+// count-or-timeout collection window (Config.BatchWindow, default 500µs;
+// Config.BatchMax, default 8) folds concurrent small requests into ONE
+// runtime job — one SubmitCtx, one fan-out of per-request sub-tasks, one
+// set of job counters — instead of N jobs racing for the admission
+// budget. Each member still gets its own sub-result over a buffered
+// channel, its own verification, and its own response. The batch job runs
+// under a context that stays alive while any member's request lives:
+// a member whose deadline fires or whose client disconnects is skipped at
+// fan-out (or abandoned at the next context check) and answered 504/499,
+// while its batch neighbours are unaffected — coalescing never lets one
+// request's deadline extend or shorten another's. Batches dispatch
+// asynchronously, so collection of the next window never stalls behind
+// execution of the previous one. BatchWindow < 0 disables coalescing;
+// /cholesky requests are never coalesced (each one is already a full
+// dataflow job).
+//
+// # Status taxonomy
+//
+// Terminal outcomes are attributed precisely, using the request's own
+// context to distinguish who cancelled:
+//
+//	200  completed and verified
+//	500  task panic, or result failed verification
+//	504  the request's deadline fired (queued or running)
+//	499  the client disconnected (request context dead; queued or running)
+//	503  server-initiated cancellation (Job.Cancel or drain: the job was
+//	     cancelled but the request context is still alive), or draining
+//	429  admission queue full (Retry-After set)
+//
+// A server-side cancel is never misreported as a client disconnect: 499
+// is reserved for requests whose own context died, and server-initiated
+// cancellations are counted separately (server_cancelled in /stats).
 //
 // # Graceful drain
 //
-// StartDrain flips the server into draining mode: /healthz turns 503 (load
-// balancers stop routing), new workload requests are refused with 503, and
-// requests already admitted run to completion. The intended shutdown
-// sequence on SIGTERM (see cmd/xkserve serve) is StartDrain, then
-// http.Server.Shutdown (waits for in-flight handlers, hence for their
-// jobs), then Runtime.Wait — whose errors.Join drain reports every job
-// failure unaccounted for by a handler — and finally Runtime.CloseErr.
-// After that drain the scheduler counters must balance:
+// StartDrain flips the server into draining mode: /healthz turns 503
+// (load balancers stop routing), new workload requests are refused with
+// 503, queued waiters are refused in the same critical section that stops
+// grants — after StartDrain returns, no request can be admitted, with no
+// race window — and requests already admitted run to completion. The
+// intended shutdown sequence on SIGTERM (see cmd/xkserve serve) is
+// StartDrain, then http.Server.Shutdown (waits for in-flight handlers,
+// hence for their jobs), then Server.Close (stops the batch collectors),
+// then Runtime.Wait — whose errors.Join drain reports every job failure
+// unaccounted for by a handler — and finally Runtime.CloseErr. After that
+// drain the scheduler counters must balance:
 // Spawned == Executed + Cancelled.
 //
-// # Stats and data races
+// # Stats, latency and data races
 //
-// /stats reports the per-endpoint aggregates (atomics maintained from
-// per-job stats) and the full live scheduler counters: every per-worker
-// counter, task-path included (Spawned, Executed, Cancelled, ...), is a
-// cache-line-padded atomic, so mid-flight reads are race-free and each
-// value is a monotone lower bound of the true count. Operators can watch
-// Executed advance while long jobs run; the exact balance
-// Spawned == Executed + Cancelled holds once the pool drains, which the
-// serve command verifies after its final drain.
+// /stats reports queue_cap and the live queue_depth, the per-endpoint
+// aggregates (atomics maintained from per-job stats, plus queued, 429,
+// cancelled, server_cancelled, batches and batched counts), and two
+// lock-free HDR-style histograms per endpoint (internal/latency):
+// end-to-end request latency and queue wait, each summarized as
+// count/mean/p50/p90/p99/max with ≤12.5% relative bucket error. The full
+// scheduler counters ride along: every per-worker counter, task-path
+// included, is a cache-line-padded atomic, so mid-flight reads are
+// race-free and each value is a monotone lower bound of the true count.
+// Operators can watch Executed advance while long jobs run; the exact
+// balance Spawned == Executed + Cancelled holds once the pool drains,
+// which the serve command verifies after its final drain.
 package server

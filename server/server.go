@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"xkaapi"
+	"xkaapi/internal/latency"
 )
 
 // StatusClientClosedRequest is the nginx-convention status for a request
@@ -23,9 +24,23 @@ const StatusClientClosedRequest = 499
 type Config struct {
 	// Runtime is the shared worker pool every request's job runs on.
 	Runtime *xkaapi.Runtime
-	// Budget bounds the jobs in flight at once; a request beyond it is
-	// rejected with 429. Zero or negative selects 2x the worker count.
+	// Budget bounds the jobs in flight at once. Zero or negative selects
+	// 2x the worker count.
 	Budget int
+	// QueueDepth bounds the admission queue: requests beyond the budget
+	// wait here (FIFO, under their own deadline) instead of being
+	// rejected; only when the queue is also full does the server answer
+	// 429. Zero selects 4x the budget; negative disables queueing
+	// (instant 429, the pre-queue behavior).
+	QueueDepth int
+	// BatchWindow is the coalescing window for the small-job endpoints
+	// (/fib, /loop): concurrent requests arriving within it are folded
+	// into one batched root job. Zero selects 500µs; negative disables
+	// batching (one job per request).
+	BatchWindow time.Duration
+	// BatchMax caps how many requests one batch may coalesce. Zero or
+	// negative selects 8.
+	BatchMax int
 	// DefaultTimeout is the per-request deadline applied when the client
 	// does not send a timeout parameter. Zero means no default deadline
 	// (the request context still cancels on client disconnect).
@@ -35,44 +50,66 @@ type Config struct {
 	MaxFib, MaxLoop, MaxChol int
 }
 
-// endpointStats aggregates one endpoint's outcomes. All fields are atomics:
-// they are bumped from concurrent handlers and read by /stats while the
-// server runs.
+// endpointStats aggregates one endpoint's outcomes. All counters are
+// atomics and the histograms are lock-free: they are bumped from
+// concurrent handlers and read by /stats while the server runs.
 type endpointStats struct {
-	requests  atomic.Int64 // admitted (budget acquired)
-	ok        atomic.Int64 // 200s
-	rejected  atomic.Int64 // 429s (budget full)
-	failed    atomic.Int64 // job failures other than cancellation (500s)
-	cancelled atomic.Int64 // deadline exceeded or client disconnected
+	requests        atomic.Int64 // admitted (budget acquired)
+	ok              atomic.Int64 // 200s
+	rejected        atomic.Int64 // 429s (budget and queue full)
+	failed          atomic.Int64 // job failures other than cancellation (500s)
+	cancelled       atomic.Int64 // request deadline exceeded or client disconnected
+	serverCancelled atomic.Int64 // server-side cancellation (Job.Cancel, drain): not a client disconnect
+
+	queued  atomic.Int64 // requests that waited in the admission queue
+	batches atomic.Int64 // coalesced batches dispatched (size > 1)
+	batched atomic.Int64 // requests served via a coalesced batch
 
 	taskExecuted  atomic.Int64 // per-job stats, summed over requests
 	taskCancelled atomic.Int64
 	taskPanicked  atomic.Int64
+
+	latency   latency.Histogram // end-to-end: admission to response status
+	queueWait latency.Histogram // time spent parked in the admission queue
 }
 
 // EndpointStats is the JSON form of one endpoint's aggregates in /stats.
 type EndpointStats struct {
-	Requests  int64 `json:"requests"`
-	OK        int64 `json:"ok"`
-	Rejected  int64 `json:"rejected"`
-	Failed    int64 `json:"failed"`
-	Cancelled int64 `json:"cancelled"`
+	Requests        int64 `json:"requests"`
+	OK              int64 `json:"ok"`
+	Rejected        int64 `json:"rejected"`
+	Failed          int64 `json:"failed"`
+	Cancelled       int64 `json:"cancelled"`
+	ServerCancelled int64 `json:"server_cancelled"`
+
+	Queued  int64 `json:"queued"`
+	Batches int64 `json:"batches"`
+	Batched int64 `json:"batched"`
 
 	TaskExecuted  int64 `json:"task_executed"`
 	TaskCancelled int64 `json:"task_cancelled"`
 	TaskPanicked  int64 `json:"task_panicked"`
+
+	Latency   latency.Summary `json:"latency"`
+	QueueWait latency.Summary `json:"queue_wait"`
 }
 
 func (es *endpointStats) snapshot() EndpointStats {
 	return EndpointStats{
-		Requests:      es.requests.Load(),
-		OK:            es.ok.Load(),
-		Rejected:      es.rejected.Load(),
-		Failed:        es.failed.Load(),
-		Cancelled:     es.cancelled.Load(),
-		TaskExecuted:  es.taskExecuted.Load(),
-		TaskCancelled: es.taskCancelled.Load(),
-		TaskPanicked:  es.taskPanicked.Load(),
+		Requests:        es.requests.Load(),
+		OK:              es.ok.Load(),
+		Rejected:        es.rejected.Load(),
+		Failed:          es.failed.Load(),
+		Cancelled:       es.cancelled.Load(),
+		ServerCancelled: es.serverCancelled.Load(),
+		Queued:          es.queued.Load(),
+		Batches:         es.batches.Load(),
+		Batched:         es.batched.Load(),
+		TaskExecuted:    es.taskExecuted.Load(),
+		TaskCancelled:   es.taskCancelled.Load(),
+		TaskPanicked:    es.taskPanicked.Load(),
+		Latency:         es.latency.Summary(),
+		QueueWait:       es.queueWait.Summary(),
 	}
 }
 
@@ -81,13 +118,17 @@ func (es *endpointStats) snapshot() EndpointStats {
 type Server struct {
 	rt       *xkaapi.Runtime
 	mux      *http.ServeMux
-	slots    chan struct{} // in-flight budget semaphore
+	adq      *admitQueue // in-flight budget + bounded FIFO admission queue
 	budget   int
+	queueCap int
 	timeout  time.Duration
 	maxFib   int
 	maxLoop  int
 	maxChol  int
 	draining atomic.Bool
+
+	fibBatch  *batcher // nil when batching is disabled
+	loopBatch *batcher
 
 	fib  endpointStats
 	loop endpointStats
@@ -95,7 +136,8 @@ type Server struct {
 }
 
 // New builds a Server over cfg.Runtime. The caller owns the runtime's
-// lifecycle (see StartDrain for the shutdown order).
+// lifecycle (see StartDrain for the shutdown order); Close stops the
+// coalescing collectors once no more requests can arrive.
 func New(cfg Config) *Server {
 	if cfg.Runtime == nil {
 		panic("server: Config.Runtime is required")
@@ -104,15 +146,23 @@ func New(cfg Config) *Server {
 	if budget <= 0 {
 		budget = 2 * cfg.Runtime.Workers()
 	}
+	queueCap := cfg.QueueDepth
+	switch {
+	case queueCap == 0:
+		queueCap = 4 * budget
+	case queueCap < 0:
+		queueCap = 0 // queue disabled: instant 429 past the budget
+	}
 	s := &Server{
-		rt:      cfg.Runtime,
-		mux:     http.NewServeMux(),
-		slots:   make(chan struct{}, budget),
-		budget:  budget,
-		timeout: cfg.DefaultTimeout,
-		maxFib:  cfg.MaxFib,
-		maxLoop: cfg.MaxLoop,
-		maxChol: cfg.MaxChol,
+		rt:       cfg.Runtime,
+		mux:      http.NewServeMux(),
+		adq:      newAdmitQueue(budget, queueCap),
+		budget:   budget,
+		queueCap: queueCap,
+		timeout:  cfg.DefaultTimeout,
+		maxFib:   cfg.MaxFib,
+		maxLoop:  cfg.MaxLoop,
+		maxChol:  cfg.MaxChol,
 	}
 	if s.maxFib <= 0 {
 		s.maxFib = 40
@@ -122,6 +172,22 @@ func New(cfg Config) *Server {
 	}
 	if s.maxChol <= 0 {
 		s.maxChol = 2048
+	}
+	window := cfg.BatchWindow
+	if window == 0 {
+		window = 500 * time.Microsecond
+	}
+	batchMax := cfg.BatchMax
+	if batchMax <= 0 {
+		batchMax = 8
+	}
+	if window > 0 {
+		s.fibBatch = newBatcher(window, batchMax, func(items []*batchItem) {
+			s.runBatch(&s.fib, items, fibKernel)
+		})
+		s.loopBatch = newBatcher(window, batchMax, func(items []*batchItem) {
+			s.runBatch(&s.loop, items, loopKernel)
+		})
 	}
 	s.mux.HandleFunc("GET /fib", s.handleFib)
 	s.mux.HandleFunc("GET /loop", s.handleLoop)
@@ -137,41 +203,77 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.Serve
 // Budget returns the configured in-flight job budget.
 func (s *Server) Budget() int { return s.budget }
 
+// QueueCap returns the admission queue bound (0 when queueing is disabled).
+func (s *Server) QueueCap() int { return s.queueCap }
+
 // InFlight returns the number of budget slots currently held.
-func (s *Server) InFlight() int { return len(s.slots) }
+func (s *Server) InFlight() int { return s.adq.inFlight() }
+
+// QueueDepth returns the number of requests currently waiting for a slot.
+func (s *Server) QueueDepth() int { return s.adq.depth() }
 
 // StartDrain switches the server into draining mode: /healthz reports 503
-// so load balancers stop routing here, and new workload requests are
-// refused with 503 while admitted ones run to completion. The caller then
-// shuts the http.Server down (which waits for in-flight handlers) and
-// drains the runtime with Runtime.Wait / Runtime.CloseErr.
-func (s *Server) StartDrain() { s.draining.Store(true) }
+// so load balancers stop routing here, new workload requests are refused
+// with 503, and every request waiting in the admission queue is refused the
+// same way. The draining flag and slot grants share one mutex, so once
+// StartDrain returns no request — racing or future — is admitted. The
+// caller then shuts the http.Server down (which waits for in-flight
+// handlers) and drains the runtime with Runtime.Wait / Runtime.CloseErr.
+func (s *Server) StartDrain() {
+	s.draining.Store(true)
+	s.adq.startDrain()
+}
 
 // Draining reports whether StartDrain was called.
 func (s *Server) Draining() bool { return s.draining.Load() }
 
-// admit applies admission control for one workload request: refuse with 503
-// while draining, otherwise try to take a budget slot and refuse with 429 +
-// Retry-After when the budget is exhausted. On success the caller must
-// release() the slot when the job is done.
-func (s *Server) admit(ep *endpointStats, w http.ResponseWriter) bool {
-	if s.draining.Load() {
-		http.Error(w, "server draining", http.StatusServiceUnavailable)
-		return false
+// Close stops the request-coalescing collectors. Call it after the HTTP
+// server is shut down (no handler can submit anymore); batches already
+// collected still complete.
+func (s *Server) Close() {
+	if s.fibBatch != nil {
+		s.fibBatch.close()
 	}
-	select {
-	case s.slots <- struct{}{}:
-		ep.requests.Add(1)
-		return true
-	default:
-		ep.rejected.Add(1)
-		w.Header().Set("Retry-After", "1")
-		http.Error(w, "job budget exhausted", http.StatusTooManyRequests)
-		return false
+	if s.loopBatch != nil {
+		s.loopBatch.close()
 	}
 }
 
-func (s *Server) release() { <-s.slots }
+// admit applies admission control for one workload request: refuse with
+// 503 while draining; otherwise take a budget slot, waiting in the bounded
+// FIFO queue under the request's own deadline when the budget is busy.
+// Only a full queue is refused outright (429 + Retry-After); a deadline
+// expiring or the client vanishing while queued answers 504/499 without
+// the slot ever being held. On true the caller must release() the slot
+// when the job is done.
+func (s *Server) admit(ep *endpointStats, w http.ResponseWriter, ctx context.Context) bool {
+	code, wait, queuedWait := s.adq.acquire(ctx)
+	if queuedWait {
+		ep.queued.Add(1)
+		ep.queueWait.Record(wait)
+	}
+	switch code {
+	case admitOK:
+		ep.requests.Add(1)
+		return true
+	case admitDraining:
+		http.Error(w, "server draining", http.StatusServiceUnavailable)
+	case admitQueueFull:
+		ep.rejected.Add(1)
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, "job budget and admission queue exhausted", http.StatusTooManyRequests)
+	case admitDeadline:
+		ep.cancelled.Add(1)
+		http.Error(w, "deadline expired in admission queue", http.StatusGatewayTimeout)
+	case admitDisconnect:
+		ep.cancelled.Add(1)
+		// The client is gone; the status is for logs and middleware.
+		http.Error(w, "client closed request while queued", StatusClientClosedRequest)
+	}
+	return false
+}
+
+func (s *Server) release() { s.adq.release() }
 
 // requestCtx derives the job context for one request: the request context
 // (cancelled by client disconnect and server shutdown), tightened by an
@@ -198,16 +300,23 @@ func (s *Server) requestCtx(r *http.Request) (context.Context, context.CancelFun
 	return ctx, cancel, nil
 }
 
-// finishJob folds one completed job into the endpoint aggregates and maps
-// its outcome to an HTTP status: 200 on verified success, 504 on deadline,
-// 499 on client disconnect, 503 on a closing runtime, 500 on a panic, any
-// other failure, or a result that failed verification (resultOK false with
-// a nil error) — so wrong results are visible in the status code and in
-// /stats, not only in the response's ok field.
-func (s *Server) finishJob(ep *endpointStats, js xkaapi.JobStats, err error, resultOK bool) int {
-	ep.taskExecuted.Add(js.Executed)
-	ep.taskCancelled.Add(js.Cancelled)
-	ep.taskPanicked.Add(js.Panicked)
+// finish folds one request outcome into the endpoint aggregates — outcome
+// counters and the end-to-end latency histogram — and maps it to an HTTP
+// status: 200 on verified success, 504 on deadline, 499 on client
+// disconnect, 503 on a server-side cancellation or a closing runtime, 500
+// on a panic, any other failure, or a result that failed verification
+// (resultOK false with a nil error) — so wrong results are visible in the
+// status code and in /stats, not only in the response's ok field.
+//
+// Cancellation is disambiguated against reqCtx (the *request's* context,
+// not the derived job context): a job error of context.Canceled or
+// xkaapi.ErrCanceled only means the *client* went away when the request
+// context itself died. A server-side Job.Cancel or a drain-time
+// cancellation reaches here with a live request context and is counted as
+// server_cancelled (503: the client did nothing wrong and should retry
+// elsewhere) instead of being mislabeled a 499 client-closed-request.
+func (s *Server) finish(ep *endpointStats, start time.Time, reqCtx context.Context, err error, resultOK bool) int {
+	ep.latency.Record(time.Since(start))
 	switch {
 	case err == nil && resultOK:
 		ep.ok.Add(1)
@@ -218,9 +327,13 @@ func (s *Server) finishJob(ep *endpointStats, js xkaapi.JobStats, err error, res
 	case errors.Is(err, context.DeadlineExceeded):
 		ep.cancelled.Add(1)
 		return http.StatusGatewayTimeout
-	case errors.Is(err, context.Canceled):
-		ep.cancelled.Add(1)
-		return StatusClientClosedRequest
+	case errors.Is(err, context.Canceled), errors.Is(err, xkaapi.ErrCanceled):
+		if reqCtx != nil && reqCtx.Err() != nil {
+			ep.cancelled.Add(1)
+			return StatusClientClosedRequest
+		}
+		ep.serverCancelled.Add(1)
+		return http.StatusServiceUnavailable
 	case errors.Is(err, xkaapi.ErrClosed):
 		ep.failed.Add(1)
 		return http.StatusServiceUnavailable
@@ -230,14 +343,30 @@ func (s *Server) finishJob(ep *endpointStats, js xkaapi.JobStats, err error, res
 	}
 }
 
+// finishJob is finish plus the per-job task counters, for the
+// one-job-per-request paths (/cholesky, and /fib & /loop with batching
+// disabled). Batched requests must not use it: their batch job's counters
+// are folded in once per batch by runBatch.
+func (s *Server) finishJob(ep *endpointStats, start time.Time, reqCtx context.Context,
+	js xkaapi.JobStats, err error, resultOK bool) int {
+	ep.taskExecuted.Add(js.Executed)
+	ep.taskCancelled.Add(js.Cancelled)
+	ep.taskPanicked.Add(js.Panicked)
+	return s.finish(ep, start, reqCtx, err, resultOK)
+}
+
 // reply is the JSON body of every workload response, successful or not.
+// Result, Gflops and Residual are pointers so a legitimate zero — fib(0),
+// a verified residual of exactly 0 — is serialized instead of being
+// dropped by omitempty while ok is true.
 type reply struct {
 	Endpoint  string `json:"endpoint"`
 	N         int    `json:"n"`
 	NB        int    `json:"nb,omitempty"`
-	Result    int64  `json:"result,omitempty"`
-	Gflops    flt    `json:"gflops,omitempty"`
-	Residual  flt    `json:"residual,omitempty"`
+	Batch     int    `json:"batch,omitempty"` // batch size when the request rode a coalesced job
+	Result    *int64 `json:"result,omitempty"`
+	Gflops    *flt   `json:"gflops,omitempty"`
+	Residual  *flt   `json:"residual,omitempty"`
 	OK        bool   `json:"ok"`
 	Error     string `json:"error,omitempty"`
 	ElapsedNS int64  `json:"elapsed_ns"`
@@ -251,6 +380,10 @@ type flt float64
 func (f flt) MarshalJSON() ([]byte, error) {
 	return []byte(strconv.FormatFloat(float64(f), 'g', 6, 64)), nil
 }
+
+func fltPtr(v float64) *flt { f := flt(v); return &f }
+
+func i64Ptr(v int64) *int64 { return &v }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
@@ -287,11 +420,13 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 
 // StatsReply is the JSON body of /stats.
 type StatsReply struct {
-	Workers   int                      `json:"workers"`
-	Budget    int                      `json:"budget"`
-	InFlight  int                      `json:"in_flight"`
-	Draining  bool                     `json:"draining"`
-	Endpoints map[string]EndpointStats `json:"endpoints"`
+	Workers    int                      `json:"workers"`
+	Budget     int                      `json:"budget"`
+	InFlight   int                      `json:"in_flight"`
+	QueueCap   int                      `json:"queue_cap"`
+	QueueDepth int                      `json:"queue_depth"`
+	Draining   bool                     `json:"draining"`
+	Endpoints  map[string]EndpointStats `json:"endpoints"`
 	// Scheduler carries the full live scheduler counters: the task-path
 	// counters (Spawned/Executed/Cancelled/...) are per-worker padded
 	// atomics, so /stats reports real task throughput while jobs are in
@@ -302,10 +437,12 @@ type StatsReply struct {
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, StatsReply{
-		Workers:  s.rt.Workers(),
-		Budget:   s.budget,
-		InFlight: s.InFlight(),
-		Draining: s.draining.Load(),
+		Workers:    s.rt.Workers(),
+		Budget:     s.budget,
+		InFlight:   s.InFlight(),
+		QueueCap:   s.queueCap,
+		QueueDepth: s.QueueDepth(),
+		Draining:   s.draining.Load(),
 		Endpoints: map[string]EndpointStats{
 			"fib":      s.fib.snapshot(),
 			"loop":     s.loop.snapshot(),

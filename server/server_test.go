@@ -1,9 +1,13 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
+	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -18,7 +22,8 @@ func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
 	s := New(cfg)
 	ts := httptest.NewServer(s)
 	t.Cleanup(func() {
-		ts.Close()
+		ts.Close() // waits for in-flight handlers
+		s.Close()  // then stop the batch collectors
 		if err := cfg.Runtime.CloseErr(); err != nil {
 			t.Logf("runtime close: %v", err)
 		}
@@ -41,6 +46,16 @@ func getJSON(t *testing.T, url string, out any) int {
 	return resp.StatusCode
 }
 
+// holdSlots takes n budget slots the way n in-flight jobs would.
+func holdSlots(t *testing.T, s *Server, n int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		if code, _, _ := s.adq.acquire(context.Background()); code != admitOK {
+			t.Fatalf("holdSlots: acquire %d returned %v, want admitOK", i, code)
+		}
+	}
+}
+
 // TestEndpointsServeVerifiedJobs drives all three workload endpoints and
 // checks each completes one verified job, with the outcomes attributed per
 // endpoint in /stats.
@@ -57,8 +72,7 @@ func TestEndpointsServeVerifiedJobs(t *testing.T) {
 			t.Fatalf("GET %s: status %d", q, code)
 		}
 		if !rep.OK {
-			t.Errorf("GET %s: ok=false (error=%q residual=%v result=%d)",
-				q, rep.Error, rep.Residual, rep.Result)
+			t.Errorf("GET %s: ok=false (error=%q reply=%+v)", q, rep.Error, rep)
 		}
 		if rep.Job.Executed == 0 {
 			t.Errorf("GET %s: job executed 0 tasks", q)
@@ -77,6 +91,10 @@ func TestEndpointsServeVerifiedJobs(t *testing.T) {
 		if es.Requests != 1 || es.OK != 1 || es.TaskExecuted == 0 {
 			t.Errorf("endpoint %s stats = %+v, want 1 ok request with executed tasks", ep, es)
 		}
+		if es.Latency.Count != 1 || es.Latency.P50NS <= 0 || es.Latency.P99NS < es.Latency.P50NS {
+			t.Errorf("endpoint %s latency summary = %+v, want 1 recorded request with ordered quantiles",
+				ep, es.Latency)
+		}
 	}
 	if st.Scheduler.Spawned < 3 {
 		t.Errorf("scheduler live stats report %d submitted roots, want >= 3", st.Scheduler.Spawned)
@@ -89,15 +107,14 @@ func TestEndpointsServeVerifiedJobs(t *testing.T) {
 	resp.Body.Close()
 }
 
-// TestBackpressure429 fills the admission budget and checks that the next
-// request is rejected with 429 + Retry-After before any work is submitted,
-// then succeeds once a slot frees up.
-func TestBackpressure429(t *testing.T) {
-	s, ts := newTestServer(t, Config{Budget: 2})
+// TestBackpressure429NoQueue checks the pre-queue behavior survives behind
+// QueueDepth < 0: with the budget full and no queue, the next request is
+// rejected instantly with 429 + Retry-After, then succeeds once a slot
+// frees up.
+func TestBackpressure429NoQueue(t *testing.T) {
+	s, ts := newTestServer(t, Config{Budget: 2, QueueDepth: -1})
 
-	// Hold both budget slots the way two in-flight jobs would.
-	s.slots <- struct{}{}
-	s.slots <- struct{}{}
+	holdSlots(t, s, 2)
 
 	resp, err := http.Get(ts.URL + "/fib?n=10")
 	if err != nil {
@@ -112,18 +129,406 @@ func TestBackpressure429(t *testing.T) {
 	}
 
 	// Free one slot: the endpoint serves again.
-	<-s.slots
+	s.release()
 	var rep reply
 	if code := getJSON(t, ts.URL+"/fib?n=10", &rep); code != http.StatusOK || !rep.OK {
 		t.Fatalf("after release GET /fib: status %d ok=%v", code, rep.OK)
 	}
-	<-s.slots
+	s.release()
 
 	if got := s.fib.rejected.Load(); got != 1 {
 		t.Errorf("fib rejected count = %d, want 1", got)
 	}
 	if s.fib.taskExecuted.Load() == 0 {
 		t.Error("fib task_executed = 0 after a served request")
+	}
+}
+
+// TestQueueAbsorbsBurst is the tentpole contract at test scale: a burst
+// wider than the budget completes entirely with 200s because the overflow
+// waits in the admission queue instead of being 429'd, and /stats reports
+// the queue traffic.
+func TestQueueAbsorbsBurst(t *testing.T) {
+	rt := xkaapi.New(xkaapi.WithWorkers(2), xkaapi.WithoutPinning())
+	s, ts := newTestServer(t, Config{Runtime: rt, Budget: 1}) // queue defaults to 4
+
+	const clients = 5 // 1 slot + 4 queued: exactly at capacity
+	codes := make(chan int, clients)
+	for c := 0; c < clients; c++ {
+		go func() {
+			var rep reply
+			resp, err := http.Get(ts.URL + "/fib?n=16")
+			if err != nil {
+				codes <- -1
+				return
+			}
+			defer resp.Body.Close()
+			if json.NewDecoder(resp.Body).Decode(&rep) != nil || !rep.OK {
+				codes <- -2
+				return
+			}
+			codes <- resp.StatusCode
+		}()
+	}
+	for i := 0; i < clients; i++ {
+		if code := <-codes; code != http.StatusOK {
+			t.Fatalf("burst request %d: got %d, want every request queued to a 200", i, code)
+		}
+	}
+	if got := s.fib.ok.Load(); got != clients {
+		t.Errorf("fib ok = %d, want %d", got, clients)
+	}
+	if s.fib.rejected.Load() != 0 {
+		t.Errorf("fib rejected = %d, want 0 (queue must absorb the burst)", s.fib.rejected.Load())
+	}
+	if s.fib.queued.Load() == 0 {
+		t.Error("fib queued = 0, want > 0: the burst should have waited in the queue")
+	}
+	if qw := s.fib.queueWait.Summary(); qw.Count != s.fib.queued.Load() {
+		t.Errorf("queue_wait count = %d, want %d (one sample per queued request)", qw.Count, s.fib.queued.Load())
+	}
+}
+
+// TestQueuedDeadline504 checks a request whose deadline expires while it
+// waits in the admission queue: 504, the budget slot is never held, and
+// the wait is attributed to the queue (cancelled count, queue_wait sample,
+// no admitted request).
+func TestQueuedDeadline504(t *testing.T) {
+	s, ts := newTestServer(t, Config{Budget: 1})
+	holdSlots(t, s, 1)
+
+	resp, err := http.Get(ts.URL + "/fib?n=10&timeout=40ms")
+	if err != nil {
+		t.Fatalf("GET /fib: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("queued GET /fib with 40ms deadline: status %d, want 504", resp.StatusCode)
+	}
+	if got := s.fib.requests.Load(); got != 0 {
+		t.Errorf("fib requests = %d, want 0: an expired queued request must never be admitted", got)
+	}
+	if got := s.fib.cancelled.Load(); got != 1 {
+		t.Errorf("fib cancelled = %d, want 1", got)
+	}
+	if got := s.fib.queued.Load(); got != 1 {
+		t.Errorf("fib queued = %d, want 1", got)
+	}
+	if got := s.InFlight(); got != 1 {
+		t.Errorf("InFlight = %d, want 1 (only the held slot; the 504'd request held none)", got)
+	}
+	s.release()
+	if got := s.InFlight(); got != 0 {
+		t.Errorf("InFlight = %d after release, want 0", got)
+	}
+}
+
+// TestQueuedClientDisconnect checks a client vanishing while queued: the
+// waiter is abandoned (499 path), its queue position is skipped on the
+// next release, and the slot is never leaked.
+func TestQueuedClientDisconnect(t *testing.T) {
+	s, ts := newTestServer(t, Config{Budget: 1})
+	holdSlots(t, s, 1)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	req, _ := http.NewRequestWithContext(ctx, "GET", ts.URL+"/fib?n=10", nil)
+	done := make(chan error, 1)
+	go func() {
+		resp, err := http.DefaultClient.Do(req)
+		if err == nil {
+			resp.Body.Close()
+		}
+		done <- err
+	}()
+	// Wait until the request is parked in the queue, then hang up.
+	waitFor(t, time.Second, func() bool { return s.QueueDepth() == 1 })
+	cancel()
+	if err := <-done; err == nil {
+		t.Error("disconnected client got a response, want a cancelled transport error")
+	}
+	// The server-side handler finishes asynchronously; wait for its verdict.
+	waitFor(t, time.Second, func() bool { return s.fib.cancelled.Load() == 1 })
+	if got := s.fib.requests.Load(); got != 0 {
+		t.Errorf("fib requests = %d, want 0", got)
+	}
+	// The abandoned waiter must not absorb the next released slot.
+	s.release()
+	if got := s.InFlight(); got != 0 {
+		t.Errorf("InFlight = %d after release, want 0 (abandoned waiter must not hold the slot)", got)
+	}
+}
+
+// TestQueueFull429 fills the budget and the queue and checks the next
+// request is rejected with 429 + Retry-After, while the queued one is
+// served once a slot frees up (FIFO handoff).
+func TestQueueFull429(t *testing.T) {
+	s, ts := newTestServer(t, Config{Budget: 1, QueueDepth: 1})
+	holdSlots(t, s, 1)
+
+	queued := make(chan int, 1)
+	go func() {
+		resp, err := http.Get(ts.URL + "/fib?n=10")
+		if err != nil {
+			queued <- -1
+			return
+		}
+		resp.Body.Close()
+		queued <- resp.StatusCode
+	}()
+	waitFor(t, time.Second, func() bool { return s.QueueDepth() == 1 })
+
+	resp, err := http.Get(ts.URL + "/fib?n=10")
+	if err != nil {
+		t.Fatalf("GET /fib: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("queue-full GET /fib: status %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("429 response missing Retry-After header")
+	}
+	if got := s.fib.rejected.Load(); got != 1 {
+		t.Errorf("fib rejected = %d, want 1", got)
+	}
+
+	s.release() // hand the slot to the queued request
+	if code := <-queued; code != http.StatusOK {
+		t.Fatalf("queued request completed with %d, want 200 after FIFO handoff", code)
+	}
+}
+
+// TestNoAdmissionAfterStartDrain closes the StartDrain/admit race: the
+// draining flag and slot grants share one mutex, so once StartDrain
+// returns, no acquire that began afterwards can be admitted — including
+// after slots free up — and every waiter already queued is refused.
+func TestNoAdmissionAfterStartDrain(t *testing.T) {
+	rt := xkaapi.New(xkaapi.WithWorkers(1), xkaapi.WithoutPinning())
+	t.Cleanup(func() { rt.Close() })
+	s := New(Config{Runtime: rt, Budget: 1})
+	defer s.Close()
+
+	holdSlots(t, s, 1)
+	waiterCode := make(chan admitCode, 1)
+	go func() {
+		code, _, _ := s.adq.acquire(context.Background())
+		waiterCode <- code
+	}()
+	waitFor(t, time.Second, func() bool { return s.QueueDepth() == 1 })
+
+	s.StartDrain()
+	if code := <-waiterCode; code != admitDraining {
+		t.Errorf("queued waiter got %v at drain, want admitDraining", code)
+	}
+	if code, _, _ := s.adq.acquire(context.Background()); code != admitDraining {
+		t.Errorf("post-drain acquire got %v, want admitDraining", code)
+	}
+	s.release() // the pre-drain job finishes; its slot must not admit anyone
+	if code, _, _ := s.adq.acquire(context.Background()); code != admitDraining {
+		t.Errorf("post-drain post-release acquire got %v, want admitDraining", code)
+	}
+	if got := s.InFlight(); got != 0 {
+		t.Errorf("InFlight = %d after drain and release, want 0", got)
+	}
+}
+
+// TestDrainAdmitRaceHammer races many admitters against StartDrain under
+// the race detector: any acquire that starts after StartDrain returned
+// must be refused.
+func TestDrainAdmitRaceHammer(t *testing.T) {
+	rt := xkaapi.New(xkaapi.WithWorkers(1), xkaapi.WithoutPinning())
+	t.Cleanup(func() { rt.Close() })
+	s := New(Config{Runtime: rt, Budget: 2})
+	defer s.Close()
+
+	var drained atomic.Bool
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				sawDrain := drained.Load()
+				code, _, _ := s.adq.acquire(context.Background())
+				if code == admitOK {
+					if sawDrain {
+						t.Error("request admitted after StartDrain returned")
+					}
+					s.release()
+				}
+			}
+		}()
+	}
+	time.Sleep(10 * time.Millisecond)
+	s.StartDrain()
+	drained.Store(true)
+	time.Sleep(10 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+	if got := s.InFlight(); got != 0 {
+		t.Errorf("InFlight = %d after hammer drain, want 0", got)
+	}
+}
+
+// TestBatchCoalescing fires concurrent /fib and /loop requests with
+// distinct problem sizes into a wide-open coalescing window and checks (a)
+// every request gets its own correct sub-result — batching must never
+// cross-deliver — and (b) at least one batch actually coalesced. Run under
+// -race via `make race`.
+func TestBatchCoalescing(t *testing.T) {
+	rt := xkaapi.New(xkaapi.WithWorkers(4), xkaapi.WithoutPinning())
+	s, ts := newTestServer(t, Config{
+		Runtime:     rt,
+		Budget:      16,
+		BatchWindow: 100 * time.Millisecond,
+		BatchMax:    8,
+	})
+
+	const clients = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, 2*clients)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			n := 10 + c
+			var rep reply
+			if code := getJSON(t, fmt.Sprintf("%s/fib?n=%d", ts.URL, n), &rep); code != http.StatusOK {
+				errs <- fmt.Errorf("fib n=%d: status %d", n, code)
+				return
+			}
+			if rep.Result == nil || *rep.Result != FibSeq(n) || !rep.OK {
+				errs <- fmt.Errorf("fib n=%d: result %v ok=%v, want %d", n, rep.Result, rep.OK, FibSeq(n))
+			}
+		}(c)
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			n := 10_000 * (c + 1)
+			want := int64(n) * int64(n-1) / 2
+			var rep reply
+			if code := getJSON(t, fmt.Sprintf("%s/loop?n=%d", ts.URL, n), &rep); code != http.StatusOK {
+				errs <- fmt.Errorf("loop n=%d: status %d", n, code)
+				return
+			}
+			if rep.Result == nil || *rep.Result != want || !rep.OK {
+				errs <- fmt.Errorf("loop n=%d: result %v ok=%v, want %d", n, rep.Result, rep.OK, want)
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if s.fib.batched.Load() < 2 && s.loop.batched.Load() < 2 {
+		t.Errorf("no coalescing observed (fib batched=%d, loop batched=%d) despite a %v window",
+			s.fib.batched.Load(), s.loop.batched.Load(), 100*time.Millisecond)
+	}
+	// Per-request outcome accounting is per member; task counters are per
+	// batch — both must reflect all requests.
+	if got := s.fib.ok.Load(); got != clients {
+		t.Errorf("fib ok = %d, want %d", got, clients)
+	}
+	if s.fib.taskExecuted.Load() == 0 || s.loop.taskExecuted.Load() == 0 {
+		t.Error("batched endpoints report zero executed tasks")
+	}
+}
+
+// TestZeroResultNotOmitted is the omitempty regression: /fib?n=0 and
+// /loop?n=0 legitimately compute 0 and the JSON body must still carry the
+// result field alongside ok=true.
+func TestZeroResultNotOmitted(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+
+	for _, q := range []string{"/fib?n=0", "/loop?n=0"} {
+		var raw map[string]json.RawMessage
+		if code := getJSON(t, ts.URL+q, &raw); code != http.StatusOK {
+			t.Fatalf("GET %s: status %d", q, code)
+		}
+		res, present := raw["result"]
+		if !present {
+			t.Errorf("GET %s: zero result omitted from JSON body", q)
+			continue
+		}
+		var v int64 = -1
+		if err := json.Unmarshal(res, &v); err != nil || v != 0 {
+			t.Errorf("GET %s: result = %s, want 0", q, res)
+		}
+		var ok bool
+		if err := json.Unmarshal(raw["ok"], &ok); err != nil || !ok {
+			t.Errorf("GET %s: ok = %s, want true", q, raw["ok"])
+		}
+	}
+}
+
+// TestCholeskyDefaultNBClamped is the tile-size regression: with no nb
+// parameter and n smaller than the old default 64, the server must clamp
+// the default to n instead of factoring with nb > n.
+func TestCholeskyDefaultNBClamped(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+
+	var rep reply
+	if code := getJSON(t, ts.URL+"/cholesky?n=32&verify=1", &rep); code != http.StatusOK {
+		t.Fatalf("GET /cholesky?n=32: status %d (error %q)", code, rep.Error)
+	}
+	if rep.NB != 32 {
+		t.Errorf("default nb for n=32 = %d, want clamped to 32", rep.NB)
+	}
+	if !rep.OK || rep.Residual == nil {
+		t.Errorf("clamped factorization not verified: ok=%v residual=%v", rep.OK, rep.Residual)
+	}
+	// Larger orders keep the old default.
+	if code := getJSON(t, ts.URL+"/cholesky?n=128", &rep); code != http.StatusOK || rep.NB != 64 {
+		t.Errorf("default nb for n=128 = %d (status %d), want 64", rep.NB, code)
+	}
+}
+
+// TestServerCancelNotClientDisconnect checks the cancellation taxonomy: a
+// job error of context.Canceled / xkaapi.ErrCanceled is a 499 client
+// disconnect only when the request's own context died; a server-side
+// cancellation with a live request context is 503 and counted separately.
+func TestServerCancelNotClientDisconnect(t *testing.T) {
+	rt := xkaapi.New(xkaapi.WithWorkers(1), xkaapi.WithoutPinning())
+	t.Cleanup(func() { rt.Close() })
+	s := New(Config{Runtime: rt})
+	defer s.Close()
+
+	live := httptest.NewRequest("GET", "/fib?n=10", nil).Context()
+	deadCtx, cancel := context.WithCancel(context.Background())
+	cancel()
+
+	for _, tc := range []struct {
+		name   string
+		reqCtx context.Context
+		err    error
+		status int
+		client int64 // expected cancelled delta
+		server int64 // expected server_cancelled delta
+	}{
+		{"job.Cancel, client live", live, xkaapi.ErrCanceled, http.StatusServiceUnavailable, 0, 1},
+		{"drain-style cancel, client live", live, context.Canceled, http.StatusServiceUnavailable, 0, 1},
+		{"client disconnect", deadCtx, context.Canceled, StatusClientClosedRequest, 1, 0},
+		{"deadline", live, context.DeadlineExceeded, http.StatusGatewayTimeout, 1, 0},
+	} {
+		beforeClient := s.fib.cancelled.Load()
+		beforeServer := s.fib.serverCancelled.Load()
+		got := s.finish(&s.fib, time.Now(), tc.reqCtx, tc.err, false)
+		if got != tc.status {
+			t.Errorf("%s: status %d, want %d", tc.name, got, tc.status)
+		}
+		if d := s.fib.cancelled.Load() - beforeClient; d != tc.client {
+			t.Errorf("%s: cancelled delta %d, want %d", tc.name, d, tc.client)
+		}
+		if d := s.fib.serverCancelled.Load() - beforeServer; d != tc.server {
+			t.Errorf("%s: server_cancelled delta %d, want %d", tc.name, d, tc.server)
+		}
 	}
 }
 
@@ -207,7 +612,8 @@ func TestBadRequests(t *testing.T) {
 // TestMixedBurstUnderBudget hammers the server with a concurrent mixed
 // workload wider than the budget: every request must end as either a
 // verified 200 or a clean 429, and once drained the per-endpoint
-// accounting must add up.
+// accounting must add up. With the admission queue at its default depth
+// the whole burst is expected to be absorbed.
 func TestMixedBurstUnderBudget(t *testing.T) {
 	s, ts := newTestServer(t, Config{Budget: 3})
 
@@ -252,7 +658,7 @@ func TestMixedBurstUnderBudget(t *testing.T) {
 	if served+rejected != clients {
 		t.Errorf("served %d + rejected %d != %d clients", served, rejected, clients)
 	}
-	t.Logf("served=%d rejected=%d (budget %d)", served, rejected, s.Budget())
+	t.Logf("served=%d rejected=%d (budget %d, queue %d)", served, rejected, s.Budget(), s.QueueCap())
 
 	if err := s.rt.Wait(); err != nil {
 		t.Errorf("runtime drain after burst: %v", err)
@@ -274,6 +680,7 @@ func TestTimeoutParamCannotExceedCeiling(t *testing.T) {
 	rt := xkaapi.New(xkaapi.WithWorkers(1), xkaapi.WithoutPinning())
 	t.Cleanup(func() { rt.Close() })
 	s := New(Config{Runtime: rt, DefaultTimeout: 50 * time.Millisecond})
+	defer s.Close()
 
 	for _, tc := range []struct {
 		query string
@@ -302,24 +709,58 @@ func TestTimeoutParamCannotExceedCeiling(t *testing.T) {
 }
 
 // TestStatsEndpointShape checks /stats is valid JSON with the fields the
-// ops side keys on.
+// ops side keys on, including the queue and latency surfaces.
 func TestStatsEndpointShape(t *testing.T) {
-	s, ts := newTestServer(t, Config{Budget: 7})
+	s, ts := newTestServer(t, Config{Budget: 7, QueueDepth: 9})
 
 	var raw map[string]json.RawMessage
 	if code := getJSON(t, ts.URL+"/stats", &raw); code != http.StatusOK {
 		t.Fatalf("GET /stats: status %d", code)
 	}
-	for _, key := range []string{"workers", "budget", "in_flight", "draining", "endpoints", "scheduler"} {
+	for _, key := range []string{"workers", "budget", "in_flight", "queue_cap", "queue_depth",
+		"draining", "endpoints", "scheduler"} {
 		if _, present := raw[key]; !present {
 			t.Errorf("/stats missing %q", key)
 		}
 	}
-	var budget int
+	var budget, queueCap int
 	if err := json.Unmarshal(raw["budget"], &budget); err != nil || budget != 7 {
 		t.Errorf("/stats budget = %v (%v), want 7", budget, err)
 	}
+	if err := json.Unmarshal(raw["queue_cap"], &queueCap); err != nil || queueCap != 9 {
+		t.Errorf("/stats queue_cap = %v (%v), want 9", queueCap, err)
+	}
+	var eps map[string]map[string]json.RawMessage
+	if err := json.Unmarshal(raw["endpoints"], &eps); err != nil {
+		t.Fatalf("/stats endpoints: %v", err)
+	}
+	for _, key := range []string{"latency", "queue_wait", "server_cancelled", "queued", "batched"} {
+		if _, present := eps["fib"][key]; !present {
+			t.Errorf("/stats endpoints.fib missing %q", key)
+		}
+	}
+	var lat map[string]json.RawMessage
+	if err := json.Unmarshal(eps["fib"]["latency"], &lat); err != nil {
+		t.Fatalf("/stats endpoints.fib.latency: %v", err)
+	}
+	for _, key := range []string{"count", "p50_ns", "p90_ns", "p99_ns", "max_ns"} {
+		if _, present := lat[key]; !present {
+			t.Errorf("/stats endpoints.fib.latency missing %q", key)
+		}
+	}
 	if s.InFlight() != 0 {
 		t.Errorf("InFlight = %d at rest, want 0", s.InFlight())
+	}
+}
+
+// waitFor polls cond until it holds or the deadline elapses.
+func waitFor(t *testing.T, d time.Duration, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition not reached in time")
+		}
+		time.Sleep(time.Millisecond)
 	}
 }

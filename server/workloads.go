@@ -1,9 +1,9 @@
 package server
 
 import (
+	"context"
 	"net/http"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"xkaapi"
@@ -49,8 +49,69 @@ func FibSeq(n int) int64 {
 	return a
 }
 
-// handleFib serves GET /fib?n=N: one fork-join job, result verified against
-// the sequential recurrence.
+// serveBatched runs one admitted small-job request through the endpoint's
+// batcher: the request joins the current coalescing window and waits for
+// its sub-result (or its own context, whichever fires first — a batch
+// neighbour can never extend this request's deadline). verify maps the
+// sub-result to the response's ok. It reports false when the batcher is
+// unavailable (disabled, stopped, or the context died before the item was
+// accepted) and the caller should fall back to the one-job path.
+func (s *Server) serveBatched(ep *endpointStats, b *batcher, w http.ResponseWriter, r *http.Request,
+	endpoint string, n int, ctx context.Context, verify func(int64) bool) bool {
+	if b == nil {
+		return false
+	}
+	it := &batchItem{n: n, ctx: ctx, done: make(chan batchResult, 1)}
+	start := time.Now()
+	if !b.submit(it) {
+		if ctx.Err() != nil {
+			// Died before joining a batch: report the cancellation.
+			rep := reply{Endpoint: endpoint, N: n, Error: ErrorLine(ctx.Err()),
+				ElapsedNS: time.Since(start).Nanoseconds()}
+			writeJSON(w, s.finish(ep, start, r.Context(), ctx.Err(), false), rep)
+			return true
+		}
+		return false // batcher stopped: direct path
+	}
+	select {
+	case res := <-it.done:
+		rep := reply{
+			Endpoint:  endpoint,
+			N:         n,
+			ElapsedNS: time.Since(start).Nanoseconds(),
+			Job:       res.stats,
+		}
+		if res.size > 1 {
+			rep.Batch = res.size
+		}
+		if res.err != nil {
+			rep.Error = ErrorLine(res.err)
+		} else {
+			rep.Result = i64Ptr(res.result)
+			rep.OK = verify(res.result)
+			if !rep.OK {
+				rep.Error = "result failed verification"
+			}
+		}
+		writeJSON(w, s.finish(ep, start, r.Context(), res.err, rep.OK), rep)
+	case <-ctx.Done():
+		// The request died while its batch was still collecting or
+		// computing; the batch keeps serving its other members (its
+		// context stays alive while any member lives) and this member's
+		// sub-task is skipped at fan-out or abandoned at the next
+		// context check. The buffered done channel absorbs the late
+		// sub-result.
+		err := ctx.Err()
+		rep := reply{Endpoint: endpoint, N: n, Error: ErrorLine(err),
+			ElapsedNS: time.Since(start).Nanoseconds()}
+		writeJSON(w, s.finish(ep, start, r.Context(), err, false), rep)
+	}
+	return true
+}
+
+// handleFib serves GET /fib?n=N: the fork-join recursion, coalesced with
+// concurrent /fib requests into one batched job when batching is enabled,
+// result verified against the sequential recurrence.
 func (s *Server) handleFib(w http.ResponseWriter, r *http.Request) {
 	n, err := intParam(r, "n", 22, s.maxFib)
 	if err != nil {
@@ -63,10 +124,15 @@ func (s *Server) handleFib(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer cancel()
-	if !s.admit(&s.fib, w) {
+	if !s.admit(&s.fib, w, ctx) {
 		return
 	}
 	defer s.release()
+
+	verify := func(res int64) bool { return res == FibSeq(n) }
+	if s.serveBatched(&s.fib, s.fibBatch, w, r, "fib", n, ctx, verify) {
+		return
+	}
 
 	var res int64
 	start := time.Now()
@@ -82,19 +148,20 @@ func (s *Server) handleFib(w http.ResponseWriter, r *http.Request) {
 	if jerr != nil {
 		rep.Error = ErrorLine(jerr)
 	} else {
-		rep.Result = res
-		rep.OK = res == FibSeq(n)
+		rep.Result = i64Ptr(res)
+		rep.OK = verify(res)
 		if !rep.OK {
 			rep.Error = "result failed verification"
 		}
 	}
-	writeJSON(w, s.finishJob(&s.fib, job.Stats(), jerr, rep.OK), rep)
+	writeJSON(w, s.finishJob(&s.fib, start, r.Context(), job.Stats(), jerr, rep.OK), rep)
 }
 
 // handleLoop serves GET /loop?n=N: the worksharing sum kernel the gomp and
 // komp comparators run (sum of [0, n)), hosted on the adaptive foreach of
-// the shared pool — i.e. the komp mapping of "#pragma omp for" — as one
-// job. The result is verified against the closed form.
+// the shared pool — i.e. the komp mapping of "#pragma omp for" — coalesced
+// with concurrent /loop requests into one batched job when batching is
+// enabled. The result is verified against the closed form.
 func (s *Server) handleLoop(w http.ResponseWriter, r *http.Request) {
 	n, err := intParam(r, "n", 200_000, s.maxLoop)
 	if err != nil {
@@ -107,31 +174,19 @@ func (s *Server) handleLoop(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer cancel()
-	if !s.admit(&s.loop, w) {
+	if !s.admit(&s.loop, w, ctx) {
 		return
 	}
 	defer s.release()
 
-	var sum atomic.Int64
+	verify := func(res int64) bool { return res == int64(n)*int64(n-1)/2 }
+	if s.serveBatched(&s.loop, s.loopBatch, w, r, "loop", n, ctx, verify) {
+		return
+	}
+
+	var res int64
 	start := time.Now()
-	job := s.rt.SubmitCtx(ctx, func(p *xkaapi.Proc) {
-		// The per-job context is cancelled by the request deadline, client
-		// disconnect or a panic anywhere in the job; checking it per chunk
-		// keeps a worker from summing a range the response can no longer
-		// use (the loop itself also stops claiming chunks once the job
-		// fails — this is the body-level half of cooperative cancel).
-		jctx := p.Context()
-		xkaapi.Foreach(p, 0, n, func(_ *xkaapi.Proc, lo, hi int) {
-			if jctx.Err() != nil {
-				return
-			}
-			s := int64(0)
-			for i := lo; i < hi; i++ {
-				s += int64(i)
-			}
-			sum.Add(s)
-		})
-	})
+	job := s.rt.SubmitCtx(ctx, func(p *xkaapi.Proc) { loopKernel(p, n, &res) })
 	jerr := job.Wait()
 
 	rep := reply{
@@ -143,13 +198,13 @@ func (s *Server) handleLoop(w http.ResponseWriter, r *http.Request) {
 	if jerr != nil {
 		rep.Error = ErrorLine(jerr)
 	} else {
-		rep.Result = sum.Load()
-		rep.OK = sum.Load() == int64(n)*int64(n-1)/2
+		rep.Result = i64Ptr(res)
+		rep.OK = verify(res)
 		if !rep.OK {
 			rep.Error = "result failed verification"
 		}
 	}
-	writeJSON(w, s.finishJob(&s.loop, job.Stats(), jerr, rep.OK), rep)
+	writeJSON(w, s.finishJob(&s.loop, start, r.Context(), job.Stats(), jerr, rep.OK), rep)
 }
 
 // spdCache memoizes the SPD source matrices by order: generation is O(n²)
@@ -185,15 +240,17 @@ func spdSource(n int) *tile.Dense {
 
 // handleCholesky serves GET /cholesky?n=N&nb=NB[&verify=1]: one dataflow
 // job factoring a deterministic SPD matrix of order N in NB-sized tiles.
-// With verify=1 the factor is checked against the source via the
-// ||LLᵀ-A||/||A|| residual (an O(n³) check, off by default).
+// The default tile size is clamped to the matrix order — /cholesky?n=32
+// factors with nb=32, not the raw default 64. With verify=1 the factor is
+// checked against the source via the ||LLᵀ-A||/||A|| residual (an O(n³)
+// check, off by default).
 func (s *Server) handleCholesky(w http.ResponseWriter, r *http.Request) {
 	n, err := intParam(r, "n", 192, s.maxChol)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	nb, err := intParam(r, "nb", 64, n)
+	nb, err := intParam(r, "nb", min(64, n), n)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
@@ -209,7 +266,7 @@ func (s *Server) handleCholesky(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer cancel()
-	if !s.admit(&s.chol, w) {
+	if !s.admit(&s.chol, w, ctx) {
 		return
 	}
 	defer s.release()
@@ -234,18 +291,18 @@ func (s *Server) handleCholesky(w http.ResponseWriter, r *http.Request) {
 	if jerr != nil {
 		rep.Error = ErrorLine(jerr)
 	} else {
-		rep.Gflops = flt(cholesky.Gflops(n, elapsed))
+		rep.Gflops = fltPtr(cholesky.Gflops(n, elapsed))
 		rep.OK = true
 		if verify {
 			res := tile.CholeskyResidual(src, m)
-			rep.Residual = flt(res)
+			rep.Residual = fltPtr(res)
 			rep.OK = res < 1e-10
 			if !rep.OK {
 				rep.Error = "residual failed verification"
 			}
 		}
 	}
-	writeJSON(w, s.finishJob(&s.chol, job.Stats(), jerr, rep.OK), rep)
+	writeJSON(w, s.finishJob(&s.chol, start, r.Context(), job.Stats(), jerr, rep.OK), rep)
 }
 
 // ErrorLine trims an error (PanicErrors carry a full stack) to its first
