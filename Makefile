@@ -22,10 +22,26 @@ race:
 vet:
 	$(GO) vet ./...
 
+# lint runs the module's own static analyzers (internal/analysis) through
+# the cmd/xkvet multichecker: jobfailsingleton, taskctx, hotpath and
+# atomicpad — the concurrency invariants stock vet cannot see. The binary
+# is built once into bin/ and rebuilt only when its sources change, so CI
+# can cache it.
+XKVET = bin/xkvet
+XKVET_SRCS = $(shell find cmd/xkvet internal/analysis -name '*.go' -not -path '*/testdata/*')
+$(XKVET): $(XKVET_SRCS)
+	@mkdir -p bin
+	$(GO) build -o $(XKVET) ./cmd/xkvet
+.PHONY: lint
+lint: $(XKVET)
+	./$(XKVET) ./...
+
 # fmt-check fails if any file is not gofmt-clean (use `gofmt -w .` to fix).
+# Analyzer fixtures under */testdata hold deliberately bad code and are
+# exempt.
 .PHONY: fmt-check
 fmt-check:
-	@unformatted=$$(gofmt -l .); \
+	@unformatted=$$(find . -name '*.go' -not -path '*/testdata/*' -exec gofmt -l {} +); \
 	if [ -n "$$unformatted" ]; then \
 		echo "gofmt: files need formatting:"; echo "$$unformatted"; exit 1; \
 	fi
@@ -33,7 +49,7 @@ fmt-check:
 # check is the local CI entry point: static gates, tier-1, the race tier,
 # and the serve/load integration pipeline.
 .PHONY: check
-check: fmt-check vet build test race integration
+check: fmt-check vet lint build test race integration
 
 .PHONY: bench
 bench:
@@ -49,18 +65,16 @@ bench-json:
 	$(GO) test -bench=. -benchtime=1s -benchmem -run='^$$' ./internal/core | $(GO) run ./cmd/xkbenchjson
 
 # bench-diff compares the two most recent BENCH_<n>.json artifacts with
-# xkbenchjson's diff mode and prints the per-benchmark delta table. It is a
-# report, not a gate: it exits 0 when there is nothing to compare and never
-# fails on a regression — CI surfaces the table in the job summary so a
-# regression is visible per PR, while the decision stays with the reviewer.
+# xkbenchjson's diff mode and prints the per-benchmark delta table. The
+# `-latest` flag makes xkbenchjson itself pick the pair by numeric index
+# (a shell `sort -t_ -k2 -n` mis-orders once the suffix grows past one
+# digit, e.g. BENCH_9.json vs BENCH_10.json). It is a report, not a gate:
+# it exits 0 when there is nothing to compare and never fails on a
+# regression — CI surfaces the table in the job summary so a regression
+# is visible per PR, while the decision stays with the reviewer.
 .PHONY: bench-diff
 bench-diff:
-	@set -- $$(ls BENCH_*.json 2>/dev/null | sort -t_ -k2 -n | tail -2); \
-	if [ $$# -lt 2 ]; then \
-		echo "bench-diff: fewer than two BENCH_<n>.json artifacts, nothing to compare"; \
-	else \
-		$(GO) run ./cmd/xkbenchjson diff "$$1" "$$2"; \
-	fi
+	@$(GO) run ./cmd/xkbenchjson diff -latest
 
 # integration drives the real network pipeline: build xkserve, start serve,
 # run the verified mixed workload + backpressure probe against it (including

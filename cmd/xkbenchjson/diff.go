@@ -2,18 +2,49 @@ package main
 
 import (
 	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
 	"strings"
 )
 
-// runDiff implements `xkbenchjson diff OLD.json NEW.json`: a per-benchmark
-// delta table between two BENCH_<n>.json artifacts. It is a report, not a
-// gate — the exit code is non-zero only when an artifact cannot be read,
-// never because a benchmark regressed.
+// runDiff implements `xkbenchjson diff OLD.json NEW.json` (and
+// `diff -latest`): a per-benchmark delta table between two BENCH_<n>.json
+// artifacts. It is a report, not a gate — the exit code is non-zero only
+// when an artifact cannot be read or the arguments are malformed, never
+// because a benchmark regressed. With -latest and fewer than two artifacts
+// in the directory there is nothing to compare, which is the normal state
+// of a fresh checkout: it says so and exits 0.
 func runDiff(args []string) int {
+	fs := flag.NewFlagSet("diff", flag.ContinueOnError)
+	latest := fs.Bool("latest", false,
+		"compare the two highest-numbered BENCH_<n>.json files in -dir")
+	dir := fs.String("dir", ".", "directory to scan with -latest")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	args = fs.Args()
+	if *latest {
+		if len(args) != 0 {
+			fmt.Fprintln(os.Stderr, "usage: xkbenchjson diff -latest [-dir DIR]")
+			return 2
+		}
+		pair, err := latestBenchFiles(*dir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "xkbenchjson diff: %v\n", err)
+			return 1
+		}
+		if pair == nil {
+			fmt.Println("bench-diff: fewer than two BENCH_<n>.json artifacts, nothing to compare")
+			return 0
+		}
+		args = pair
+	}
 	if len(args) != 2 {
-		fmt.Fprintln(os.Stderr, "usage: xkbenchjson diff OLD.json NEW.json")
+		fmt.Fprintln(os.Stderr, "usage: xkbenchjson diff [-latest [-dir DIR]] [OLD.json NEW.json]")
 		return 2
 	}
 	oldBF, err := loadBenchFile(args[0])
@@ -28,6 +59,48 @@ func runDiff(args []string) int {
 	}
 	fmt.Print(diffReport(args[0], args[1], oldBF, newBF))
 	return 0
+}
+
+// latestBenchFiles returns the two highest-numbered BENCH_<n>.json paths
+// in dir, oldest first, comparing indices numerically — a lexicographic
+// (or `sort -t_ -k2 -n`-style field) sort mis-pairs once n reaches two
+// digits, e.g. ordering BENCH_10.json before BENCH_9.json. Returns nil
+// (no error) when fewer than two artifacts exist.
+func latestBenchFiles(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	type indexed struct {
+		n    int
+		path string
+	}
+	var found []indexed
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		name := e.Name()
+		num, ok := strings.CutPrefix(name, "BENCH_")
+		if !ok {
+			continue
+		}
+		num, ok = strings.CutSuffix(num, ".json")
+		if !ok {
+			continue
+		}
+		n, err := strconv.Atoi(num)
+		if err != nil || n < 0 {
+			continue
+		}
+		found = append(found, indexed{n: n, path: filepath.Join(dir, name)})
+	}
+	if len(found) < 2 {
+		return nil, nil
+	}
+	sort.Slice(found, func(i, j int) bool { return found[i].n < found[j].n })
+	last := found[len(found)-2:]
+	return []string{last[0].path, last[1].path}, nil
 }
 
 func loadBenchFile(path string) (*BenchFile, error) {

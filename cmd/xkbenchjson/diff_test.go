@@ -1,6 +1,8 @@
 package main
 
 import (
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -51,5 +53,110 @@ func TestDiffReport(t *testing.T) {
 		if !strings.Contains(got, want) {
 			t.Errorf("diff report missing line %q; got:\n%s", want, got)
 		}
+	}
+}
+
+// Identical snapshots must diff to all-zero deltas — no benchmark may leak
+// into the new or removed sections, and every delta reads +0.0%.
+func TestDiffReportIdentical(t *testing.T) {
+	bf := &BenchFile{
+		GoVersion: "go1.24.0", GoMaxProcs: 8, Timestamp: "t0",
+		Benchmarks: []BenchResult{
+			{Name: "BenchmarkSpawnExecute-8", NsPerOp: 70.87, AllocsPerOp: 0},
+			{Name: "BenchmarkForEach-8", NsPerOp: 21301, AllocsPerOp: 1},
+		},
+	}
+	got := diffReport("BENCH_0.json", "BENCH_1.json", bf, bf)
+	if strings.Contains(got, "| new |") || strings.Contains(got, "| removed |") {
+		t.Errorf("identical snapshots produced new/removed rows:\n%s", got)
+	}
+	for _, want := range []string{
+		"| BenchmarkSpawnExecute | 70.87 | 70.87 | +0.0% | 0 | 0 |",
+		"| BenchmarkForEach | 21301 | 21301 | +0.0% | 1 | 1 |",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("diff report missing line %q; got:\n%s", want, got)
+		}
+	}
+}
+
+// A benchmark present in only one artifact renders with an em-dash on the
+// missing side and a new/removed marker instead of a percentage, and a
+// zero-ns old value must not divide by zero.
+func TestDiffReportOneSided(t *testing.T) {
+	oldBF := &BenchFile{Benchmarks: []BenchResult{
+		{Name: "BenchmarkOnlyOld", NsPerOp: 10, AllocsPerOp: 2},
+		{Name: "BenchmarkZeroNs", NsPerOp: 0},
+	}}
+	newBF := &BenchFile{Benchmarks: []BenchResult{
+		{Name: "BenchmarkOnlyNew", NsPerOp: 5.5},
+		{Name: "BenchmarkZeroNs", NsPerOp: 3},
+	}}
+	got := diffReport("a.json", "b.json", oldBF, newBF)
+	for _, want := range []string{
+		"| BenchmarkOnlyNew | — | 5.50 | new | — | 0 |",
+		"| BenchmarkOnlyOld | 10.00 | — | removed | 2 | — |",
+		"| BenchmarkZeroNs | 0.00 | 3.00 | n/a | 0 | 0 |",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("diff report missing line %q; got:\n%s", want, got)
+		}
+	}
+}
+
+// Zero-alloc benchmarks are the hot-path contract of the scheduler: the
+// rows must print literal 0, not blank, so an alloc regression is a
+// visible 0 -> 1 in the table.
+func TestDiffReportZeroAllocRow(t *testing.T) {
+	oldBF := &BenchFile{Benchmarks: []BenchResult{
+		{Name: "BenchmarkSteal-8", NsPerOp: 100, AllocsPerOp: 0, BytesPerOp: 0},
+	}}
+	newBF := &BenchFile{Benchmarks: []BenchResult{
+		{Name: "BenchmarkSteal-8", NsPerOp: 110, AllocsPerOp: 1, BytesPerOp: 24},
+	}}
+	got := diffReport("a.json", "b.json", oldBF, newBF)
+	want := "| BenchmarkSteal | 100 | 110 | +10.0% | 0 | 1 |"
+	if !strings.Contains(got, want) {
+		t.Errorf("diff report missing line %q; got:\n%s", want, got)
+	}
+}
+
+// latestBenchFiles must order indices numerically: with BENCH_2, BENCH_9,
+// BENCH_10 and BENCH_11 present, the pair is (10, 11) — a lexicographic
+// or field-wise shell sort would pick (9, 11) or worse once indices reach
+// two digits.
+func TestLatestBenchFilesNumericOrder(t *testing.T) {
+	dir := t.TempDir()
+	for _, name := range []string{
+		"BENCH_2.json", "BENCH_9.json", "BENCH_10.json", "BENCH_11.json",
+		"BENCH_x.json", "BENCH_3.txt", "notbench.json", // ignored
+	} {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte("{}"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pair, err := latestBenchFiles(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{filepath.Join(dir, "BENCH_10.json"), filepath.Join(dir, "BENCH_11.json")}
+	if len(pair) != 2 || pair[0] != want[0] || pair[1] != want[1] {
+		t.Errorf("latestBenchFiles = %v, want %v", pair, want)
+	}
+}
+
+// With fewer than two artifacts there is nothing to compare: nil pair, no
+// error, so `make bench-diff` stays quiet-and-green on a fresh checkout.
+func TestLatestBenchFilesTooFew(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "BENCH_0.json"), []byte("{}"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	pair, err := latestBenchFiles(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pair != nil {
+		t.Errorf("latestBenchFiles with one artifact = %v, want nil", pair)
 	}
 }

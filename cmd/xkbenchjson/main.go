@@ -14,14 +14,17 @@
 // Benchmarks present on only one side are listed as added or removed
 // (GOMAXPROCS name suffixes like "-8" are stripped before matching, so
 // artifacts from machines with different core counts still line up).
-// `make bench-diff` feeds it the two most recent BENCH_<n>.json files; the
-// comparison is a report, not a gate — it always exits 0 unless an
-// artifact cannot be read.
+// `diff -latest` picks the pair itself: the two highest-numbered
+// BENCH_<n>.json files, compared numerically so BENCH_10 sorts after
+// BENCH_9 — this is what `make bench-diff` runs. The comparison is a
+// report, not a gate — it always exits 0 unless an artifact cannot be
+// read.
 //
 // Usage:
 //
 //	go test -bench=. -benchmem ./internal/core | xkbenchjson [-out FILE]
 //	xkbenchjson diff OLD.json NEW.json
+//	xkbenchjson diff -latest [-dir DIR]
 package main
 
 import (

@@ -16,6 +16,10 @@
 // (7) deadline-aware bodies: every task sees its job's context through
 // Proc.Context — one failure state machine cancels it on panic, Cancel,
 // deadline or disconnect, in every paradigm layer of this module.
+//
+// The context rules shown here are machine-checked: `make lint` runs the
+// module's own analyzers (internal/analysis, via cmd/xkvet), which reject
+// task bodies that call context.Background or shadow the job's context.
 package main
 
 import (

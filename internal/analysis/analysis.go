@@ -1,0 +1,211 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one static check. The shape deliberately mirrors
+// golang.org/x/tools/go/analysis (Name, Doc, Run over a Pass) so the
+// checks can be ported to a stock multichecker wholesale if that
+// dependency ever becomes available; the module itself is
+// dependency-free, so the driver and this micro-framework are local.
+type Analyzer struct {
+	Name string // short lower-case identifier, used in diagnostics and //xk:allow
+	Doc  string // one-paragraph description of the invariant enforced
+	Run  func(*Pass) error
+}
+
+// Pass carries one analyzer's view of one type-checked package.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Diagnostic is one reported violation, position already resolved.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// Check runs the analyzers over pkg and returns the surviving diagnostics
+// sorted by position. A diagnostic is suppressed when the offending line
+// carries a trailing `//xk:allow(<name>)` comment naming the analyzer (or
+// `all`), with an optional `: reason` — the suppression is deliberate and
+// visible in review, which is the point.
+func Check(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.TypesInfo,
+			diags:     &diags,
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.PkgPath, err)
+		}
+	}
+	allow := allowedLines(pkg)
+	kept := diags[:0]
+	for _, d := range diags {
+		names := allow[lineKey{d.Pos.Filename, d.Pos.Line}]
+		if names[d.Analyzer] || names["all"] {
+			continue
+		}
+		kept = append(kept, d)
+	}
+	sort.Slice(kept, func(i, j int) bool {
+		a, b := kept[i].Pos, kept[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		return kept[i].Analyzer < kept[j].Analyzer
+	})
+	return kept, nil
+}
+
+type lineKey struct {
+	file string
+	line int
+}
+
+// allowedLines collects the //xk:allow(...) suppressions of a package as
+// a map from (file, line) to the set of analyzer names allowed there.
+func allowedLines(pkg *Package) map[lineKey]map[string]bool {
+	allow := make(map[lineKey]map[string]bool)
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(c.Text, "//xk:allow(")
+				if !ok {
+					continue
+				}
+				names, _, ok := strings.Cut(rest, ")")
+				if !ok {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				key := lineKey{pos.Filename, pos.Line}
+				set := allow[key]
+				if set == nil {
+					set = make(map[string]bool)
+					allow[key] = set
+				}
+				for _, n := range strings.Split(names, ",") {
+					set[strings.TrimSpace(n)] = true
+				}
+			}
+		}
+	}
+	return allow
+}
+
+// FileHasPragma reports whether any comment in f is exactly the directive
+// `//<pragma>`, optionally followed by a space and free text. Used for
+// file-level opt-ins like //xk:hotpath.
+func FileHasPragma(f *ast.File, pragma string) bool {
+	want := "//" + pragma
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			if c.Text == want || strings.HasPrefix(c.Text, want+" ") {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// DocHasPragma reports whether a declaration's doc comment group carries
+// the directive `//<pragma>` (same matching as FileHasPragma).
+func DocHasPragma(doc *ast.CommentGroup, pragma string) bool {
+	if doc == nil {
+		return false
+	}
+	want := "//" + pragma
+	for _, c := range doc.List {
+		if c.Text == want || strings.HasPrefix(c.Text, want+" ") {
+			return true
+		}
+	}
+	return false
+}
+
+// IsPkgFunc reports whether call invokes the package-level function
+// pkgPath.name, resolved through the type checker (so import renames and
+// dot imports are handled).
+func IsPkgFunc(info *types.Info, call *ast.CallExpr, pkgPath, name string) bool {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return false
+	}
+	obj, ok := info.Uses[id].(*types.Func)
+	return ok && obj.Name() == name && obj.Pkg() != nil && obj.Pkg().Path() == pkgPath
+}
+
+// CalleeName returns the bare name a call is spelled with (`Spawn` for
+// both `w.Spawn(...)` and `Spawn(...)`), or "" for indirect calls.
+func CalleeName(call *ast.CallExpr) string {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		return fun.Sel.Name
+	}
+	return ""
+}
+
+// NamedFromPkg reports whether t (after alias resolution and pointer
+// removal) is a named type declared in the package with the given path,
+// returning its name.
+func NamedFromPkg(t types.Type, pkgPath string) (string, bool) {
+	t = types.Unalias(t)
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = types.Unalias(ptr.Elem())
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return "", false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != pkgPath {
+		return "", false
+	}
+	return obj.Name(), true
+}

@@ -1,0 +1,276 @@
+// Package atomicpad guards the layout invariants of per-worker counter
+// blocks. Two checks:
+//
+// First, a struct that (transitively) holds sync/atomic fields and is
+// instantiated by value as a slice or array element — the per-worker
+// slot pattern of the deque request box and the stats blocks — must
+// carry a blank padding field (`_ [N]byte`): without it, adjacent
+// workers' counters share cache lines and every uncontended atomic RMW
+// turns into cross-core traffic (false sharing).
+//
+// Second, plain 64-bit fields reached through the sync/atomic functions
+// (atomic.AddInt64(&s.f, ...)) must sit at 8-byte-aligned offsets under
+// 32-bit (GOARCH=386) struct layout, where int64 alignment is only 4:
+// a misaligned 64-bit atomic faults on 32-bit hardware. Move 64-bit
+// fields to the front of the struct or pad before them. (The atomic.Int64
+// wrapper types carry their own align64 marker and are always safe.)
+package atomicpad
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"xkaapi/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "atomicpad",
+	Doc: "structs holding sync/atomic fields used as slice/array elements " +
+		"must carry cache-line padding (`_ [N]byte`), and 64-bit fields " +
+		"accessed via sync/atomic functions must be 8-byte aligned under " +
+		"32-bit layout.",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	checkPadding(pass)
+	checkAlignment(pass)
+	return nil
+}
+
+// checkPadding flags atomic-holding structs used as value elements of a
+// slice or array without a blank padding field.
+func checkPadding(pass *analysis.Pass) {
+	// Every struct type declared in this package.
+	type declared struct {
+		named *types.Named
+		spec  *ast.TypeSpec
+	}
+	var structs []declared
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.TYPE {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok || ts.Assign.IsValid() {
+					continue
+				}
+				obj, ok := pass.TypesInfo.Defs[ts.Name].(*types.TypeName)
+				if !ok {
+					continue
+				}
+				named, ok := obj.Type().(*types.Named)
+				if !ok {
+					continue
+				}
+				if _, ok := named.Underlying().(*types.Struct); ok {
+					structs = append(structs, declared{named, ts})
+				}
+			}
+		}
+	}
+	// Every type used as a by-value slice/array element anywhere in the
+	// package (var decls, struct fields, make calls, composite literals).
+	slicedAt := make(map[*types.Named]token.Pos)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			at, ok := n.(*ast.ArrayType)
+			if !ok {
+				return true
+			}
+			t := pass.TypesInfo.TypeOf(at.Elt)
+			if t == nil {
+				return true
+			}
+			if named, ok := types.Unalias(t).(*types.Named); ok {
+				if _, seen := slicedAt[named]; !seen {
+					slicedAt[named] = at.Pos()
+				}
+			}
+			return true
+		})
+	}
+	for _, d := range structs {
+		pos, sliced := slicedAt[d.named]
+		if !sliced || !holdsAtomics(d.named, make(map[types.Type]bool)) {
+			continue
+		}
+		if hasBytePad(d.named) {
+			continue
+		}
+		pass.Reportf(d.spec.Pos(),
+			"%s holds atomic fields and is used as a slice/array element (%s) "+
+				"without cache-line padding: add a blank `_ [N]byte` field so "+
+				"per-worker slots do not false-share",
+			d.spec.Name.Name, pass.Fset.Position(pos))
+	}
+}
+
+// holdsAtomics reports whether t transitively contains a sync/atomic
+// field (through nested structs and arrays, cycles guarded by seen).
+func holdsAtomics(t types.Type, seen map[types.Type]bool) bool {
+	t = types.Unalias(t)
+	if seen[t] {
+		return false
+	}
+	seen[t] = true
+	if named, ok := t.(*types.Named); ok {
+		if pkg := named.Obj().Pkg(); pkg != nil && pkg.Path() == "sync/atomic" {
+			return true
+		}
+		return holdsAtomics(named.Underlying(), seen)
+	}
+	switch t := t.(type) {
+	case *types.Struct:
+		for i := 0; i < t.NumFields(); i++ {
+			if holdsAtomics(t.Field(i).Type(), seen) {
+				return true
+			}
+		}
+	case *types.Array:
+		return holdsAtomics(t.Elem(), seen)
+	}
+	return false
+}
+
+// hasBytePad reports whether the struct has a blank field of byte-array
+// type — the `_ [cacheLinePad]byte` convention.
+func hasBytePad(named *types.Named) bool {
+	st, ok := named.Underlying().(*types.Struct)
+	if !ok {
+		return false
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		if f.Name() != "_" {
+			continue
+		}
+		arr, ok := types.Unalias(f.Type()).(*types.Array)
+		if !ok {
+			continue
+		}
+		if basic, ok := types.Unalias(arr.Elem()).(*types.Basic); ok && basic.Kind() == types.Uint8 {
+			return true
+		}
+	}
+	return false
+}
+
+// atomic64Funcs are the sync/atomic package functions operating on plain
+// 64-bit words, whose argument must be 8-byte aligned even on 32-bit.
+var atomic64Funcs = map[string]bool{
+	"AddInt64": true, "AddUint64": true,
+	"LoadInt64": true, "LoadUint64": true,
+	"StoreInt64": true, "StoreUint64": true,
+	"SwapInt64": true, "SwapUint64": true,
+	"CompareAndSwapInt64": true, "CompareAndSwapUint64": true,
+	"AndInt64": true, "AndUint64": true,
+	"OrInt64": true, "OrUint64": true,
+}
+
+// sizes32 models gc struct layout on a 32-bit target, where int64
+// alignment is 4 and misaligned 64-bit atomics fault.
+var sizes32 = types.SizesFor("gc", "386")
+
+// checkAlignment flags &struct.field arguments of 64-bit atomic calls
+// whose field offset is not 8-aligned under 32-bit layout.
+func checkAlignment(pass *analysis.Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			matched := false
+			for name := range atomic64Funcs {
+				if analysis.IsPkgFunc(pass.TypesInfo, call, "sync/atomic", name) {
+					matched = true
+					break
+				}
+			}
+			if !matched {
+				return true
+			}
+			addr, ok := ast.Unparen(call.Args[0]).(*ast.UnaryExpr)
+			if !ok || addr.Op != token.AND {
+				return true
+			}
+			sel, ok := ast.Unparen(addr.X).(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			if off, known := chainOffset32(pass, sel); known && off%8 != 0 {
+				pass.Reportf(sel.Pos(),
+					"64-bit atomic access to field %s at offset %d: not 8-byte "+
+						"aligned on 32-bit targets — move 64-bit fields to the "+
+						"front of the struct or pad before them (or use the "+
+						"atomic.Int64/Uint64 wrapper types, which self-align)",
+					sel.Sel.Name, off)
+			}
+			return true
+		})
+	}
+}
+
+// chainOffset32 resolves the total offset of a (possibly nested) field
+// selector like s.c.n under 32-bit layout. Each explicit selector step
+// has its own types.Selection; the offsets accumulate until the chain
+// reaches a pointer receiver (an allocation's first word is 64-bit
+// aligned even on 32-bit, per the sync/atomic contract) or a plain
+// variable base.
+func chainOffset32(pass *analysis.Pass, sel *ast.SelectorExpr) (int64, bool) {
+	var total int64
+	for {
+		selection := pass.TypesInfo.Selections[sel]
+		if selection == nil || selection.Kind() != types.FieldVal {
+			return 0, false
+		}
+		off, ok := pathOffset32(selection)
+		if !ok {
+			return 0, false
+		}
+		total += off
+		if _, isPtr := types.Unalias(selection.Recv()).(*types.Pointer); isPtr {
+			break // implicit deref: the base allocation starts 8-aligned
+		}
+		x, ok := ast.Unparen(sel.X).(*ast.SelectorExpr)
+		if !ok {
+			break
+		}
+		sel = x
+	}
+	return total, true
+}
+
+// pathOffset32 walks one selection's field path (several steps only for
+// promoted fields of embedded structs) and sums the offsets.
+func pathOffset32(selection *types.Selection) (int64, bool) {
+	t := deref(selection.Recv())
+	var offset int64
+	for _, idx := range selection.Index() {
+		st, ok := types.Unalias(t.Underlying()).(*types.Struct)
+		if !ok {
+			return 0, false
+		}
+		fields := make([]*types.Var, st.NumFields())
+		for i := range fields {
+			fields[i] = st.Field(i)
+		}
+		offsets := sizes32.Offsetsof(fields)
+		offset += offsets[idx]
+		t = deref(st.Field(idx).Type())
+	}
+	return offset, true
+}
+
+func deref(t types.Type) types.Type {
+	t = types.Unalias(t)
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = types.Unalias(ptr.Elem())
+	}
+	return t
+}

@@ -1,0 +1,11 @@
+package atomicpad
+
+import (
+	"testing"
+
+	"xkaapi/internal/analysis"
+)
+
+func TestAnalyzer(t *testing.T) {
+	analysis.RunFixture(t, Analyzer, "ap")
+}

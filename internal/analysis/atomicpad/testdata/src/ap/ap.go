@@ -1,0 +1,97 @@
+// Package ap exercises the atomicpad analyzer: padding of atomic-holding
+// slice elements, and 32-bit alignment of plain 64-bit atomic fields.
+package ap
+
+import "sync/atomic"
+
+// padded is the approved per-worker slot shape: atomics plus a blank
+// byte-array pad keeping neighbouring slots on distinct cache lines.
+type padded struct {
+	n atomic.Int64
+	_ [56]byte
+}
+
+var pool []padded
+
+type unpadded struct { // want `unpadded holds atomic fields and is used as a slice/array element`
+	n atomic.Int64
+}
+
+var slots = make([]unpadded, 8)
+
+// notSliced is never a slice element: no padding demanded.
+type notSliced struct {
+	n atomic.Int64
+}
+
+var single notSliced
+
+// ptrSliced is only sliced through pointers: each element is its own
+// allocation, so no padding demanded.
+type ptrSliced struct {
+	n atomic.Int64
+}
+
+var ptrs []*ptrSliced
+
+// outer holds its atomics indirectly, through a nested struct — still a
+// per-slot counter block when instantiated as an array.
+type inner struct{ c atomic.Uint64 }
+
+type outer struct { // want `outer holds atomic fields and is used as a slice/array element`
+	in inner
+}
+
+var outers [4]outer
+
+// noAtomics is sliced but has nothing atomic: no padding demanded.
+type noAtomics struct {
+	n int64
+}
+
+var plain []noAtomics
+
+// counters has its 64-bit word after a bool: offset 4 under 32-bit
+// layout, so the sync/atomic access below would fault on GOARCH=386.
+type counters struct {
+	flag bool
+	n    int64
+}
+
+func bump(c *counters) {
+	atomic.AddInt64(&c.n, 1) // want `not 8-byte aligned on 32-bit targets`
+}
+
+// alignedCounters keeps the 64-bit word first: offset 0, always safe.
+type alignedCounters struct {
+	n    int64
+	flag bool
+}
+
+func bumpOK(c *alignedCounters) int64 {
+	atomic.AddInt64(&c.n, 1)
+	return atomic.LoadInt64(&c.n)
+}
+
+// nested embeds the misaligned pair one level down; the selection path
+// accumulates offsets.
+type nested struct {
+	pad uint32
+	c   alignedCounters
+}
+
+func bumpNested(s *nested) {
+	atomic.AddInt64(&s.c.n, 1) // want `not 8-byte aligned on 32-bit targets`
+}
+
+var (
+	_ = bump
+	_ = bumpOK
+	_ = bumpNested
+	_ = single
+	_ = slots
+	_ = pool
+	_ = ptrs
+	_ = outers
+	_ = plain
+)

@@ -1,0 +1,188 @@
+package analysis
+
+import (
+	"go/parser"
+	"go/token"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// RunFixture is the analysistest analogue for this framework: it loads
+// the fixture packages under testdata/src/<pkg> (relative to the calling
+// test's working directory, i.e. the analyzer's package directory), runs
+// the analyzer, and compares its diagnostics against `// want "regexp"`
+// comments in the fixture sources. A want comment expects one diagnostic
+// on its own line whose message matches the (quoted or backquoted)
+// regular expression; several expressions expect several diagnostics.
+//
+// Fixture imports — standard library or real packages of this module,
+// e.g. xkaapi/internal/jobfail — are resolved through `go list -export`
+// exactly like the production loader, so fixtures type-check for real.
+// Fixtures cannot import each other.
+func RunFixture(t *testing.T, a *Analyzer, fixturePkgs ...string) {
+	t.Helper()
+	fset := token.NewFileSet()
+
+	type fixture struct {
+		pkgPath string
+		dir     string
+		files   []string
+	}
+	var fixtures []fixture
+	importSet := make(map[string]bool)
+	for _, rel := range fixturePkgs {
+		dir := filepath.Join("testdata", "src", filepath.FromSlash(rel))
+		matches, err := filepath.Glob(filepath.Join(dir, "*.go"))
+		if err != nil || len(matches) == 0 {
+			t.Fatalf("fixture %s: no Go files in %s (%v)", rel, dir, err)
+		}
+		sort.Strings(matches)
+		for _, path := range matches {
+			f, err := parser.ParseFile(fset, path, nil, parser.ImportsOnly)
+			if err != nil {
+				t.Fatalf("fixture %s: %v", rel, err)
+			}
+			for _, spec := range f.Imports {
+				p, err := strconv.Unquote(spec.Path.Value)
+				if err == nil && p != "unsafe" {
+					importSet[p] = true
+				}
+			}
+		}
+		fixtures = append(fixtures, fixture{pkgPath: rel, dir: dir, files: matches})
+	}
+
+	exports := make(map[string]string)
+	if len(importSet) > 0 {
+		paths := make([]string, 0, len(importSet))
+		for p := range importSet {
+			paths = append(paths, p)
+		}
+		sort.Strings(paths)
+		listed, err := goList(".", paths)
+		if err != nil {
+			t.Fatalf("resolving fixture imports: %v", err)
+		}
+		for _, p := range listed {
+			if p.Export != "" {
+				exports[p.ImportPath] = p.Export
+			}
+		}
+	}
+	imp := exportImporter(fset, exports)
+
+	for _, fx := range fixtures {
+		pkg, err := TypeCheck(fset, imp, fx.pkgPath, fx.dir, fx.files)
+		if err != nil {
+			t.Fatalf("fixture %s: %v", fx.pkgPath, err)
+		}
+		diags, err := Check(pkg, []*Analyzer{a})
+		if err != nil {
+			t.Fatalf("fixture %s: %v", fx.pkgPath, err)
+		}
+		matchExpectations(t, pkg, diags)
+	}
+}
+
+// expectation is one parsed `// want` pattern, consumed by one matching
+// diagnostic on the same line.
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	raw  string
+}
+
+func matchExpectations(t *testing.T, pkg *Package, diags []Diagnostic) {
+	t.Helper()
+	var wants []*expectation
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				pos := pkg.Fset.Position(c.Pos())
+				for _, raw := range parseWant(t, pos, c.Text) {
+					re, err := regexp.Compile(raw)
+					if err != nil {
+						t.Fatalf("%s: bad want pattern %q: %v", pos, raw, err)
+					}
+					wants = append(wants, &expectation{
+						file: pos.Filename, line: pos.Line, re: re, raw: raw,
+					})
+				}
+			}
+		}
+	}
+	for _, d := range diags {
+		matched := false
+		for _, w := range wants {
+			if w.re == nil || w.file != d.Pos.Filename || w.line != d.Pos.Line {
+				continue
+			}
+			if w.re.MatchString(d.Message) {
+				w.re = nil // consumed
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if w.re != nil {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.raw)
+		}
+	}
+}
+
+// parseWant extracts the patterns of a `// want "re" `+"`re`"+` ...`
+// comment, or nil if the comment is not a want comment.
+func parseWant(t *testing.T, pos token.Position, text string) []string {
+	t.Helper()
+	rest, ok := strings.CutPrefix(text, "// want ")
+	if !ok {
+		rest, ok = strings.CutPrefix(text, "//want ")
+	}
+	if !ok {
+		return nil
+	}
+	var pats []string
+	for {
+		rest = strings.TrimSpace(rest)
+		if rest == "" {
+			return pats
+		}
+		switch rest[0] {
+		case '"':
+			end := -1
+			for i := 1; i < len(rest); i++ {
+				if rest[i] == '"' && rest[i-1] != '\\' {
+					end = i
+					break
+				}
+			}
+			if end < 0 {
+				t.Fatalf("%s: unterminated want pattern: %s", pos, rest)
+			}
+			pat, err := strconv.Unquote(rest[:end+1])
+			if err != nil {
+				t.Fatalf("%s: bad want pattern %s: %v", pos, rest[:end+1], err)
+			}
+			pats = append(pats, pat)
+			rest = rest[end+1:]
+		case '`':
+			end := strings.IndexByte(rest[1:], '`')
+			if end < 0 {
+				t.Fatalf("%s: unterminated want pattern: %s", pos, rest)
+			}
+			pats = append(pats, rest[1:end+1])
+			rest = rest[end+2:]
+		default:
+			t.Fatalf("%s: want patterns must be quoted or backquoted: %s", pos, rest)
+		}
+	}
+}

@@ -1,0 +1,106 @@
+// Package hotpath keeps the opted-in scheduler files lock-free and
+// allocation-free. A file opts in with a `//xk:hotpath` comment (the
+// Chase–Lev deque, the worker loop, the latency histogram); inside such
+// a file the analyzer rejects blocking or allocating constructs: method
+// calls on package sync types (Mutex, RWMutex, Cond, WaitGroup, Once,
+// Map — sync/atomic stays allowed), channel sends/receives and select,
+// goroutine launches, time.Sleep, and any fmt call.
+//
+// Deliberate slow paths stay expressible: a function whose doc comment
+// carries `//xk:coldpath` is exempt (e.g. the worker's park path, which
+// exists to block), and a single line can carry `//xk:allow(hotpath)`
+// with a reason (e.g. the idle-backoff sleep).
+package hotpath
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"xkaapi/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "hotpath",
+	Doc: "files opted in with //xk:hotpath must stay lock-free and " +
+		"allocation-free: no sync.Mutex/RWMutex (or other package sync) " +
+		"method calls, no channel operations or select, no goroutine " +
+		"launches, no time.Sleep, no fmt; mark deliberate slow paths with " +
+		"//xk:coldpath on the function or //xk:allow(hotpath) on the line.",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		if !analysis.FileHasPragma(f, "xk:hotpath") {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if analysis.DocHasPragma(fd.Doc, "xk:coldpath") {
+				continue
+			}
+			checkFunc(pass, fd)
+		}
+	}
+	return nil
+}
+
+func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			pass.Reportf(n.Pos(), "channel send in hot path (file is //xk:hotpath)")
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				pass.Reportf(n.Pos(), "channel receive in hot path (file is //xk:hotpath)")
+			}
+		case *ast.SelectStmt:
+			pass.Reportf(n.Pos(), "select in hot path (file is //xk:hotpath)")
+		case *ast.GoStmt:
+			pass.Reportf(n.Pos(),
+				"goroutine launch in hot path: the closure and its captures "+
+					"escape-allocate per call (file is //xk:hotpath)")
+		case *ast.CallExpr:
+			checkCall(pass, n)
+		}
+		return true
+	})
+}
+
+func checkCall(pass *analysis.Pass, call *ast.CallExpr) {
+	if analysis.IsPkgFunc(pass.TypesInfo, call, "time", "Sleep") {
+		pass.Reportf(call.Pos(), "time.Sleep in hot path (file is //xk:hotpath)")
+		return
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	// fmt.* — formatting allocates and takes interface boxing on every call.
+	if obj, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func); ok &&
+		obj.Pkg() != nil && obj.Pkg().Path() == "fmt" {
+		pass.Reportf(call.Pos(), "fmt.%s in hot path (file is //xk:hotpath)", obj.Name())
+		return
+	}
+	// Method calls declared by package sync (Lock, RLock, Wait, Do, ...)
+	// all block or serialize; resolving by the method's declaring package
+	// also catches embedded mutexes. sync/atomic is a different package
+	// and stays allowed — it is what hot paths are made of.
+	selection := pass.TypesInfo.Selections[sel]
+	if selection == nil || selection.Kind() != types.MethodVal {
+		return
+	}
+	fn, ok := selection.Obj().(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return
+	}
+	name, _ := analysis.NamedFromPkg(fn.Type().(*types.Signature).Recv().Type(), "sync")
+	pass.Reportf(call.Pos(),
+		"sync.%s.%s in hot path: hot files are lock-free by contract "+
+			"(file is //xk:hotpath; mark a deliberate slow path //xk:coldpath)",
+		name, sel.Sel.Name)
+}

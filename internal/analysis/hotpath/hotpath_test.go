@@ -1,0 +1,11 @@
+package hotpath
+
+import (
+	"testing"
+
+	"xkaapi/internal/analysis"
+)
+
+func TestAnalyzer(t *testing.T) {
+	analysis.RunFixture(t, Analyzer, "h")
+}

@@ -1,0 +1,17 @@
+package h
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// notOptedIn lives in a file without //xk:hotpath: nothing is flagged.
+func notOptedIn(mu *sync.Mutex, ch chan int) {
+	mu.Lock()
+	defer mu.Unlock()
+	ch <- 1
+	<-ch
+	go fmt.Println("cold")
+	time.Sleep(time.Millisecond)
+}

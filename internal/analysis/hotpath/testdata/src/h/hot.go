@@ -1,0 +1,58 @@
+//xk:hotpath — this fixture file is under the lock-free contract.
+
+// Package h exercises the hotpath analyzer: this file is opted in, the
+// sibling cold.go is not.
+package h
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+type guarded struct {
+	mu sync.Mutex
+	sync.RWMutex
+	n atomic.Int64
+}
+
+func violations(g *guarded, ch chan int) {
+	g.mu.Lock()   // want `sync\.Mutex\.Lock in hot path`
+	g.mu.Unlock() // want `sync\.Mutex\.Unlock in hot path`
+	g.RLock()     // want `sync\.RWMutex\.RLock in hot path`
+	g.RUnlock()   // want `sync\.RWMutex\.RUnlock in hot path`
+	ch <- 1       // want `channel send in hot path`
+	<-ch          // want `channel receive in hot path`
+	select {      // want `select in hot path`
+	case v := <-ch: // want `channel receive in hot path`
+		_ = v
+	default:
+	}
+	go func() { // want `goroutine launch in hot path`
+		g.n.Add(1)
+	}()
+	time.Sleep(time.Microsecond) // want `time\.Sleep in hot path`
+	fmt.Println("hot")           // want `fmt\.Println in hot path`
+}
+
+// allowed: atomics are the point of a hot path.
+func fine(g *guarded) int64 {
+	g.n.Add(1)
+	return g.n.Load()
+}
+
+// park is the deliberate slow path; blocking here is the design.
+//
+//xk:coldpath — exists to block.
+func park(g *guarded, ch chan int) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	<-ch
+	time.Sleep(time.Millisecond)
+}
+
+// backoff shows the line-level escape hatch.
+func backoff() {
+	time.Sleep(time.Microsecond) //xk:allow(hotpath): idle backoff, out of work by definition
+}

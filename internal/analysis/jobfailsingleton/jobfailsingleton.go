@@ -1,0 +1,87 @@
+// Package jobfailsingleton enforces the single-failure-state-machine
+// invariant: the runtime has exactly one PanicError — the one in
+// internal/jobfail — and every layer that re-exports it does so as an
+// alias of that definition. It is the AST-level replacement for the old
+// `grep -c "type PanicError"` tripwire in ci.sh, and unlike the grep it
+// also proves each alias really resolves to jobfail's type instead of
+// merely being spelled like one.
+package jobfailsingleton
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"xkaapi/internal/analysis"
+)
+
+// jobfailPath is the one package allowed to define PanicError.
+const jobfailPath = "xkaapi/internal/jobfail"
+
+var Analyzer = &analysis.Analyzer{
+	Name: "jobfailsingleton",
+	Doc: "PanicError may be defined only in internal/jobfail; everywhere else " +
+		"it must be a grouped alias (`type ( PanicError = jobfail.PanicError )`) " +
+		"resolving to that single definition, so one failure state machine " +
+		"serves every paradigm layer.",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.TYPE {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok || ts.Name.Name != "PanicError" {
+					continue
+				}
+				check(pass, gd, ts)
+			}
+		}
+	}
+	return nil
+}
+
+func check(pass *analysis.Pass, gd *ast.GenDecl, ts *ast.TypeSpec) {
+	if ts.Assign == token.NoPos {
+		// A real definition, not an alias.
+		if pass.Pkg.Path() != jobfailPath {
+			pass.Reportf(ts.Pos(),
+				"PanicError defined outside %s: the failure protocol must have "+
+					"exactly one state machine — re-export it instead with "+
+					"`type ( PanicError = jobfail.PanicError )`", jobfailPath)
+		}
+		return
+	}
+	if !resolvesToJobfail(pass, ts.Type) {
+		pass.Reportf(ts.Pos(),
+			"PanicError alias does not resolve to %s.PanicError: every layer "+
+				"must share the one jobfail definition", jobfailPath)
+		return
+	}
+	if !gd.Lparen.IsValid() {
+		pass.Reportf(ts.Pos(),
+			"PanicError re-export must use the grouped alias form "+
+				"`type ( PanicError = jobfail.PanicError )` — the convention "+
+				"that keeps re-exports visually distinct from definitions")
+	}
+}
+
+// resolvesToJobfail reports whether the alias RHS denotes (possibly
+// through further aliases, e.g. core.PanicError) the jobfail definition.
+func resolvesToJobfail(pass *analysis.Pass, expr ast.Expr) bool {
+	t := pass.TypesInfo.TypeOf(expr)
+	if t == nil {
+		return false
+	}
+	named, ok := types.Unalias(t).(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "PanicError" && obj.Pkg() != nil && obj.Pkg().Path() == jobfailPath
+}

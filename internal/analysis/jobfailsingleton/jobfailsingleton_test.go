@@ -1,0 +1,17 @@
+package jobfailsingleton
+
+import (
+	"testing"
+
+	"xkaapi/internal/analysis"
+)
+
+func TestAnalyzer(t *testing.T) {
+	analysis.RunFixture(t, Analyzer,
+		"xkaapi/internal/jobfail",
+		"okalias",
+		"baddef",
+		"badgroup",
+		"badtarget",
+	)
+}

@@ -1,0 +1,9 @@
+// Package baddef re-grows a hand-rolled failure type, which the analyzer
+// must refuse: the failure state machine has exactly one definition.
+package baddef
+
+type PanicError struct { // want `PanicError defined outside xkaapi/internal/jobfail`
+	Value any
+}
+
+func (e *PanicError) Error() string { return "panic" }

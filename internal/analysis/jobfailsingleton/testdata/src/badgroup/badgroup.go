@@ -1,0 +1,9 @@
+// Package badgroup aliases the right type but with an ungrouped decl,
+// violating the re-export convention the repo standardizes on.
+package badgroup
+
+import "xkaapi/internal/jobfail"
+
+type PanicError = jobfail.PanicError // want `grouped alias form`
+
+var _ = PanicError{}

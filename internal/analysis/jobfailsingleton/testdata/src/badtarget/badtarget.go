@@ -1,0 +1,13 @@
+// Package badtarget aliases PanicError to a local look-alike: spelled
+// like a re-export, but it does not resolve to the jobfail definition.
+package badtarget
+
+type impostor struct {
+	Value any
+}
+
+type (
+	PanicError = impostor // want `does not resolve to xkaapi/internal/jobfail.PanicError`
+)
+
+var _ = PanicError{}

@@ -1,0 +1,11 @@
+// Package okalias re-exports PanicError the approved way: a grouped
+// alias resolving to the real internal/jobfail definition.
+package okalias
+
+import "xkaapi/internal/jobfail"
+
+type (
+	PanicError = jobfail.PanicError
+)
+
+var _ = PanicError{}

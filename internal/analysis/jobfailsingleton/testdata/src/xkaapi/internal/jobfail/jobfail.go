@@ -1,0 +1,11 @@
+// Package jobfail mirrors the real definition site: a PanicError
+// definition here is the one legal definition in the module.
+package jobfail
+
+// PanicError is allowed: this fixture package carries the canonical path.
+type PanicError struct {
+	Value any
+	Stack []byte
+}
+
+func (e *PanicError) Error() string { return "panic" }

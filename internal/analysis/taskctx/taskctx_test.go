@@ -1,0 +1,11 @@
+package taskctx
+
+import (
+	"testing"
+
+	"xkaapi/internal/analysis"
+)
+
+func TestAnalyzer(t *testing.T) {
+	analysis.RunFixture(t, Analyzer, "a")
+}

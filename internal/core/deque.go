@@ -1,3 +1,6 @@
+//xk:hotpath — the Chase–Lev deque is lock-free by construction; xkvet
+// rejects any mutex, channel, sleep, fmt or goroutine launch added here.
+
 package core
 
 import (

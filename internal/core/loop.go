@@ -40,7 +40,7 @@ type loopCtx struct {
 	job       *Job         // job of the ForEach caller: failure/cancel scope
 	pending   atomic.Int64 // iterations neither executed nor abort-credited
 	nextSlice atomic.Int32
-	slices    []Interval
+	slices    []paddedInterval
 
 	abort atomic.Bool // a chunk panicked: stop extracting iterations
 	errMu sync.Mutex
@@ -99,6 +99,18 @@ func (lc *loopCtx) runChunk(w *Worker, lo, hi int64) (ok bool) {
 	return true
 }
 
+// paddedInterval is the reserved-slice slot: one Interval per worker,
+// padded to a full cache line. A slice's owner CASes its bits word every
+// SeqGrain iterations while thieves probe and retreat neighbouring
+// slices; without the pad, four 16-byte Intervals share one line and
+// every extraction bounces it across the cores that reserved them.
+// (Interval itself stays unpadded: it is a public standalone type, and
+// the per-task intervals of loopRun are separate heap allocations.)
+type paddedInterval struct {
+	Interval
+	_ [48]byte
+}
+
 // claimSlice atomically claims the next untouched reserved slice, or nil.
 func (lc *loopCtx) claimSlice() *Interval {
 	for {
@@ -107,7 +119,7 @@ func (lc *loopCtx) claimSlice() *Interval {
 			return nil
 		}
 		if lc.slices[i].Remaining() > 0 {
-			return &lc.slices[i]
+			return &lc.slices[i].Interval
 		}
 	}
 }
@@ -287,7 +299,7 @@ func (w *Worker) ForEach(lo, hi int64, opt LoopOpts, body func(w *Worker, lo, hi
 		lc.job = w.cur.job
 	}
 	lc.pending.Store(n)
-	lc.slices = make([]Interval, nSlices)
+	lc.slices = make([]paddedInterval, nSlices)
 	for i := range lc.slices {
 		slo := lo + int64(i)*n/int64(nSlices)
 		shi := lo + int64(i+1)*n/int64(nSlices)

@@ -1,3 +1,8 @@
+//xk:hotpath — the worker's spawn/pop/execute loop is the per-task fast
+// path; xkvet rejects blocking or allocating constructs in this file.
+// The deliberate slow paths (park, the idle backoff) are marked
+// //xk:coldpath / //xk:allow(hotpath) below.
+
 package core
 
 import (
@@ -261,10 +266,10 @@ func (w *Worker) runBody(t *Task) {
 // task object.
 func (w *Worker) complete(t *Task) {
 	if t.flags&flagHasAccess != 0 {
-		t.mu.Lock()
-		t.done = true
+		t.mu.Lock()   //xk:allow(hotpath): per-task access mutex, dataflow tasks only
+		t.done = true // contended only with a concurrent addAccess registration
 		succ := t.succ
-		t.mu.Unlock()
+		t.mu.Unlock() //xk:allow(hotpath): see Lock above
 		for _, s := range succ {
 			if s.wait.Add(-1) == 0 {
 				// The paper's ready-list optimization: a task made ready by
@@ -309,7 +314,7 @@ func (w *Worker) waitCounter(c *atomic.Int32) {
 		if idle < idleSpinBeforeSleep {
 			runtime.Gosched()
 		} else {
-			time.Sleep(idleSleep)
+			time.Sleep(idleSleep) //xk:allow(hotpath): idle backoff — out of work by definition
 		}
 	}
 }
@@ -471,11 +476,11 @@ func (w *Worker) alloc() *Task {
 // number bump invalidates any stale taskRef still held by a Handle frontier.
 func (w *Worker) recycle(t *Task) {
 	if t.flags&flagHasAccess != 0 {
-		t.mu.Lock()
+		t.mu.Lock() //xk:allow(hotpath): per-task access mutex, dataflow tasks only
 		t.seq++
 		t.done = false
 		t.succ = t.succ[:0]
-		t.mu.Unlock()
+		t.mu.Unlock() //xk:allow(hotpath): see Lock above
 		t.accs = t.accs[:0]
 	}
 	t.body = nil
@@ -513,7 +518,7 @@ func (w *Worker) run() {
 		runtime.LockOSThread()
 		defer runtime.UnlockOSThread()
 	}
-	defer rt.wg.Done()
+	defer rt.wg.Done()   //xk:allow(hotpath): once per worker lifetime, not per task
 	defer w.flushStats() // publish cached counters before Close's wg.Wait returns
 	fails := 0
 	for {
@@ -554,6 +559,10 @@ func (w *Worker) run() {
 
 // park blocks the worker until new work may exist. A final scan of all
 // deques after advertising idleness closes the race with concurrent pushes.
+// The condvar handoff is the point of the function: parking is the
+// deliberate out-of-work slow path, hence the coldpath exemption.
+//
+//xk:coldpath
 func (w *Worker) park() {
 	w.flushStats() // a parked worker's counters are fully published
 	rt := w.rt

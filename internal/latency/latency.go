@@ -10,6 +10,11 @@
 // 2^subBits equal sub-buckets, bounding the relative quantile error at
 // 1/2^subBits (12.5% with subBits = 3) across the full int64 range — the
 // scheme of HdrHistogram, sized for durations.
+// Record runs on every request completion, so xkvet's hotpath analyzer
+// keeps this file lock-free (atomics only: no mutexes, channels, sleeps
+// or fmt).
+//
+//xk:hotpath
 package latency
 
 import (

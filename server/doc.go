@@ -118,4 +118,19 @@
 // Operators can watch Executed advance while long jobs run; the exact
 // balance Spawned == Executed + Cancelled holds once the pool drains,
 // which the serve command verifies after its final drain.
+//
+// # Static gates
+//
+// Several of the invariants above are enforced at CI time, not just
+// documented: `make lint` runs cmd/xkvet, the module's own analyzer
+// suite (internal/analysis). taskctx rejects server kernels and task
+// bodies that call context.Background/TODO or shadow the per-job context
+// — the cancellation fan-out only works if bodies observe the context
+// the job was given. hotpath keeps the files behind the lock-free
+// claims (the deque, the worker scheduling loop, internal/latency) free
+// of mutexes, channel operations, sleeps and fmt. jobfailsingleton
+// pins the PanicError definition to internal/jobfail so the failure
+// state machine stays singular, and atomicpad requires cache-line
+// padding on atomics-bearing structs instantiated per-worker in slices.
+// See internal/analysis for the conventions (//xk:hotpath, //xk:allow).
 package server
