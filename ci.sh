@@ -53,6 +53,12 @@ make race
 echo "== race tier: context-propagation stress"
 go test -race -run 'TestContextPropagationStress' -count=2 ./internal/core
 
+# The fleet tier races the sharded paths specifically: router placement,
+# cross-shard stealing under deliberate imbalance, and the fleet-wide
+# drain/submit-storm critical section.
+echo "== race tier: fleet router + cross-shard steal stress"
+go test -race -run 'TestFleet' -count=2 ./internal/core
+
 echo "== integration tier: xkserve serve + load over HTTP"
 ./integration.sh
 

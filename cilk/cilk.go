@@ -192,7 +192,7 @@ func (p *Pool) RunCtx(ctx context.Context, root func(*Worker)) error {
 // workers. Submitting to a closed pool returns a pre-failed Job with
 // ErrClosed instead of panicking.
 func (p *Pool) Submit(root func(*Worker)) *Job {
-	return p.SubmitCtx(nil, root)
+	return p.SubmitCtx(context.Background(), root)
 }
 
 // SubmitCtx is Submit bound to a context: cancelling ctx (or its deadline

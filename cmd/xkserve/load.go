@@ -1,14 +1,17 @@
 package main
 
 import (
+	"bufio"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
 	"os"
 	"sort"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -81,6 +84,9 @@ func runLoad(args []string) int {
 	fibBurst := fs.Int("fib-burst", 0, "fire N simultaneous /fib requests with no retry (queued-admission SLO probe)")
 	burstSLO := fs.Duration("burst-slo", 5*time.Second, "per-request completion SLO for -fib-burst")
 	burstMinOK := fs.Float64("burst-min-ok", 0.9, "minimum fraction of -fib-burst requests that must answer 200 within the SLO")
+	hotAffinity := fs.Int("hot-affinity", 0, "fire N simultaneous /loop requests all pinned to one shard (affinity=1), to drive cross-shard stealing on a sharded server")
+	hotLoop := fs.Int("hot-loop", 1_000_000, "loop iteration count of each -hot-affinity request")
+	expectShards := fs.Int("expect-shards", 0, "fail unless /stats reports exactly N shards, every shard executed tasks, and (with -hot-affinity) work migrated between shards")
 	wait := fs.Duration("wait", 10*time.Second, "how long to wait for the server to become healthy")
 	fs.Parse(args)
 
@@ -105,6 +111,10 @@ func runLoad(args []string) int {
 		if !runFibBurst(*addr, *fibBurst, *fibN, *burstSLO, *burstMinOK, &lt) {
 			return 1
 		}
+	}
+
+	if *hotAffinity > 0 {
+		runHotAffinity(*addr, *hotAffinity, *hotLoop, &lt)
 	}
 
 	urls := [loadNumKinds]string{
@@ -160,8 +170,89 @@ func runLoad(args []string) int {
 		fmt.Fprintln(os.Stderr, "xkserve load: FAILED: no request completed")
 		return 1
 	}
+	if *expectShards > 0 {
+		if !checkShards(*addr, *expectShards, *hotAffinity > 0) {
+			return 1
+		}
+	}
 	fmt.Println("xkserve load: all completed requests verified")
 	return 0
+}
+
+// runHotAffinity deliberately overloads one shard: n simultaneous /loop
+// requests, every one pinned to the same shard with affinity=1. On a
+// sharded server the pinned shard's inbox backlogs while its siblings
+// idle, so the cross-shard steal path must migrate the queued roots over —
+// visible afterwards as stolen_in/stolen_out in /stats. Responses are
+// verified like any other /loop request (migration must not change
+// results).
+func runHotAffinity(addr string, n, loopN int, lt *loadTally) {
+	url := fmt.Sprintf("%s/loop?n=%d&affinity=1", addr, loopN)
+	want := int64(loopN) * int64(loopN-1) / 2
+	var wg sync.WaitGroup
+	var release sync.WaitGroup
+	release.Add(1)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			release.Wait() // one simultaneous wave onto one shard
+			doRequest(url, loadKindLoop, 0, want, false, lt)
+		}()
+	}
+	release.Done()
+	wg.Wait()
+	fmt.Printf("xkserve load: hot-affinity wave: %d simultaneous /loop?n=%d requests pinned to one shard\n", n, loopN)
+}
+
+// shardStatsReply mirrors the per-shard entries of the server's /stats.
+type shardStatsReply struct {
+	Shard     int   `json:"shard"`
+	Executed  int64 `json:"executed"`
+	StolenIn  int64 `json:"stolen_in"`
+	StolenOut int64 `json:"stolen_out"`
+}
+
+// checkShards fetches /stats and verifies the sharding actually engaged:
+// the server reports exactly want shards, every shard executed tasks (the
+// router spread the load), and — when a hot-affinity wave overloaded one
+// shard — at least one root migrated between shards.
+func checkShards(addr string, want int, wantSteals bool) bool {
+	resp, err := http.Get(addr + "/stats")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "xkserve load: FAILED: /stats: %v\n", err)
+		return false
+	}
+	defer resp.Body.Close()
+	var stats struct {
+		Shards     int               `json:"shards"`
+		ShardStats []shardStatsReply `json:"shard_stats"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		fmt.Fprintf(os.Stderr, "xkserve load: FAILED: /stats decode: %v\n", err)
+		return false
+	}
+	if stats.Shards != want || len(stats.ShardStats) != want {
+		fmt.Fprintf(os.Stderr, "xkserve load: FAILED: /stats reports %d shards (%d entries), want %d\n",
+			stats.Shards, len(stats.ShardStats), want)
+		return false
+	}
+	var stolen int64
+	for _, ss := range stats.ShardStats {
+		if ss.Executed == 0 {
+			fmt.Fprintf(os.Stderr, "xkserve load: FAILED: shard %d executed no tasks — placement not spreading\n", ss.Shard)
+			return false
+		}
+		stolen += ss.StolenIn
+		fmt.Printf("  shard %d: executed=%d stolen_in=%d stolen_out=%d\n",
+			ss.Shard, ss.Executed, ss.StolenIn, ss.StolenOut)
+	}
+	if wantSteals && stolen == 0 {
+		fmt.Fprintln(os.Stderr, "xkserve load: FAILED: hot-affinity wave ran but no cross-shard steal was recorded")
+		return false
+	}
+	fmt.Printf("xkserve load: sharding verified: %d shards all executing, %d cross-shard steals\n", want, stolen)
+	return true
 }
 
 // runFibBurst is the queued-admission SLO probe: it fires n simultaneous
@@ -269,19 +360,40 @@ func waitHealthy(addr string, d time.Duration) bool {
 }
 
 // runBurst fires n simultaneous cholesky requests with no retry, counting
-// 429s; 200s are verified like any other request.
+// 429s; 200s are verified like any other request. Every connection is dialed
+// BEFORE the release gate drops: on a small machine the dials serialize over
+// several milliseconds, long enough for early requests to vacate their
+// admission slots before late ones arrive — which would let an over-capacity
+// burst slip through without a single 429. Pre-dialing makes the burst
+// simultaneous where it matters: at the server's admission gate.
 func runBurst(addr string, n, cholN, nb int, lt *loadTally) int {
-	url := fmt.Sprintf("%s/cholesky?n=%d&nb=%d", addr, cholN, nb)
+	path := fmt.Sprintf("/cholesky?n=%d&nb=%d", cholN, nb)
+	host := strings.TrimPrefix(strings.TrimPrefix(addr, "http://"), "https://")
 	var saw429 atomic.Int64
 	var wg sync.WaitGroup
 	var release sync.WaitGroup
 	release.Add(1)
 	for i := 0; i < n; i++ {
+		conn, err := net.Dial("tcp", host)
+		if err != nil {
+			lt.noteUnexpected("burst dial: " + err.Error())
+			continue
+		}
 		wg.Add(1)
-		go func() {
+		go func(conn net.Conn) {
 			defer wg.Done()
+			defer conn.Close()
+			req, err := http.NewRequest(http.MethodGet, addr+path, nil)
+			if err != nil {
+				lt.noteUnexpected("burst: " + err.Error())
+				return
+			}
 			release.Wait() // line everybody up for a genuinely simultaneous burst
-			resp, err := http.Get(url)
+			if err := req.Write(conn); err != nil {
+				lt.noteUnexpected("burst write: " + err.Error())
+				return
+			}
+			resp, err := http.ReadResponse(bufio.NewReader(conn), req)
 			if err != nil {
 				lt.noteUnexpected("burst: " + err.Error())
 				return
@@ -301,7 +413,7 @@ func runBurst(addr string, n, cholN, nb int, lt *loadTally) int {
 				body, _ := io.ReadAll(io.LimitReader(resp.Body, 200))
 				lt.noteUnexpected(fmt.Sprintf("burst: status %d: %s", resp.StatusCode, body))
 			}
-		}()
+		}(conn)
 	}
 	release.Done()
 	wg.Wait()

@@ -23,6 +23,7 @@ func runServe(args []string) int {
 	fs := flag.NewFlagSet("xkserve serve", flag.ExitOnError)
 	addr := fs.String("addr", ":8080", "listen address")
 	workers := fs.Int("workers", runtime.GOMAXPROCS(0), "worker threads in the shared pool")
+	shards := fs.Int("shards", 1, "scheduler shards behind the load-aware router (1 = single pool); workers are spread evenly across shards")
 	budget := fs.Int("budget", 0, "max in-flight jobs (0 = 2x workers)")
 	queue := fs.Int("queue", 0, "admission queue depth: requests beyond the budget wait here under their deadline (0 = 4x budget, -1 = no queue)")
 	batchWindow := fs.Duration("batch-window", 0, "coalescing window for /fib and /loop (0 = 500µs default, -1ns = no batching)")
@@ -34,7 +35,11 @@ func runServe(args []string) int {
 	maxChol := fs.Int("max-chol", 0, "cap on cholesky request order (0 = default)")
 	fs.Parse(args)
 
-	rt := xkaapi.New(xkaapi.WithWorkers(*workers))
+	rtOpts := []xkaapi.Option{xkaapi.WithWorkers(*workers)}
+	if *shards > 1 {
+		rtOpts = append(rtOpts, xkaapi.WithShards(*shards))
+	}
+	rt := xkaapi.New(rtOpts...)
 	srv := server.New(server.Config{
 		Runtime:        rt,
 		Budget:         *budget,
@@ -53,8 +58,8 @@ func runServe(args []string) int {
 
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.ListenAndServe() }()
-	fmt.Printf("xkserve: serving on %s (%d workers, budget %d, queue %d, default timeout %v)\n",
-		*addr, rt.Workers(), srv.Budget(), srv.QueueCap(), *timeout)
+	fmt.Printf("xkserve: serving on %s (%d workers, %d shard(s), budget %d, queue %d, default timeout %v)\n",
+		*addr, rt.Workers(), rt.Shards(), srv.Budget(), srv.QueueCap(), *timeout)
 
 	select {
 	case <-ctx.Done():
@@ -96,6 +101,16 @@ func runServe(args []string) int {
 		fmt.Fprintf(os.Stderr, "xkserve: counter imbalance: spawned=%d != executed=%d + cancelled=%d\n",
 			s.Spawned, s.Executed, s.Cancelled)
 		clean = false
+	}
+	if rt.Shards() > 1 {
+		// Per-shard breakdown: executed shows where work ran, stolen_in/out
+		// how much the cross-shard rebalancer migrated. The spawned balance
+		// only holds at the fleet aggregate above, by design.
+		for _, ss := range rt.ShardStats() {
+			fmt.Printf("xkserve: shard %d/%d spawned=%d executed=%d cancelled=%d stolen_in=%d stolen_out=%d parks=%d\n",
+				ss.Shard, rt.Shards(), ss.Sched.Spawned, ss.Sched.Executed, ss.Sched.Cancelled,
+				ss.StolenIn, ss.StolenOut, ss.Sched.Parks)
+		}
 	}
 	if err := rt.CloseErr(); err != nil {
 		// The summary counts every failed job over the runtime's lifetime

@@ -15,7 +15,11 @@
 // one batched job), and
 // (7) deadline-aware bodies: every task sees its job's context through
 // Proc.Context — one failure state machine cancels it on panic, Cancel,
-// deadline or disconnect, in every paradigm layer of this module.
+// deadline or disconnect, in every paradigm layer of this module — and
+// (8) scaling out with shards: WithShards splits the pool into scheduler
+// shards behind a load-aware router, SubmitAffinity pins related jobs to
+// one shard, idle shards steal queued roots from loaded siblings, and
+// ShardStats shows placement and migration per shard.
 //
 // The context rules shown here are machine-checked: `make lint` runs the
 // module's own analyzers (internal/analysis, via cmd/xkvet), which reject
@@ -212,4 +216,32 @@ func main() {
 	})
 	fmt.Printf("deadline-aware job: processed %d blocks, err=%v\n",
 		blocks, errors.Is(err, context.DeadlineExceeded))
+
+	// 8. Scaling out with shards. One Runtime is one contention domain:
+	// every submit crosses one inbox. WithShards(4) builds four scheduler
+	// shards behind a load-aware router instead — same Submit/Run/Wait
+	// API, but each job lands on the least-loaded shard, SubmitAffinity
+	// pins jobs sharing a key to one shard (cache locality for related
+	// work), and a shard that backlogs sheds queued root jobs to idle
+	// siblings through cross-shard stealing. ShardStats breaks the
+	// counters down per shard; note that migrated jobs are counted where
+	// they ran, so spawned == executed + cancelled balances on the
+	// fleet-wide Stats, not per shard.
+	fleet := xkaapi.New(xkaapi.WithShards(4), xkaapi.WithWorkers(4))
+	defer fleet.Close()
+	var jobs []*xkaapi.Job
+	for client := 0; client < 8; client++ {
+		key := uint64(client % 4) // one shard per "client"
+		var r int64
+		jobs = append(jobs, fleet.SubmitAffinity(context.Background(), key,
+			func(p *xkaapi.Proc) { fib(p, &r, 18) }))
+	}
+	for _, j := range jobs {
+		j.Wait()
+	}
+	fmt.Println(fleet) // xkaapi.Fleet{shards: 4, workers: 4, steal: true}
+	for _, ss := range fleet.ShardStats() {
+		fmt.Printf("  shard %d: executed=%d stolen_in=%d stolen_out=%d\n",
+			ss.Shard, ss.Sched.Executed, ss.StolenIn, ss.StolenOut)
+	}
 }

@@ -205,7 +205,7 @@ func (tc *TC) Context() context.Context { return tc.r.st.Context() }
 // barrier, and Parallel returns the error. The team remains usable for
 // further regions.
 func (tm *Team) Parallel(fn func(tc *TC)) error {
-	return tm.ParallelCtx(nil, fn)
+	return tm.ParallelCtx(context.Background(), fn)
 }
 
 // ParallelCtx is Parallel bound to a context: if ctx is cancelled (or its
@@ -383,7 +383,7 @@ func (tc *TC) runTask(t *gtask) {
 // failure, so one panicking thread prunes the whole region's remaining work
 // instead of only its own block.
 func (tm *Team) ParallelFor(lo, hi int, sched Schedule, chunk int, body func(tid, lo, hi int)) error {
-	return tm.ParallelForCtx(nil, lo, hi, sched, chunk, body)
+	return tm.ParallelForCtx(context.Background(), lo, hi, sched, chunk, body)
 }
 
 // ParallelForCtx is ParallelFor bound to a context: cancelling ctx (or its

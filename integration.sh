@@ -14,19 +14,26 @@
 # so mid-flight reads are exact and race-free). Phase 4 SIGTERMs the server
 # mid-load: it must drain in-flight jobs and exit 0 with balanced scheduler
 # counters (spawned == executed + cancelled), while the load generator
-# tolerates the drain.
+# tolerates the drain. Phase 5 runs a second, sharded server (-shards 4):
+# the mixed workload must spread over every shard (non-zero executed per
+# shard in /stats), a hot-affinity wave pinning simultaneous /loop jobs to
+# one shard must migrate via cross-shard stealing (stolen_in > 0), and the
+# fleet must drain cleanly on SIGTERM with the aggregate counters balanced.
 set -eu
 
 ADDR=127.0.0.1:18097
+ADDR2=127.0.0.1:18098
 BIN="${TMPDIR:-/tmp}/xkserve-ci"
 SERVE_LOG="${TMPDIR:-/tmp}/xkserve-ci-serve.log"
+SERVE2_LOG="${TMPDIR:-/tmp}/xkserve-ci-serve2.log"
 LOAD_LOG="${TMPDIR:-/tmp}/xkserve-ci-load.log"
 
 go build -o "$BIN" ./cmd/xkserve
 
 "$BIN" serve -addr "$ADDR" -budget 4 -timeout 30s >"$SERVE_LOG" 2>&1 &
 SERVE_PID=$!
-trap 'kill "$SERVE_PID" 2>/dev/null || true' EXIT
+SERVE2_PID=
+trap 'kill "$SERVE_PID" $SERVE2_PID 2>/dev/null || true' EXIT
 
 # Budget 4, queue 16 (the 4x default): a cholesky burst of 24 overflows
 # both (4 running + 16 queued) and must see 429s for the remainder.
@@ -100,12 +107,36 @@ wait "$LOAD_PID" || {
 	cat "$LOAD_LOG" >&2
 	exit 1
 }
-trap - EXIT
 cat "$SERVE_LOG"
 if [ "$SERVE_STATUS" -ne 0 ]; then
 	echo "integration: serve exited $SERVE_STATUS (want 0: clean drain)" >&2
 	exit 1
 fi
 grep -q "drained cleanly" "$SERVE_LOG"
-rm -f "$SERVE_LOG" "$LOAD_LOG" "$BIN"
+
+echo "== integration: sharded server (-shards 4): placement spreads, overload migrates"
+"$BIN" serve -addr "$ADDR2" -shards 4 -workers 8 -budget 32 -timeout 30s >"$SERVE2_LOG" 2>&1 &
+SERVE2_PID=$!
+# Mixed load spreads across shards via least-load routing; the hot-affinity
+# wave then pins 24 simultaneous /loop jobs to one 2-worker shard, which
+# must backlog and shed roots to its siblings. -expect-shards 4 fails the
+# load run unless /stats shows 4 shards, every shard executing, and at
+# least one cross-shard steal.
+"$BIN" load -addr "http://$ADDR2" -clients 8 -jobs 24 \
+	-fib 20 -loop 100000 -chol 128 -nb 32 \
+	-hot-affinity 24 -hot-loop 1000000 -expect-shards 4
+kill -TERM "$SERVE2_PID"
+SERVE2_STATUS=0
+wait "$SERVE2_PID" || SERVE2_STATUS=$?
+trap - EXIT
+cat "$SERVE2_LOG"
+if [ "$SERVE2_STATUS" -ne 0 ]; then
+	echo "integration: sharded serve exited $SERVE2_STATUS (want 0: clean drain)" >&2
+	exit 1
+fi
+grep -q "drained cleanly" "$SERVE2_LOG"
+# The per-shard exit report must be present and name every shard.
+grep -q "shard 3/4" "$SERVE2_LOG"
+
+rm -f "$SERVE_LOG" "$SERVE2_LOG" "$LOAD_LOG" "$BIN"
 echo "integration OK"

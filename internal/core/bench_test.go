@@ -201,3 +201,25 @@ func BenchmarkIntervalExtract(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkFleetSubmit measures the external submission path through the
+// fleet router — least-loaded placement over 4 shards, the MPSC inbox, the
+// wake protocol — in windows so the pool drains without a Wait per job.
+// This is the per-request constant a sharded server adds on top of the
+// single-runtime Submit path.
+func BenchmarkFleetSubmit(b *testing.B) {
+	f := NewFleet(FleetConfig{Shards: 4, ShardSize: 1,
+		Runtime: Config{DisablePinning: true}})
+	defer f.Close()
+	const window = 256
+	b.ResetTimer()
+	for i := 0; i < b.N; i += window {
+		n := min(window, b.N-i)
+		for j := 0; j < n; j++ {
+			f.Submit(func(*Worker) {})
+		}
+		if err := f.Wait(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

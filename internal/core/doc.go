@@ -104,10 +104,45 @@
 // Runtime.Wait drains all submitted jobs and returns an errors.Join of the
 // failures recorded since the previous drain (bounded; floods are
 // summarized by count), so batch clients need not track every Job handle.
-// All scheduler counters are per-worker padded atomics, so Stats (and its
-// alias LiveStats) may be polled while jobs are in flight: a monitoring
-// endpoint sees Executed and Cancelled advance live, and the quiescent
-// invariants hold exactly once the pool drains.
+// All scheduler counters are per-worker padded atomics, so Stats may be
+// polled while jobs are in flight: a monitoring endpoint sees Executed and
+// Cancelled advance live, and the quiescent invariants hold exactly once
+// the pool drains. (LiveStats survives one release as a deprecated alias
+// of Stats from before the counters were published live.)
+//
+// # Sharded fleets
+//
+// On many-core machines a single Runtime is one contention domain: every
+// external submit crosses one inbox, and every idle worker probes the same
+// set of victims. Fleet (fleet.go) is the scale-out shape: N Runtime
+// shards, each a full scheduler of ShardSize workers, behind a load-aware
+// router. Both shapes satisfy the Pool interface (pool.go) — Submit,
+// SubmitCtx, SubmitAffinity, Wait, Close/CloseErr, Stats, ShardStats — so
+// everything above Pool is shard-agnostic.
+//
+// Placement: each submission goes to the least-loaded shard, where load is
+// live root jobs plus queued inbox depth (queued roots count in both
+// terms, biasing the router away from backlog). SubmitAffinity(key) pins
+// the job to shard key mod N instead, so related jobs share one shard's
+// caches; the pin is placement-only. Ties spread via a rotating scan
+// origin.
+//
+// Rebalancing: an idle shard's workers, having exhausted their own deque,
+// their shard's steal sweep and their shard's inbox, pull the oldest
+// queued root from a loaded sibling's inbox (stealRoot) — the same
+// cooperative stealing the in-shard scheduler runs, lifted one level.
+// A stolen job stays registered with its home shard (Wait, errors and
+// drain are untouched); only execution migrates, root and transitively
+// spawned subtree together. Consequently the per-shard Spawned ==
+// Executed + Cancelled balance does not hold under migration — it holds
+// fleet-wide (Fleet.Stats), and ShardStats exposes StolenIn/StolenOut so
+// monitoring can see the migration itself.
+//
+// Drain: Fleet.Close first flips every shard's closing flag — each under
+// the shard's own jobsMu, the exact critical section its Submit admission
+// checks — before any shard waits for its drain, so a submit racing the
+// fleet-wide close is either drained (wherever it was routed) or rejected
+// with ErrClosed; no shard accepts work after a sibling started draining.
 //
 // The model is fully strict: every task waits (by scheduling other work, not
 // by blocking the thread) for its children before completing, so a program

@@ -103,6 +103,7 @@ func (j *Job) finish() {
 	if err != nil {
 		rt.noteFailed(err)
 	}
+	rt.liveRoots.Add(-1)
 	rt.jobsMu.Lock()
 	rt.jobsLive--
 	if rt.jobsLive == 0 {
@@ -172,12 +173,20 @@ func (ib *inbox) size() int64 { return ib.n.Load() }
 // Submitting to a closed (or closing) runtime does not panic: it returns a
 // pre-failed Job whose Wait and Err report ErrClosed and whose task never
 // runs.
+//
+// Submit is exactly SubmitCtx(context.Background(), fn): the ctx-first
+// entry point is the one implementation, and Background costs nothing (a
+// context with no Done channel never arms the cancellation hook).
 func (rt *Runtime) Submit(fn func(*Worker)) *Job {
-	j, t, ok := rt.newRoot(nil, fn)
-	if ok {
-		rt.enqueueRoot(t)
-	}
-	return j
+	return rt.SubmitCtx(context.Background(), fn)
+}
+
+// SubmitAffinity is SubmitCtx on a standalone Runtime: with a single shard
+// there is no placement to pin, so the key is ignored. It exists so Pool
+// users can pass affinity hints without caring whether a Fleet is behind
+// the interface.
+func (rt *Runtime) SubmitAffinity(ctx context.Context, _ uint64, fn func(*Worker)) *Job {
+	return rt.SubmitCtx(ctx, fn)
 }
 
 // newRoot builds the job handle — its failure state bound to parent
@@ -210,6 +219,7 @@ func (rt *Runtime) newRoot(parent context.Context, fn func(*Worker)) (j *Job, t 
 	}
 	rt.jobsLive++
 	rt.jobsMu.Unlock()
+	rt.liveRoots.Add(1)
 	j.st.Init(parent)
 	t = new(Task) // external path: worker free lists are owner-only
 	t.body = fn

@@ -1,0 +1,76 @@
+package core
+
+import "context"
+
+// Pool is the submission-side interface of the scheduler: everything a
+// client (the xkaapi facade, the paradigm layers, the HTTP front-end) needs
+// to inject jobs, drain them and observe the counters. Both a standalone
+// *Runtime — one shard — and a *Fleet of Runtime replicas behind the
+// load-aware router satisfy it, so code programming against Pool works
+// unchanged on either.
+//
+// The canonical submit shape is ctx-first: Submit(fn) is exactly
+// SubmitCtx(context.Background(), fn), and SubmitAffinity adds a placement
+// hint a single Runtime is free to ignore. All methods are safe for
+// concurrent use from any goroutine outside the pool.
+type Pool interface {
+	// Submit enqueues fn as an independent root job and returns its handle
+	// immediately. It is SubmitCtx with context.Background().
+	Submit(fn func(*Worker)) *Job
+	// SubmitCtx is the canonical submission entry point: the job is bound
+	// to ctx (cancellation fails the job and skips its remaining tasks).
+	SubmitCtx(ctx context.Context, fn func(*Worker)) *Job
+	// SubmitAffinity is SubmitCtx with a placement hint: jobs submitted
+	// with the same key land on the same shard (cache locality for related
+	// jobs). A single-shard pool ignores the key.
+	SubmitAffinity(ctx context.Context, key uint64, fn func(*Worker)) *Job
+	// RunRoot is Submit followed by Job.Wait.
+	RunRoot(fn func(*Worker)) error
+	// Wait blocks until every job submitted so far has completed and
+	// returns the aggregated failures of the drain (see Runtime.Wait).
+	Wait() error
+	// Close drains every in-flight job, then stops and joins all workers.
+	Close()
+	// CloseErr is Close plus a lifetime failure summary.
+	CloseErr() error
+	// Stats sums the scheduler counters over every worker of every shard.
+	Stats() Stats
+	// ResetStats zeroes the counters; quiescent pools only.
+	ResetStats()
+	// NumWorkers is the total worker count across all shards.
+	NumWorkers() int
+	// Shards is the number of Runtime replicas behind the interface
+	// (1 for a standalone Runtime).
+	Shards() int
+	// ShardStats returns one entry per shard: placement, migration and
+	// scheduler counters, for per-shard monitoring surfaces.
+	ShardStats() []ShardStats
+	// String describes the pool configuration for logs.
+	String() string
+}
+
+// Both shapes satisfy the interface; keeping the assertions next to its
+// definition turns an interface drift into a compile error here, not in a
+// caller.
+var (
+	_ Pool = (*Runtime)(nil)
+	_ Pool = (*Fleet)(nil)
+)
+
+// ShardStats describes one shard of a Fleet — or a standalone Runtime,
+// which reports itself as the single shard — for per-shard monitoring:
+// where the router placed work (LiveRoots, Sched.Spawned), where work
+// actually ran (Sched.Executed), and how much the cross-shard steal path
+// migrated (StolenIn/StolenOut). With stealing enabled the quiescent
+// Spawned == Executed + Cancelled balance holds fleet-wide, not per shard:
+// a migrated root is spawned on its home shard and executed where it was
+// stolen to.
+type ShardStats struct {
+	Shard     int   // shard index in [0, Shards)
+	Workers   int   // workers of this shard
+	InboxLen  int64 // roots queued in the shard's inbox, not yet claimed
+	LiveRoots int64 // roots accepted by this shard and not yet finished
+	StolenIn  int64 // roots this shard's workers pulled from sibling inboxes
+	StolenOut int64 // roots of this shard claimed by sibling shards
+	Sched     Stats // the shard's scheduler counters
+}

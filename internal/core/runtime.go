@@ -36,6 +36,17 @@ type Runtime struct {
 
 	inbox      inbox
 	extSpawned atomic.Int64 // roots injected by Submit (external spawn count)
+	liveRoots  atomic.Int64 // accepted roots not yet finished (router load input)
+	stolenIn   atomic.Int64 // roots pulled from sibling shards' inboxes (fleet.go)
+	stolenOut  atomic.Int64 // roots of this shard claimed by sibling shards
+
+	// Fleet identity, wired by NewFleet before the workers start and never
+	// written again: nil/0/0 for a standalone runtime. shardTotal > 0 marks
+	// the runtime as one shard of a fleet (String and ShardStats report it
+	// as such instead of as a standalone pool).
+	fleet      *Fleet
+	shardIndex int
+	shardTotal int
 
 	jobsMu   sync.Mutex
 	jobsCond *sync.Cond
@@ -57,19 +68,36 @@ type Runtime struct {
 	wg   sync.WaitGroup
 }
 
+// defaultSeed is the base of the per-worker victim-selection RNG streams
+// when Config.Seed is zero, making default schedules reproducible.
+const defaultSeed = 0x853C49E6748FEA9B
+
 // NewRuntime creates the worker pool: cfg.Workers goroutines are started
 // (and park when idle); work reaches them through Submit or RunRoot.
 func NewRuntime(cfg Config) *Runtime {
+	rt := newRuntime(cfg, nil, 0, 0)
+	rt.start()
+	return rt
+}
+
+// newRuntime is the construction half of NewRuntime plus the fleet wiring:
+// it builds the pool but does not start the workers, so a Fleet can
+// construct every shard — and publish them all in its shards slice — before
+// any worker runs. Shard identity must be set here, and the caller must not
+// start the workers earlier, because a fleet worker may take the
+// cross-shard steal path (which reads the sibling slice) on its very first
+// scheduling round.
+func newRuntime(cfg Config, fleet *Fleet, shard, shards int) *Runtime {
 	if cfg.Workers <= 0 {
 		cfg.Workers = runtime.GOMAXPROCS(0)
 	}
-	rt := &Runtime{cfg: cfg}
+	rt := &Runtime{cfg: cfg, fleet: fleet, shardIndex: shard, shardTotal: shards}
 	rt.parkCond = sync.NewCond(&rt.parkMu)
 	rt.jobsCond = sync.NewCond(&rt.jobsMu)
 	rt.workers = make([]*Worker, cfg.Workers)
 	seed := cfg.Seed
 	if seed == 0 {
-		seed = 0x853C49E6748FEA9B
+		seed = defaultSeed
 	}
 	for i := range rt.workers {
 		w := &Worker{
@@ -82,11 +110,16 @@ func NewRuntime(cfg Config) *Runtime {
 		w.deque.init()
 		rt.workers[i] = w
 	}
-	for i := 0; i < cfg.Workers; i++ {
+	return rt
+}
+
+// start launches the worker goroutines. Called exactly once, after every
+// structure a worker may touch — including fleet siblings — is in place.
+func (rt *Runtime) start() {
+	for i := range rt.workers {
 		rt.wg.Add(1)
 		go rt.workers[i].run()
 	}
-	return rt
 }
 
 // RunRoot executes fn as a root task on the pool and returns once fn and
@@ -106,13 +139,32 @@ func (rt *Runtime) RunRoot(fn func(*Worker)) error {
 // the drain (and is executed) or observes closing and is rejected; it can
 // never slip a job past the drain into a dead pool.
 func (rt *Runtime) Close() {
+	if rt.beginClose() {
+		rt.finishClose()
+	}
+}
+
+// beginClose flips the runtime into closing mode under jobsMu and reports
+// whether this call did the flip (false: another Close got there first).
+// It is the refusal half of Close, split out so Fleet.Close can refuse
+// submissions on every shard before any shard starts draining.
+func (rt *Runtime) beginClose() bool {
 	rt.jobsMu.Lock()
+	defer rt.jobsMu.Unlock()
 	if rt.closing {
-		rt.jobsMu.Unlock()
-		return
+		return false
 	}
 	rt.closing = true
-	for rt.jobsLive > 0 { // drain jobs submitted before Close
+	return true
+}
+
+// finishClose is the drain half of Close: wait for the registered jobs to
+// complete, then stop and join the workers. Safe to call concurrently or
+// repeatedly once closing is set (stop and the broadcast are idempotent,
+// wg.Wait just waits).
+func (rt *Runtime) finishClose() {
+	rt.jobsMu.Lock()
+	for rt.jobsLive > 0 { // drain jobs submitted before the flip
 		rt.jobsCond.Wait()
 	}
 	rt.jobsMu.Unlock()
@@ -131,12 +183,19 @@ func (rt *Runtime) Close() {
 // the original *PanicError or cancellation cause).
 func (rt *Runtime) CloseErr() error {
 	rt.Close()
-	rt.failMu.Lock()
-	defer rt.failMu.Unlock()
-	if rt.failedJobs == 0 {
+	n, err := rt.failCount()
+	if n == 0 {
 		return nil
 	}
-	return fmt.Errorf("core: %d job(s) failed; first: %w", rt.failedJobs, rt.firstErr)
+	return fmt.Errorf("core: %d job(s) failed; first: %w", n, err)
+}
+
+// failCount returns the lifetime failed-job count and the first failure,
+// for CloseErr and its fleet-level aggregation.
+func (rt *Runtime) failCount() (int, error) {
+	rt.failMu.Lock()
+	defer rt.failMu.Unlock()
+	return rt.failedJobs, rt.firstErr
 }
 
 // maxDrainErrs bounds the failures buffered between Wait drains, so a
@@ -166,6 +225,35 @@ func (rt *Runtime) NumWorkers() int { return len(rt.workers) }
 // Config returns the effective configuration.
 func (rt *Runtime) Config() Config { return rt.cfg }
 
+// Shards returns 1: a standalone Runtime is the single shard of its own
+// pool, and a Runtime inside a Fleet still answers for itself only —
+// fleet-level fan-out is the Fleet's job.
+func (rt *Runtime) Shards() int { return 1 }
+
+// ShardStats returns this runtime's single shard entry.
+func (rt *Runtime) ShardStats() []ShardStats { return []ShardStats{rt.shardStats()} }
+
+func (rt *Runtime) shardStats() ShardStats {
+	return ShardStats{
+		Shard:     rt.shardIndex,
+		Workers:   len(rt.workers),
+		InboxLen:  rt.inbox.size(),
+		LiveRoots: rt.liveRoots.Load(),
+		StolenIn:  rt.stolenIn.Load(),
+		StolenOut: rt.stolenOut.Load(),
+		Sched:     rt.Stats(),
+	}
+}
+
+// load is the router's placement metric: roots accepted and not yet
+// finished, plus the inbox backlog. A root still queued in the inbox is
+// counted by both terms, deliberately — a shard that cannot even start its
+// roots is worse off than one merely running them, so backlog weighs
+// double in the least-loaded scan.
+func (rt *Runtime) load() int64 {
+	return rt.liveRoots.Load() + rt.inbox.size()
+}
+
 // Stats sums the per-worker counters plus the externally submitted root
 // count. All counters are per-worker padded atomics, so Stats may be read
 // at any time; while jobs are in flight the result is a consistent lower
@@ -183,13 +271,13 @@ func (rt *Runtime) Stats() Stats {
 	return s
 }
 
-// LiveStats returns the scheduler counters while jobs are in flight. The
-// task-path counters (Spawned, Executed, Cancelled, ...) are per-worker
-// padded atomics, so LiveStats is simply Stats: a monitoring endpoint
-// polling it sees Executed advance while a long job runs — in steps of at
-// most statFlushEvery per worker, the price of keeping the per-task hot
-// path free of LOCK-prefixed RMWs. The name is kept for callers that want
-// to document they read mid-flight.
+// LiveStats returns Stats.
+//
+// Deprecated: Stats has been the live read since the counters became
+// per-worker padded atomics — there is nothing a separate entry point can
+// add, and the duplication made every caller choose between two identical
+// names. LiveStats is kept as an alias for one release and then removed;
+// call Stats.
 func (rt *Runtime) LiveStats() Stats { return rt.Stats() }
 
 // ResetStats zeroes all per-worker counters and the external root count.
@@ -214,8 +302,14 @@ func (rt *Runtime) ResetStats() {
 	}
 }
 
-// String describes the runtime configuration.
+// String describes the runtime configuration. A runtime that is one shard
+// of a fleet says so — a log line from a 4-shard server must be
+// attributable to its shard, not read like a standalone pool.
 func (rt *Runtime) String() string {
+	if rt.shardTotal > 0 {
+		return fmt.Sprintf("xkaapi.Runtime{shard: %d/%d, workers: %d, aggregation: %v}",
+			rt.shardIndex, rt.shardTotal, len(rt.workers), !rt.cfg.NoAggregation)
+	}
 	return fmt.Sprintf("xkaapi.Runtime{workers: %d, aggregation: %v}",
 		len(rt.workers), !rt.cfg.NoAggregation)
 }

@@ -6,7 +6,7 @@ import (
 	"testing"
 )
 
-// TestLiveStatsExecutedMonotoneDuringJob reads LiveStats concurrently with
+// TestLiveStatsExecutedMonotoneDuringJob reads Stats concurrently with
 // a running job and asserts the properties the /stats endpoint depends on:
 // Executed is published live (non-zero well before the job completes) and
 // monotone non-decreasing across samples (each per-worker counter is a
@@ -39,9 +39,9 @@ func TestLiveStatsExecutedMonotoneDuringJob(t *testing.T) {
 	var prev int64
 	sawLive := false
 	for !j.Done() {
-		s := rt.LiveStats()
+		s := rt.Stats()
 		if s.Executed < prev {
-			t.Fatalf("LiveStats().Executed went backwards: %d -> %d", prev, s.Executed)
+			t.Fatalf("Stats().Executed went backwards: %d -> %d", prev, s.Executed)
 		}
 		prev = s.Executed
 		if s.Executed > 0 {
@@ -71,7 +71,7 @@ func TestLiveStatsExecutedMonotoneDuringJob(t *testing.T) {
 }
 
 // TestLiveStatsCancelledPublishedLive: cancelling a job mid-flight becomes
-// visible in LiveStats().Cancelled without waiting for quiescence, and the
+// visible in Stats().Cancelled without waiting for quiescence, and the
 // quiescent Spawned == Executed + Cancelled invariant still closes.
 func TestLiveStatsCancelledPublishedLive(t *testing.T) {
 	rt := NewRuntime(Config{Workers: 2, DisablePinning: true})
@@ -94,7 +94,7 @@ func TestLiveStatsCancelledPublishedLive(t *testing.T) {
 	// must surface in a live snapshot before Wait returns.
 	sawCancelled := false
 	for !j.Done() {
-		if rt.LiveStats().Cancelled > 0 {
+		if rt.Stats().Cancelled > 0 {
 			sawCancelled = true
 			break
 		}
@@ -103,13 +103,26 @@ func TestLiveStatsCancelledPublishedLive(t *testing.T) {
 	if err := j.Wait(); err != ErrCanceled {
 		t.Fatalf("Wait = %v, want ErrCanceled", err)
 	}
-	if !sawCancelled && rt.LiveStats().Cancelled == 0 {
-		t.Fatal("cancelled tasks never appeared in LiveStats")
+	if !sawCancelled && rt.Stats().Cancelled == 0 {
+		t.Fatal("cancelled tasks never appeared in a live Stats snapshot")
 	}
 	rt.Close()
 	s := rt.Stats()
 	if s.Spawned != s.Executed+s.Cancelled {
 		t.Fatalf("quiescent imbalance: spawned=%d executed=%d cancelled=%d",
 			s.Spawned, s.Executed, s.Cancelled)
+	}
+}
+
+// TestLiveStatsAlias pins the deprecation contract: until the alias is
+// removed, LiveStats must be exactly Stats.
+func TestLiveStatsAlias(t *testing.T) {
+	rt := NewRuntime(Config{Workers: 1, DisablePinning: true})
+	defer rt.Close()
+	if err := rt.RunRoot(func(w *Worker) { w.Spawn(func(*Worker) {}); w.Sync() }); err != nil {
+		t.Fatal(err)
+	}
+	if live, s := rt.LiveStats(), rt.Stats(); live != s {
+		t.Fatalf("LiveStats() = %+v differs from Stats() = %+v", live, s)
 	}
 }

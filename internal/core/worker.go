@@ -541,6 +541,17 @@ func (w *Worker) run() {
 			fails = 0
 			continue
 		}
+		// Cross-shard rebalancing is the last resort, tried only once the
+		// whole home shard (deque, inbox, steal sweep) came up empty: pull a
+		// queued root from a loaded sibling shard's inbox. Top level only —
+		// a worker waiting inside a frame (waitCounter) leans toward
+		// finishing the computation it is part of instead of opening a
+		// sibling shard's job.
+		if t := rt.stealRoot(); t != nil {
+			w.execute(t)
+			fails = 0
+			continue
+		}
 		if fails == 0 {
 			w.flushStats() // out of work: publish cached counters
 		}
@@ -568,7 +579,10 @@ func (w *Worker) park() {
 	rt := w.rt
 	rt.idle.Add(1)
 	w.stats.parks.Add(1)
-	if rt.anyWork() || rt.stop.Load() {
+	// The abort scan covers sibling shards too: cross-shard work published
+	// before idle was advertised must not strand this worker asleep (the
+	// fleet router's nudge only wakes workers it can see are idle).
+	if rt.anyWork() || rt.siblingWork() || rt.stop.Load() {
 		rt.idle.Add(-1)
 		return
 	}

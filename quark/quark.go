@@ -141,7 +141,7 @@ func (q *Quark) Workers() int { return q.nw }
 // per insertion stream (NewOnRuntime makes contexts cheap) for parallel
 // clients.
 func (q *Quark) Run(master func(q *Quark)) error {
-	return q.RunCtx(nil, master)
+	return q.RunCtx(context.Background(), master)
 }
 
 // RunCtx is Run bound to a context: if ctx is cancelled (or its deadline

@@ -104,6 +104,37 @@
 // drain the scheduler counters must balance:
 // Spawned == Executed + Cancelled.
 //
+// # Sharding
+//
+// Config.Shards > 1 (with Config.Runtime nil; or an externally built
+// xkaapi.New(WithShards(n)) runtime) puts a sharded fleet behind the same
+// endpoints: each request's job is placed on the least-loaded scheduler
+// shard, and idle shards steal queued root jobs from loaded siblings, so
+// one heavy endpoint cannot monopolize the pool's locality domain. The
+// workload endpoints accept an affinity=KEY query parameter (a uint64)
+// that pins the request's job to shard KEY mod shards — related requests
+// (one client, one dataset) then share one shard's caches. Affinity
+// requests bypass the coalescing batcher: a batch is one job with one
+// placement, which would silently override every member's pin but the
+// first.
+//
+// On a sharded runtime /stats grows two fields:
+//
+//	"shards": 4,
+//	"shard_stats": [
+//	  {"shard": 0, "workers": 2, "inbox_len": 0, "live_roots": 1,
+//	   "stolen_in": 3, "stolen_out": 0,
+//	   "executed": 1234, "spawned": 1230, "cancelled": 0, "parks": 7},
+//	  ...
+//	]
+//
+// stolen_in/stolen_out count root jobs migrated between shards by
+// cross-shard stealing; executed counts where tasks actually ran. Because
+// migration moves execution but not accounting, spawned == executed +
+// cancelled balances only on the fleet-level "scheduler" block, not per
+// shard. shard_stats is omitted entirely when shards == 1, so consumers
+// of the single-pool schema see an unchanged reply.
+//
 // # Stats, latency and data races
 //
 // /stats reports queue_cap and the live queue_depth, the per-endpoint

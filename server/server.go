@@ -19,11 +19,23 @@ import (
 // through the request context.
 const StatusClientClosedRequest = 499
 
-// Config parameterizes a Server. Runtime is required; everything else has
-// serving defaults.
+// Config parameterizes a Server. Everything has serving defaults: with a
+// nil Runtime the server builds (and owns) one from the Workers and Shards
+// knobs.
 type Config struct {
-	// Runtime is the shared worker pool every request's job runs on.
+	// Runtime is the shared worker pool every request's job runs on. Nil
+	// builds a runtime from Workers and Shards; the caller can reach it
+	// through Server.Runtime (for the Wait/CloseErr drain sequence).
 	Runtime *xkaapi.Runtime
+	// Workers sets the total worker count when the server builds the
+	// runtime itself (Runtime nil). Zero selects one per core. Ignored
+	// when Runtime is provided.
+	Workers int
+	// Shards splits the self-built runtime into that many scheduler
+	// shards behind the load-aware router (see xkaapi.WithShards); the
+	// Workers are spread evenly across them. Zero or one keeps a single
+	// pool. Ignored when Runtime is provided.
+	Shards int
 	// Budget bounds the jobs in flight at once. Zero or negative selects
 	// 2x the worker count.
 	Budget int
@@ -135,12 +147,21 @@ type Server struct {
 	chol endpointStats
 }
 
-// New builds a Server over cfg.Runtime. The caller owns the runtime's
-// lifecycle (see StartDrain for the shutdown order); Close stops the
-// coalescing collectors once no more requests can arrive.
+// New builds a Server over cfg.Runtime, or over a runtime of its own when
+// cfg.Runtime is nil (shaped by cfg.Workers and cfg.Shards). Either way
+// the caller owns the runtime's lifecycle — reach a self-built one through
+// Server.Runtime for the shutdown order described at StartDrain. Close
+// stops the coalescing collectors once no more requests can arrive.
 func New(cfg Config) *Server {
 	if cfg.Runtime == nil {
-		panic("server: Config.Runtime is required")
+		opts := []xkaapi.Option{}
+		if cfg.Workers > 0 {
+			opts = append(opts, xkaapi.WithWorkers(cfg.Workers))
+		}
+		if cfg.Shards > 1 {
+			opts = append(opts, xkaapi.WithShards(cfg.Shards))
+		}
+		cfg.Runtime = xkaapi.New(opts...)
 	}
 	budget := cfg.Budget
 	if budget <= 0 {
@@ -199,6 +220,12 @@ func New(cfg Config) *Server {
 
 // ServeHTTP dispatches to the endpoint handlers.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Runtime returns the pool the server submits to — the one from Config, or
+// the one the server built itself when Config.Runtime was nil. The caller
+// drains and closes it (Runtime.Wait, Runtime.CloseErr) after the HTTP
+// server has shut down.
+func (s *Server) Runtime() *xkaapi.Runtime { return s.rt }
 
 // Budget returns the configured in-flight job budget.
 func (s *Server) Budget() int { return s.budget }
@@ -421,23 +448,47 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 // StatsReply is the JSON body of /stats.
 type StatsReply struct {
 	Workers    int                      `json:"workers"`
+	Shards     int                      `json:"shards"`
 	Budget     int                      `json:"budget"`
 	InFlight   int                      `json:"in_flight"`
 	QueueCap   int                      `json:"queue_cap"`
 	QueueDepth int                      `json:"queue_depth"`
 	Draining   bool                     `json:"draining"`
 	Endpoints  map[string]EndpointStats `json:"endpoints"`
-	// Scheduler carries the full live scheduler counters: the task-path
-	// counters (Spawned/Executed/Cancelled/...) are per-worker padded
-	// atomics, so /stats reports real task throughput while jobs are in
-	// flight — each value is a monotone lower bound; exact balance
-	// (spawned == executed + cancelled) holds once the pool drains.
+	// Scheduler carries the full live scheduler counters — summed over
+	// every shard on a sharded runtime: the task-path counters
+	// (Spawned/Executed/Cancelled/...) are per-worker padded atomics, so
+	// /stats reports real task throughput while jobs are in flight — each
+	// value is a monotone lower bound; exact balance (spawned == executed
+	// + cancelled) holds once the pool drains, and on a sharded runtime
+	// only at this aggregate level (migrated jobs are counted where they
+	// ran; see ShardStats).
 	Scheduler xkaapi.Stats `json:"scheduler"`
+	// ShardStats is the per-shard breakdown, present only when the runtime
+	// is sharded (shards > 1): one entry per shard, in shard order.
+	ShardStats []ShardStatsReply `json:"shard_stats,omitempty"`
+}
+
+// ShardStatsReply is one shard's entry in StatsReply: where jobs were
+// placed (live_roots, inbox_len), how many migrated in or out through
+// cross-shard stealing, and the shard's own task counters.
+type ShardStatsReply struct {
+	Shard     int   `json:"shard"`
+	Workers   int   `json:"workers"`
+	InboxLen  int64 `json:"inbox_len"`
+	LiveRoots int64 `json:"live_roots"`
+	StolenIn  int64 `json:"stolen_in"`
+	StolenOut int64 `json:"stolen_out"`
+	Executed  int64 `json:"executed"`
+	Spawned   int64 `json:"spawned"`
+	Cancelled int64 `json:"cancelled"`
+	Parks     int64 `json:"parks"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, StatsReply{
+	reply := StatsReply{
 		Workers:    s.rt.Workers(),
+		Shards:     s.rt.Shards(),
 		Budget:     s.budget,
 		InFlight:   s.InFlight(),
 		QueueCap:   s.queueCap,
@@ -448,6 +499,23 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			"loop":     s.loop.snapshot(),
 			"cholesky": s.chol.snapshot(),
 		},
-		Scheduler: s.rt.LiveStats(),
-	})
+		Scheduler: s.rt.Stats(),
+	}
+	if reply.Shards > 1 {
+		for _, ss := range s.rt.ShardStats() {
+			reply.ShardStats = append(reply.ShardStats, ShardStatsReply{
+				Shard:     ss.Shard,
+				Workers:   ss.Workers,
+				InboxLen:  ss.InboxLen,
+				LiveRoots: ss.LiveRoots,
+				StolenIn:  ss.StolenIn,
+				StolenOut: ss.StolenOut,
+				Executed:  ss.Sched.Executed,
+				Spawned:   ss.Sched.Spawned,
+				Cancelled: ss.Sched.Cancelled,
+				Parks:     ss.Sched.Parks,
+			})
+		}
+	}
+	writeJSON(w, http.StatusOK, reply)
 }

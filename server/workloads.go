@@ -2,7 +2,9 @@ package server
 
 import (
 	"context"
+	"fmt"
 	"net/http"
+	"strconv"
 	"sync"
 	"time"
 
@@ -109,11 +111,44 @@ func (s *Server) serveBatched(ep *endpointStats, b *batcher, w http.ResponseWrit
 	return true
 }
 
+// affinityParam parses the optional affinity query parameter: a uint64 key
+// pinning the request's job to one shard of a sharded runtime (see
+// xkaapi.Runtime.SubmitAffinity). hasKey is false when the parameter is
+// absent.
+func affinityParam(r *http.Request) (key uint64, hasKey bool, err error) {
+	v := r.URL.Query().Get("affinity")
+	if v == "" {
+		return 0, false, nil
+	}
+	key, perr := strconv.ParseUint(v, 10, 64)
+	if perr != nil {
+		return 0, false, fmt.Errorf("bad affinity %q", v)
+	}
+	return key, true, nil
+}
+
+// submitSmall submits one small-job request body, honouring the affinity
+// pin when the request carries one.
+func (s *Server) submitSmall(ctx context.Context, key uint64, hasKey bool, fn func(*xkaapi.Proc)) *xkaapi.Job {
+	if hasKey {
+		return s.rt.SubmitAffinity(ctx, key, fn)
+	}
+	return s.rt.SubmitCtx(ctx, fn)
+}
+
 // handleFib serves GET /fib?n=N: the fork-join recursion, coalesced with
 // concurrent /fib requests into one batched job when batching is enabled,
-// result verified against the sequential recurrence.
+// result verified against the sequential recurrence. An affinity=K
+// parameter pins the job to shard K mod shards of a sharded runtime;
+// affinity requests bypass the batcher (a batch has one placement, which
+// would silently override the pin of every member but the first).
 func (s *Server) handleFib(w http.ResponseWriter, r *http.Request) {
 	n, err := intParam(r, "n", 22, s.maxFib)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	key, hasKey, err := affinityParam(r)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
@@ -130,13 +165,13 @@ func (s *Server) handleFib(w http.ResponseWriter, r *http.Request) {
 	defer s.release()
 
 	verify := func(res int64) bool { return res == FibSeq(n) }
-	if s.serveBatched(&s.fib, s.fibBatch, w, r, "fib", n, ctx, verify) {
+	if !hasKey && s.serveBatched(&s.fib, s.fibBatch, w, r, "fib", n, ctx, verify) {
 		return
 	}
 
 	var res int64
 	start := time.Now()
-	job := s.rt.SubmitCtx(ctx, func(p *xkaapi.Proc) { fibTask(p, &res, n) })
+	job := s.submitSmall(ctx, key, hasKey, func(p *xkaapi.Proc) { fibTask(p, &res, n) })
 	jerr := job.Wait()
 
 	rep := reply{
@@ -168,6 +203,11 @@ func (s *Server) handleLoop(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
+	key, hasKey, err := affinityParam(r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
 	ctx, cancel, err := s.requestCtx(r)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
@@ -180,13 +220,13 @@ func (s *Server) handleLoop(w http.ResponseWriter, r *http.Request) {
 	defer s.release()
 
 	verify := func(res int64) bool { return res == int64(n)*int64(n-1)/2 }
-	if s.serveBatched(&s.loop, s.loopBatch, w, r, "loop", n, ctx, verify) {
+	if !hasKey && s.serveBatched(&s.loop, s.loopBatch, w, r, "loop", n, ctx, verify) {
 		return
 	}
 
 	var res int64
 	start := time.Now()
-	job := s.rt.SubmitCtx(ctx, func(p *xkaapi.Proc) { loopKernel(p, n, &res) })
+	job := s.submitSmall(ctx, key, hasKey, func(p *xkaapi.Proc) { loopKernel(p, n, &res) })
 	jerr := job.Wait()
 
 	rep := reply{

@@ -191,7 +191,7 @@ func (s *Scheduler) RunCtx(ctx context.Context, root func(c *Context)) error {
 // closed scheduler returns a pre-failed Job with ErrClosed instead of
 // panicking.
 func (s *Scheduler) Submit(t Task) *Job {
-	return s.SubmitCtx(nil, t)
+	return s.SubmitCtx(context.Background(), t)
 }
 
 // SubmitCtx is Submit bound to a context: cancelling ctx (or its deadline

@@ -107,6 +107,24 @@
 // that package and cmd/xkserve for the serving story, and quickstart §6
 // for an in-process example.
 //
+// # Scaling out with shards
+//
+// On many-core machines one global pool can become a single contention
+// domain. WithShards splits the runtime into N scheduler shards behind a
+// load-aware router: every Submit lands on the least-loaded shard,
+// SubmitAffinity pins related jobs to one shard for cache locality, and an
+// idle shard's workers steal queued root jobs from loaded siblings so no
+// shard backlogs while another sleeps. The submission API is identical —
+// Runtime wraps the Pool interface both shapes satisfy — and ShardStats
+// exposes the per-shard breakdown:
+//
+//	rt := xkaapi.New(xkaapi.WithShards(4))
+//	defer rt.Close()
+//	rt.SubmitAffinity(ctx, clientID, handle)
+//	for _, ss := range rt.ShardStats() {
+//	    log.Printf("shard %d: executed=%d stolen_in=%d", ss.Shard, ss.Sched.Executed, ss.StolenIn)
+//	}
+//
 // The semantics are sequential (as in Athapascan): a program whose tasks are
 // never stolen executes in program order, and dataflow dependencies make any
 // parallel execution equivalent to that order. Independent jobs are
@@ -203,33 +221,75 @@ func ReadWrite(h *Handle) Access { return Access{Handle: h, Mode: core.ModeReadW
 func CumulWrite(h *Handle) Access { return Access{Handle: h, Mode: core.ModeCumulWrite} }
 
 // Option configures New.
-type Option func(*core.Config)
+type Option func(*config)
+
+// config is the pool shape New builds: the per-shard scheduler Config plus
+// the fleet knobs.
+type config struct {
+	core      core.Config
+	shards    int
+	shardSize int
+	noSteal   bool
+}
 
 // WithWorkers sets the number of scheduling threads; the default is
-// runtime.GOMAXPROCS(0), i.e. one per core.
-func WithWorkers(n int) Option { return func(c *core.Config) { c.Workers = n } }
+// runtime.GOMAXPROCS(0), i.e. one per core. With WithShards(n), the
+// workers are split evenly across the shards (unless WithShardSize pins
+// the per-shard count explicitly).
+func WithWorkers(n int) Option { return func(c *config) { c.core.Workers = n } }
 
 // WithoutAggregation disables steal-request aggregation (one combiner
 // answering all concurrent thieves); each thief then steals for itself.
 // Provided for the ablation benchmarks.
-func WithoutAggregation() Option { return func(c *core.Config) { c.NoAggregation = true } }
+func WithoutAggregation() Option { return func(c *config) { c.core.NoAggregation = true } }
 
 // WithoutPinning keeps workers as ordinary goroutines instead of locking
 // each one to an OS thread.
-func WithoutPinning() Option { return func(c *core.Config) { c.DisablePinning = true } }
+func WithoutPinning() Option { return func(c *config) { c.core.DisablePinning = true } }
 
 // WithSeed sets the base seed of the victim-selection RNGs, for reproducible
 // schedules in tests.
-func WithSeed(seed uint64) Option { return func(c *core.Config) { c.Seed = seed } }
+func WithSeed(seed uint64) Option { return func(c *config) { c.core.Seed = seed } }
 
-// Runtime owns a pool of workers, one per core by default. It is created
-// idle; Submit injects a root job and returns its handle immediately, Run
-// submits and waits. Any number of goroutines may submit concurrently: all
-// jobs share the one pool. Close drains in-flight jobs and releases the
-// workers.
+// WithShards splits the pool into n runtime shards behind a load-aware
+// router: each submitted job is placed on the least-loaded shard (or the
+// shard its affinity key pins, see Runtime.SubmitAffinity), and idle
+// shards' workers pull queued roots from loaded siblings. n <= 1 keeps the
+// classic single pool; n = 0 with WithShardSize set derives the shard
+// count from GOMAXPROCS/shardSize.
+func WithShards(n int) Option { return func(c *config) { c.shards = n } }
+
+// WithShardSize sets the worker count per shard (implying a sharded pool
+// even without WithShards: the shard count then defaults to
+// GOMAXPROCS/size, one shard per core group).
+func WithShardSize(n int) Option { return func(c *config) { c.shardSize = n } }
+
+// WithoutCrossSteal disables cross-shard stealing in a sharded pool,
+// leaving only the router's placement. Provided for ablation and for tests
+// that assert placement alone.
+func WithoutCrossSteal() Option { return func(c *config) { c.noSteal = true } }
+
+// Runtime owns a pool of workers, one per core by default — either one
+// scheduler (the default) or, with WithShards, a fleet of scheduler shards
+// behind a load-aware router. It is created idle; Submit injects a root
+// job and returns its handle immediately, Run submits and waits. Any
+// number of goroutines may submit concurrently: all jobs share the one
+// pool. Close drains in-flight jobs and releases the workers. The
+// submission surface is the same either way: Runtime wraps the Pool
+// interface both shapes satisfy.
 type Runtime struct {
-	rt *core.Runtime
+	rt core.Pool
 }
+
+// Pool is the scheduler-side submission interface both a single runtime
+// shard and a sharded fleet satisfy (Submit/SubmitCtx/SubmitAffinity,
+// Wait, Close, Stats, per-shard ShardStats). Runtime wraps a Pool; the
+// type is exported for code that wants to accept either shape directly.
+type Pool = core.Pool
+
+// ShardStats is one shard's monitoring entry: placement and migration
+// counters plus the shard's scheduler Stats. See Runtime.ShardStats.
+type ShardStats = core.ShardStats
 
 // Job is the completion handle of one submitted root job. Wait returns the
 // job's error (nil, *PanicError, a context error, ErrCanceled or
@@ -245,13 +305,28 @@ type Job = core.Job
 // Job.Stats.
 type JobStats = core.JobStats
 
-// New creates a runtime with the given options.
+// New creates a runtime with the given options: a single scheduler by
+// default, a sharded fleet behind the load-aware router when WithShards
+// (or WithShardSize) asks for one.
 func New(opts ...Option) *Runtime {
-	var cfg core.Config
+	var cfg config
 	for _, o := range opts {
 		o(&cfg)
 	}
-	return &Runtime{rt: core.NewRuntime(cfg)}
+	if cfg.shards > 1 || (cfg.shards <= 0 && cfg.shardSize > 0) {
+		fc := core.FleetConfig{
+			Shards:    cfg.shards,
+			ShardSize: cfg.shardSize,
+			NoSteal:   cfg.noSteal,
+			Runtime:   cfg.core,
+		}
+		if cfg.shards > 1 && cfg.shardSize <= 0 && cfg.core.Workers > 0 {
+			// WithWorkers(n) + WithShards(s): split the n workers evenly.
+			fc.ShardSize = max(1, cfg.core.Workers/cfg.shards)
+		}
+		return &Runtime{rt: core.NewFleet(fc)}
+	}
+	return &Runtime{rt: core.NewRuntime(cfg.core)}
 }
 
 // Close drains every in-flight job, then stops and joins the workers.
@@ -290,6 +365,16 @@ func (r *Runtime) SubmitCtx(ctx context.Context, root func(*Proc)) *Job {
 	return r.rt.SubmitCtx(ctx, root)
 }
 
+// SubmitAffinity is SubmitCtx with a placement hint for sharded runtimes:
+// jobs submitted with the same key are routed to the same shard, so related
+// jobs (one client's requests, one dataset's queries) share that shard's
+// caches. The pin is on placement only — cross-shard stealing still
+// rebalances a backlogged shard unless WithoutCrossSteal. On an unsharded
+// runtime the key is ignored and SubmitAffinity is exactly SubmitCtx.
+func (r *Runtime) SubmitAffinity(ctx context.Context, key uint64, root func(*Proc)) *Job {
+	return r.rt.SubmitAffinity(ctx, key, root)
+}
+
 // Wait blocks until every job submitted so far has completed and returns
 // the aggregated outcome of the drain: nil if nothing failed since the last
 // Wait, otherwise an errors.Join of the failures recorded since then (a
@@ -304,11 +389,29 @@ func (r *Runtime) Wait() error { return r.rt.Wait() }
 // Cancelled hold exactly only once the pool is quiescent.
 func (r *Runtime) Stats() Stats { return r.rt.Stats() }
 
-// LiveStats is Stats, kept as a named alias for callers that want to
-// document an intentionally mid-flight read: since the task-path counters
-// became padded per-worker atomics, Executed and Cancelled are published
-// live too. See core.Runtime.LiveStats.
-func (r *Runtime) LiveStats() Stats { return r.rt.LiveStats() }
+// LiveStats is Stats under its pre-fleet name.
+//
+// Deprecated: all counters have been published live (padded per-worker
+// atomics) since the stats batching rework, so the two snapshots are the
+// same read; use Stats. LiveStats remains one release as an alias and will
+// be removed.
+func (r *Runtime) LiveStats() Stats { return r.rt.Stats() }
+
+// Shards returns the number of scheduler shards: 1 for the default single
+// pool, the WithShards count for a sharded runtime.
+func (r *Runtime) Shards() int { return r.rt.Shards() }
+
+// ShardStats returns one monitoring entry per shard, in shard order: the
+// shard's queue depths (InboxLen, LiveRoots), its cross-shard migration
+// counters (StolenIn, StolenOut) and its scheduler Stats. On an unsharded
+// runtime it returns a single entry. Note that migrated jobs are counted
+// where they ran, so Spawned == Executed + Cancelled balances fleet-wide
+// (Runtime.Stats), not per shard.
+func (r *Runtime) ShardStats() []ShardStats { return r.rt.ShardStats() }
+
+// String describes the pool shape ("xkaapi.Runtime{...}" for a single
+// scheduler or fleet shard, "xkaapi.Fleet{...}" for a sharded runtime).
+func (r *Runtime) String() string { return r.rt.String() }
 
 // ResetStats zeroes the scheduler counters; call it between Runs.
 func (r *Runtime) ResetStats() { r.rt.ResetStats() }
