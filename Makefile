@@ -9,11 +9,11 @@ test:
 
 # Race tier: the concurrency-critical packages under the race detector —
 # the shared failure state machine (internal/jobfail), the scheduler core,
-# the parallel algorithms that hammer it, the HTTP front-end, the public
-# facade, and every paradigm layer embedding the jobfail protocol (cilk,
-# gomp, komp, tbbsched, quark). -short keeps the stress tests at their
-# trimmed sizes.
-RACE_PKGS = . ./internal/jobfail ./internal/core ./par ./server ./cilk ./gomp ./komp ./tbbsched ./quark
+# the fault-injection harness (internal/chaos), the parallel algorithms
+# that hammer it, the HTTP front-end, the public facade, and every paradigm
+# layer embedding the jobfail protocol (cilk, gomp, komp, tbbsched, quark).
+# -short keeps the stress tests at their trimmed sizes.
+RACE_PKGS = . ./internal/jobfail ./internal/core ./internal/chaos ./par ./server ./cilk ./gomp ./komp ./tbbsched ./quark
 .PHONY: race
 race:
 	$(GO) test -race -short $(RACE_PKGS)

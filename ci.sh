@@ -59,6 +59,17 @@ go test -race -run 'TestContextPropagationStress' -count=2 ./internal/core
 echo "== race tier: fleet router + cross-shard steal stress"
 go test -race -run 'TestFleet' -count=2 ./internal/core
 
+# The chaos tier replays seeded fault injection under the race detector:
+# the paradigm sweep over a chaotic shared pool, the wedged-shard
+# supervision episode, and the server-side degradation paths (brownout
+# hysteresis, panic retries serving through injected crashes). All seeds
+# are fixed, so a failure here replays deterministically.
+echo "== race tier: seeded chaos (fault injection, supervision, degradation)"
+go test -race -count=1 ./internal/chaos
+go test -race -count=1 \
+	-run 'TestChaos|TestWedged|TestBrownout|TestPanicRetries|TestRetryAfter' \
+	. ./internal/core ./server
+
 echo "== integration tier: xkserve serve + load over HTTP"
 ./integration.sh
 

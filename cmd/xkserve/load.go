@@ -6,6 +6,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math/rand"
 	"net"
 	"net/http"
 	"os"
@@ -87,6 +88,7 @@ func runLoad(args []string) int {
 	hotAffinity := fs.Int("hot-affinity", 0, "fire N simultaneous /loop requests all pinned to one shard (affinity=1), to drive cross-shard stealing on a sharded server")
 	hotLoop := fs.Int("hot-loop", 1_000_000, "loop iteration count of each -hot-affinity request")
 	expectShards := fs.Int("expect-shards", 0, "fail unless /stats reports exactly N shards, every shard executed tasks, and (with -hot-affinity) work migrated between shards")
+	retries := fs.Int("retries", 0, "max retries of a 429, honoring the server's full Retry-After with jitter (0 = the legacy fast poll: unbounded retries at Retry-After/20)")
 	wait := fs.Duration("wait", 10*time.Second, "how long to wait for the server to become healthy")
 	fs.Parse(args)
 
@@ -114,7 +116,7 @@ func runLoad(args []string) int {
 	}
 
 	if *hotAffinity > 0 {
-		runHotAffinity(*addr, *hotAffinity, *hotLoop, &lt)
+		runHotAffinity(*addr, *hotAffinity, *hotLoop, *retries, &lt)
 	}
 
 	urls := [loadNumKinds]string{
@@ -138,7 +140,7 @@ func runLoad(args []string) int {
 			defer wg.Done()
 			for j := 0; j < *jobs; j++ {
 				kind := (client + j) % loadNumKinds
-				if !doRequest(urls[kind], kind, wantFib, wantLoop, *expectDrain, &lt) {
+				if !doRequest(urls[kind], kind, wantFib, wantLoop, *expectDrain, *retries, &lt) {
 					return // server draining or gone: stop this client
 				}
 			}
@@ -186,7 +188,7 @@ func runLoad(args []string) int {
 // visible afterwards as stolen_in/stolen_out in /stats. Responses are
 // verified like any other /loop request (migration must not change
 // results).
-func runHotAffinity(addr string, n, loopN int, lt *loadTally) {
+func runHotAffinity(addr string, n, loopN, retries int, lt *loadTally) {
 	url := fmt.Sprintf("%s/loop?n=%d&affinity=1", addr, loopN)
 	want := int64(loopN) * int64(loopN-1) / 2
 	var wg sync.WaitGroup
@@ -197,7 +199,7 @@ func runHotAffinity(addr string, n, loopN int, lt *loadTally) {
 		go func() {
 			defer wg.Done()
 			release.Wait() // one simultaneous wave onto one shard
-			doRequest(url, loadKindLoop, 0, want, false, lt)
+			doRequest(url, loadKindLoop, 0, want, false, retries, lt)
 		}()
 	}
 	release.Done()
@@ -421,11 +423,15 @@ func runBurst(addr string, n, cholN, nb int, lt *loadTally) int {
 }
 
 // doRequest performs one workload request, retrying 429s with the server's
-// advertised backoff. It reports false when the server is draining (or
-// gone) and the client should stop. Connection errors and 503s count as a
+// advertised backoff. With retries == 0 it polls fast and unbounded (the
+// legacy behavior the pre-chaos phases are tuned to: Retry-After/20, up to
+// 100 attempts); with retries > 0 it is a well-behaved client, honoring
+// the full advertised Retry-After with jitter and giving up for good after
+// that many 429s. It reports false when the server is draining (or gone)
+// and the client should stop. Connection errors and 503s count as a
 // graceful drain only when expectDrain is set (the SIGTERM exercise);
 // otherwise a vanished server is an unexpected failure.
-func doRequest(url string, kind int, wantFib, wantLoop int64, expectDrain bool, lt *loadTally) bool {
+func doRequest(url string, kind int, wantFib, wantLoop int64, expectDrain bool, retries int, lt *loadTally) bool {
 	noteDown := func(desc string) bool {
 		if expectDrain {
 			lt.drained.Add(1)
@@ -466,6 +472,15 @@ func doRequest(url string, kind int, wantFib, wantLoop int64, expectDrain bool, 
 			lt.okBy[kind].Add(1)
 			return true
 		case http.StatusTooManyRequests:
+			if retries > 0 {
+				if attempt >= retries {
+					lt.noteUnexpected(fmt.Sprintf("still 429 after %d Retry-After backoffs", retries))
+					return true
+				}
+				lt.retried.Add(1)
+				time.Sleep(jitteredRetryAfter(resp))
+				continue
+			}
 			if attempt > 100 {
 				lt.noteUnexpected("budget never freed after 100 retries")
 				return true
@@ -482,6 +497,20 @@ func doRequest(url string, kind int, wantFib, wantLoop int64, expectDrain bool, 
 			return true
 		}
 	}
+}
+
+// jitteredRetryAfter honors the server's full advertised Retry-After
+// (default 1s when absent) with ±25% random jitter, so a burst of clients
+// rejected together does not come back as a synchronized thundering herd
+// exactly Retry-After seconds later.
+func jitteredRetryAfter(resp *http.Response) time.Duration {
+	d := time.Second
+	if v := resp.Header.Get("Retry-After"); v != "" {
+		if secs, err := strconv.Atoi(v); err == nil && secs > 0 {
+			d = time.Duration(secs) * time.Second
+		}
+	}
+	return d - d/4 + time.Duration(rand.Int63n(int64(d)/2+1))
 }
 
 // retryAfter honors the server's Retry-After header, scaled down so tests

@@ -33,11 +33,28 @@ func runServe(args []string) int {
 	maxFib := fs.Int("max-fib", 0, "cap on fib request size (0 = default)")
 	maxLoop := fs.Int("max-loop", 0, "cap on loop request size (0 = default)")
 	maxChol := fs.Int("max-chol", 0, "cap on cholesky request order (0 = default)")
+	chaosSpec := fs.String("chaos", "", "fault-injection scenario: named fragments joined with '+', optional ':<seed>' (panic, steal, stall, inbox, latency, wedge, all; e.g. stall+panic:7); empty = disabled")
+	healthStall := fs.Duration("health-stall", 0, "how long a shard may sit on a nonempty inbox without progress before the router diverts around it (0 = 400ms default; needs -shards > 1)")
+	sloP99 := fs.Duration("slo", 0, "p99 latency SLO per endpoint: past it the brownout controller degrades gracefully (sheds oversized requests, widens batch windows, /healthz reports degraded); 0 = disabled")
+	panicRetries := fs.Int("panic-retries", 0, "times a request's job is resubmitted after failing with a task panic (0 = a panic is a 500)")
 	fs.Parse(args)
 
+	inj, err := xkaapi.ParseChaos(*chaosSpec)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "xkserve: bad -chaos spec: %v\n", err)
+		return 1
+	}
 	rtOpts := []xkaapi.Option{xkaapi.WithWorkers(*workers)}
 	if *shards > 1 {
 		rtOpts = append(rtOpts, xkaapi.WithShards(*shards))
+	}
+	if *healthStall > 0 {
+		rtOpts = append(rtOpts, xkaapi.WithShardHealth(0, *healthStall))
+	}
+	if inj != nil {
+		// One injector drives the whole stack: the scheduler sites through
+		// the runtime, the handler-latency site through the server config.
+		rtOpts = append(rtOpts, xkaapi.WithChaos(inj))
 	}
 	rt := xkaapi.New(rtOpts...)
 	srv := server.New(server.Config{
@@ -50,6 +67,9 @@ func runServe(args []string) int {
 		MaxFib:         *maxFib,
 		MaxLoop:        *maxLoop,
 		MaxChol:        *maxChol,
+		SLO:            server.SLO{FibP99: *sloP99, LoopP99: *sloP99, CholP99: *sloP99},
+		PanicRetries:   *panicRetries,
+		Chaos:          inj,
 	})
 	httpSrv := &http.Server{Addr: *addr, Handler: srv}
 
@@ -60,6 +80,9 @@ func runServe(args []string) int {
 	go func() { errc <- httpSrv.ListenAndServe() }()
 	fmt.Printf("xkserve: serving on %s (%d workers, %d shard(s), budget %d, queue %d, default timeout %v)\n",
 		*addr, rt.Workers(), rt.Shards(), srv.Budget(), srv.QueueCap(), *timeout)
+	if inj != nil {
+		fmt.Printf("xkserve: chaos armed: %s (panic retries %d)\n", *chaosSpec, *panicRetries)
+	}
 
 	select {
 	case <-ctx.Done():
@@ -111,6 +134,11 @@ func runServe(args []string) int {
 				ss.Shard, rt.Shards(), ss.Sched.Spawned, ss.Sched.Executed, ss.Sched.Cancelled,
 				ss.StolenIn, ss.StolenOut, ss.Sched.Parks)
 		}
+	}
+	if inj != nil {
+		// Per-site injection counts, so a chaos run's exit report shows
+		// which failures the drain above survived.
+		fmt.Printf("xkserve: chaos counts: %s\n", inj.Counts())
 	}
 	if err := rt.CloseErr(); err != nil {
 		// The summary counts every failed job over the runtime's lifetime

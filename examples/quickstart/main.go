@@ -19,7 +19,10 @@
 // (8) scaling out with shards: WithShards splits the pool into scheduler
 // shards behind a load-aware router, SubmitAffinity pins related jobs to
 // one shard, idle shards steal queued roots from loaded siblings, and
-// ShardStats shows placement and migration per shard.
+// ShardStats shows placement and migration per shard, and
+// (9) fault injection: WithChaos arms a deterministic, seeded chaos
+// harness in the scheduler itself, so panics, stalls and wedged shards
+// are reproducible test inputs instead of production surprises.
 //
 // The context rules shown here are machine-checked: `make lint` runs the
 // module's own analyzers (internal/analysis, via cmd/xkvet), which reject
@@ -244,4 +247,35 @@ func main() {
 		fmt.Printf("  shard %d: executed=%d stolen_in=%d stolen_out=%d\n",
 			ss.Shard, ss.Sched.Executed, ss.StolenIn, ss.StolenOut)
 	}
+
+	// 9. Fault injection (chaos). NewChaosInjector arms seeded injection
+	// sites inside the scheduler — task panics, steal misses, worker
+	// stalls, whole-shard wedges — behind a nil-check fast path: a runtime
+	// built without an injector pays one predictable branch per site. The
+	// set of injected faults is a pure function of (scenario, seed), so a
+	// failing run replays from its seed. A job hit by an injected panic
+	// fails alone with a PanicError, exactly like the real panic of
+	// section 5; the pool survives, and Counts reports what actually
+	// fired. `xkserve serve -chaos stall+panic:7 -panic-retries 8` drives
+	// the same harness through the HTTP front-end, which then resubmits
+	// panicked jobs server-side and reports degradation on /healthz.
+	inj := xkaapi.NewChaosInjector(xkaapi.ChaosScenario{Seed: 7, TaskPanic: 0.002})
+	crt := xkaapi.New(xkaapi.WithWorkers(4), xkaapi.WithChaos(inj))
+	survived, injected := 0, 0
+	for attempt := 0; attempt < 50; attempt++ {
+		var r int64
+		err := crt.Run(func(p *xkaapi.Proc) { fib(p, &r, 10) })
+		var pe *xkaapi.PanicError
+		switch {
+		case err == nil:
+			survived++
+		case errors.As(err, &pe):
+			injected++ // pe names the injected site and sequence number
+		default:
+			panic(err)
+		}
+	}
+	crt.Close()
+	fmt.Printf("chaos: %d/50 jobs ok, %d hit an injected panic (%s)\n",
+		survived, injected, inj.Counts())
 }

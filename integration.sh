@@ -19,21 +19,37 @@
 # shard in /stats), a hot-affinity wave pinning simultaneous /loop jobs to
 # one shard must migrate via cross-shard stealing (stolen_in > 0), and the
 # fleet must drain cleanly on SIGTERM with the aggregate counters balanced.
+# Phase 6 is the chaos exercise: a third 4-shard server runs with seeded
+# fault injection armed (worker stalls, task/loop panics, 20ms handler
+# delays, and a wall-clock wedge freezing shard 1), a p99 SLO that the
+# injected latency must violate, and a panic-retry budget that must absorb
+# every injected crash. Under a sustained mixed load plus an affinity wave
+# pinned to the wedged shard, every response must still verify (zero 500s),
+# /healthz must be observed degraded and recover to ok, the health
+# supervisor must trip the wedged shard and re-admit it
+# (health_transitions >= 2 in /stats), and the SIGTERM drain must balance
+# with nonzero task_panics in the chaos exit report.
 set -eu
 
 ADDR=127.0.0.1:18097
 ADDR2=127.0.0.1:18098
+ADDR3=127.0.0.1:18099
 BIN="${TMPDIR:-/tmp}/xkserve-ci"
 SERVE_LOG="${TMPDIR:-/tmp}/xkserve-ci-serve.log"
 SERVE2_LOG="${TMPDIR:-/tmp}/xkserve-ci-serve2.log"
+SERVE3_LOG="${TMPDIR:-/tmp}/xkserve-ci-serve3.log"
 LOAD_LOG="${TMPDIR:-/tmp}/xkserve-ci-load.log"
+LOAD3_LOG="${TMPDIR:-/tmp}/xkserve-ci-load3.log"
+HEALTH_LOG="${TMPDIR:-/tmp}/xkserve-ci-health.log"
 
 go build -o "$BIN" ./cmd/xkserve
 
 "$BIN" serve -addr "$ADDR" -budget 4 -timeout 30s >"$SERVE_LOG" 2>&1 &
 SERVE_PID=$!
 SERVE2_PID=
-trap 'kill "$SERVE_PID" $SERVE2_PID 2>/dev/null || true' EXIT
+SERVE3_PID=
+HEALTH_PID=
+trap 'kill "$SERVE_PID" $SERVE2_PID $SERVE3_PID $HEALTH_PID 2>/dev/null || true' EXIT
 
 # Budget 4, queue 16 (the 4x default): a cholesky burst of 24 overflows
 # both (4 running + 16 queued) and must see 429s for the remainder.
@@ -128,7 +144,6 @@ SERVE2_PID=$!
 kill -TERM "$SERVE2_PID"
 SERVE2_STATUS=0
 wait "$SERVE2_PID" || SERVE2_STATUS=$?
-trap - EXIT
 cat "$SERVE2_LOG"
 if [ "$SERVE2_STATUS" -ne 0 ]; then
 	echo "integration: sharded serve exited $SERVE2_STATUS (want 0: clean drain)" >&2
@@ -138,5 +153,113 @@ grep -q "drained cleanly" "$SERVE2_LOG"
 # The per-shard exit report must be present and name every shard.
 grep -q "shard 3/4" "$SERVE2_LOG"
 
-rm -f "$SERVE_LOG" "$SERVE2_LOG" "$LOAD_LOG" "$BIN"
+echo "== integration: chaos: injected faults, shard supervision, graceful degradation"
+# Full scenario, fixed seed: worker stalls, task/loop panics (absorbed by
+# -panic-retries so the answer stream stays clean), 20ms handler delays
+# that must push the 15ms SLO into brownout, and a wedge freezing shard 1
+# between t+750ms and t+2.75s. The mixed load keeps the sibling shards
+# busy; one second in, an affinity wave pins /loop jobs to the wedged
+# shard so its inbox backlogs behind the frozen workers — the health
+# supervisor must trip the shard (its progress epoch stalls with a
+# nonempty inbox) and re-admit it once the wedge lifts. The budget is wide
+# enough that the whole wave is in flight at once (a real backlog, not an
+# admission trickle) and -health-stall shortens the supervisor's patience
+# so the backlog trips the shard before sibling steals drain it. Request
+# sizes stay small so the per-attempt panic probability times the retry
+# budget keeps the failure odds negligible: both load runs verify every
+# response, so a single 500 fails the phase.
+"$BIN" serve -addr "$ADDR3" -shards 4 -workers 8 -budget 128 -timeout 30s \
+	-chaos stall+panic+latency+wedge:7 -panic-retries 20 -slo 15ms \
+	-health-stall 100ms >"$SERVE3_LOG" 2>&1 &
+SERVE3_PID=$!
+: >"$HEALTH_LOG"
+(
+	while :; do
+		curl -s "http://$ADDR3/healthz" >>"$HEALTH_LOG" 2>/dev/null || true
+		printf '\n' >>"$HEALTH_LOG"
+		sleep 0.05
+	done
+) &
+HEALTH_PID=$!
+"$BIN" load -addr "http://$ADDR3" -clients 12 -jobs 400 \
+	-fib 6 -loop 3000000 -chol 64 -nb 32 -retries 3 >"$LOAD3_LOG" 2>&1 &
+LOAD3_PID=$!
+sleep 1
+# The wave lands inside the wedge window: every request pins to shard 1.
+"$BIN" load -addr "http://$ADDR3" -clients 0 -jobs 0 \
+	-hot-affinity 64 -hot-loop 8000000 -retries 3 || {
+	echo "integration: chaos affinity wave failed (an injected fault leaked into a response?)" >&2
+	cat "$SERVE3_LOG" >&2
+	exit 1
+}
+wait "$LOAD3_PID" || {
+	echo "integration: chaos load failed (an injected fault leaked into a response?):" >&2
+	cat "$LOAD3_LOG" >&2
+	cat "$SERVE3_LOG" >&2
+	exit 1
+}
+cat "$LOAD3_LOG"
+if ! grep -q '^degraded' "$HEALTH_LOG"; then
+	echo "integration: /healthz never reported degraded under injected latency" >&2
+	exit 1
+fi
+# The supervisor must have tripped the wedged shard and re-admitted it:
+# at least one full unhealthy->healthy episode somewhere in the fleet.
+trans_sum() {
+	curl -s "http://$ADDR3/stats" | grep -o '"health_transitions": *[0-9]*' |
+		grep -o '[0-9]*$' | awk '{s += $1} END {print s + 0}'
+}
+TRANS=0
+i=0
+while [ "$i" -lt 100 ]; do
+	TRANS=$(trans_sum)
+	if [ "${TRANS:-0}" -ge 2 ]; then
+		break
+	fi
+	i=$((i + 1))
+	sleep 0.1
+done
+if [ "${TRANS:-0}" -lt 2 ]; then
+	echo "integration: shard health transitions = ${TRANS:-0}, want >= 2 (trip + re-admit)" >&2
+	curl -s "http://$ADDR3/stats" >&2 || true
+	exit 1
+fi
+echo "shard supervision OK ($TRANS health transitions)"
+# With the load gone the brownout windows clear and /healthz must recover
+# to ok (three consecutive good windows) before the drain.
+OK_SEEN=0
+i=0
+while [ "$i" -lt 100 ]; do
+	if curl -s "http://$ADDR3/healthz" | grep -q '^ok'; then
+		OK_SEEN=1
+		break
+	fi
+	i=$((i + 1))
+	sleep 0.1
+done
+kill "$HEALTH_PID" 2>/dev/null || true
+wait "$HEALTH_PID" 2>/dev/null || true
+HEALTH_PID=
+if [ "$OK_SEEN" -ne 1 ]; then
+	echo "integration: /healthz did not recover to ok after the chaos load" >&2
+	exit 1
+fi
+kill -TERM "$SERVE3_PID"
+SERVE3_STATUS=0
+wait "$SERVE3_PID" || SERVE3_STATUS=$?
+trap - EXIT
+cat "$SERVE3_LOG"
+if [ "$SERVE3_STATUS" -ne 0 ]; then
+	echo "integration: chaos serve exited $SERVE3_STATUS (want 0: clean drain, counters balanced)" >&2
+	exit 1
+fi
+grep -q "drained cleanly" "$SERVE3_LOG"
+grep -q "chaos counts:" "$SERVE3_LOG"
+# The injected panics must actually have fired (and been survived).
+if grep -q "task_panics=0 " "$SERVE3_LOG"; then
+	echo "integration: chaos run fired no task panics — injection not reaching the scheduler" >&2
+	exit 1
+fi
+
+rm -f "$SERVE_LOG" "$SERVE2_LOG" "$SERVE3_LOG" "$LOAD_LOG" "$LOAD3_LOG" "$HEALTH_LOG" "$BIN"
 echo "integration OK"

@@ -107,8 +107,7 @@
 // All scheduler counters are per-worker padded atomics, so Stats may be
 // polled while jobs are in flight: a monitoring endpoint sees Executed and
 // Cancelled advance live, and the quiescent invariants hold exactly once
-// the pool drains. (LiveStats survives one release as a deprecated alias
-// of Stats from before the counters were published live.)
+// the pool drains.
 //
 // # Sharded fleets
 //

@@ -32,6 +32,9 @@ type FleetConfig struct {
 	// NoSteal disables the cross-shard steal path, leaving only the router
 	// (ablation: pure least-load placement). A 1-shard fleet never steals.
 	NoSteal bool
+	// Health tunes the shard health supervisor (health.go). The zero value
+	// enables it with the default cadence on any multi-shard fleet.
+	Health HealthConfig
 	// Runtime is the per-shard template: aggregation, pinning and the base
 	// seed apply to every shard (each shard derives a distinct
 	// victim-selection stream from the seed). Workers is overridden by
@@ -54,6 +57,11 @@ type Fleet struct {
 
 	closeMu sync.Mutex // serializes Close; shard flags flip before any drain
 	closed  bool
+
+	// Health supervisor plumbing (health.go): the goroutine watching the
+	// shards' progress epochs. nil healthStop means no supervisor runs.
+	healthStop chan struct{}
+	healthWG   sync.WaitGroup
 }
 
 // NewFleet builds the shards and starts their workers. The effective
@@ -86,6 +94,7 @@ func NewFleet(cfg FleetConfig) *Fleet {
 	for _, s := range f.shards {
 		s.start()
 	}
+	f.startHealth()
 	return f
 }
 
@@ -109,22 +118,50 @@ func (f *Fleet) NumWorkers() int {
 // that shard's caches; otherwise a least-loaded scan wins, starting from a
 // rotating origin so equal loads spread across shards instead of piling on
 // shard 0. The scan short-circuits on a load-0 shard: it cannot lose.
+//
+// Shards the supervisor marked unhealthy (health.go) are skipped: a pinned
+// key falls through to the next healthy shard in deterministic order (same
+// key, same stand-in, so the affinity benefit survives the outage), the
+// least-loaded scan simply ignores them. Every diversion is counted on the
+// sick shard. If every shard is unhealthy there is nothing to prefer and the
+// original choice stands — routing must degrade to normal placement, never
+// reject.
 func (f *Fleet) route(key uint64, hasKey bool) *Runtime {
 	n := len(f.shards)
 	if n == 1 {
 		return f.shards[0]
 	}
 	if hasKey {
-		return f.shards[key%uint64(n)]
+		home := f.shards[key%uint64(n)]
+		if !home.unhealthy.Load() {
+			return home
+		}
+		home.routedAround.Add(1)
+		for i := uint64(1); i < uint64(n); i++ {
+			if s := f.shards[(key+i)%uint64(n)]; !s.unhealthy.Load() {
+				return s
+			}
+		}
+		return home // every shard unhealthy: the pin stands
 	}
 	start := int(f.rr.Add(1) % uint32(n))
-	best := f.shards[start]
-	bestLoad := best.load()
-	for i := 1; i < n && bestLoad > 0; i++ {
+	var best *Runtime
+	var bestLoad int64
+	for i := 0; i < n; i++ {
 		s := f.shards[(start+i)%n]
-		if l := s.load(); l < bestLoad {
-			best, bestLoad = s, l
+		if s.unhealthy.Load() {
+			s.routedAround.Add(1)
+			continue
 		}
+		if l := s.load(); best == nil || l < bestLoad {
+			best, bestLoad = s, l
+			if bestLoad == 0 {
+				break
+			}
+		}
+	}
+	if best == nil {
+		return f.shards[start] // every shard unhealthy: load-blind rotation
 	}
 	return best
 }
@@ -211,6 +248,7 @@ func (f *Fleet) Close() {
 		return
 	}
 	f.closed = true
+	f.stopHealth() // before the drain: the supervisor must not nudge dying shards
 	for _, s := range f.shards {
 		s.beginClose()
 	}

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"xkaapi/internal/jobfail"
 )
@@ -229,9 +230,21 @@ func (rt *Runtime) newRoot(parent context.Context, fn func(*Worker)) (j *Job, t 
 }
 
 // enqueueRoot injects a registered root task through the inbox and wakes a
-// worker for it.
+// worker for it. The chaos inbox-delay site may defer the delivery: the job
+// is already registered (jobsLive counts it, so a concurrent Close waits for
+// it), only its appearance in the inbox is late — modelling a slow
+// submission path without touching the admission bookkeeping.
 func (rt *Runtime) enqueueRoot(t *Task) {
 	rt.extSpawned.Add(1)
+	if cz := rt.chaos; cz != nil {
+		if d := cz.InboxDelay(); d > 0 {
+			time.AfterFunc(d, func() {
+				rt.inbox.put(t)
+				rt.maybeWake()
+			})
+			return
+		}
+	}
 	rt.inbox.put(t)
 	rt.maybeWake()
 }

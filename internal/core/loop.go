@@ -95,6 +95,15 @@ func (lc *loopCtx) runChunk(w *Worker, lo, hi int64) (ok bool) {
 			lc.pending.Add(lo - hi)
 		}
 	}()
+	// Chaos loop-panic site: fail the chunk before its body runs, inside the
+	// barrier above, exercising the adaptive split/extract boundary — the
+	// recover credits [lo, hi) back to pending and aborts the loop exactly as
+	// a user-body panic would.
+	if cz := w.rt.chaos; cz != nil {
+		if v, ok := cz.LoopPanic(); ok {
+			panic(v)
+		}
+	}
 	lc.body(w, lo, hi)
 	return true
 }

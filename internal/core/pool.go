@@ -72,5 +72,13 @@ type ShardStats struct {
 	LiveRoots int64 // roots accepted by this shard and not yet finished
 	StolenIn  int64 // roots this shard's workers pulled from sibling inboxes
 	StolenOut int64 // roots of this shard claimed by sibling shards
-	Sched     Stats // the shard's scheduler counters
+
+	// Health supervision (health.go). Unhealthy means the supervisor is
+	// currently diverting placements away from this shard; transitions count
+	// both directions, so one full unhealthy-and-back episode adds 2.
+	Unhealthy         bool
+	HealthTransitions int64
+	RoutedAround      int64 // placements diverted away while unhealthy
+
+	Sched Stats // the shard's scheduler counters
 }

@@ -5,6 +5,8 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"xkaapi/internal/chaos"
 )
 
 // Config parameterizes a Runtime. The zero value gives the defaults the
@@ -23,6 +25,12 @@ type Config struct {
 	// Seed is the base seed for per-worker victim-selection RNGs. Zero
 	// selects a fixed default, making victim sequences reproducible.
 	Seed uint64
+	// Chaos installs a fault injector: task-body panics, steal-probe
+	// misses, worker stalls, inbox delivery delays and shard wedges are
+	// then drawn from its seeded decision streams. nil (the default)
+	// disables injection entirely — every site is a single nil check.
+	// Shards of one Fleet share one injector.
+	Chaos *chaos.Injector
 }
 
 // Runtime owns the worker pool. Create one with NewRuntime, submit work with
@@ -33,12 +41,24 @@ type Config struct {
 type Runtime struct {
 	cfg     Config
 	workers []*Worker
+	chaos   *chaos.Injector // cfg.Chaos, denormalized for the per-site nil checks
 
 	inbox      inbox
 	extSpawned atomic.Int64 // roots injected by Submit (external spawn count)
 	liveRoots  atomic.Int64 // accepted roots not yet finished (router load input)
 	stolenIn   atomic.Int64 // roots pulled from sibling shards' inboxes (fleet.go)
 	stolenOut  atomic.Int64 // roots of this shard claimed by sibling shards
+
+	// Health supervision state (health.go). progress is the shard's epoch:
+	// workers bump it as they publish executed batches, so a fleet
+	// supervisor can tell "busy" from "wedged" without touching the task
+	// path. unhealthy diverts the router; the flip/divert counters feed
+	// ShardStats. All four are fleet-only (standalone runtimes never write
+	// them beyond the progress epoch's shardTotal gate).
+	progress     atomic.Int64
+	unhealthy    atomic.Bool
+	healthFlips  atomic.Int64 // healthy <-> unhealthy transitions
+	routedAround atomic.Int64 // placements diverted away while unhealthy
 
 	// Fleet identity, wired by NewFleet before the workers start and never
 	// written again: nil/0/0 for a standalone runtime. shardTotal > 0 marks
@@ -91,7 +111,7 @@ func newRuntime(cfg Config, fleet *Fleet, shard, shards int) *Runtime {
 	if cfg.Workers <= 0 {
 		cfg.Workers = runtime.GOMAXPROCS(0)
 	}
-	rt := &Runtime{cfg: cfg, fleet: fleet, shardIndex: shard, shardTotal: shards}
+	rt := &Runtime{cfg: cfg, chaos: cfg.Chaos, fleet: fleet, shardIndex: shard, shardTotal: shards}
 	rt.parkCond = sync.NewCond(&rt.parkMu)
 	rt.jobsCond = sync.NewCond(&rt.jobsMu)
 	rt.workers = make([]*Worker, cfg.Workers)
@@ -235,13 +255,16 @@ func (rt *Runtime) ShardStats() []ShardStats { return []ShardStats{rt.shardStats
 
 func (rt *Runtime) shardStats() ShardStats {
 	return ShardStats{
-		Shard:     rt.shardIndex,
-		Workers:   len(rt.workers),
-		InboxLen:  rt.inbox.size(),
-		LiveRoots: rt.liveRoots.Load(),
-		StolenIn:  rt.stolenIn.Load(),
-		StolenOut: rt.stolenOut.Load(),
-		Sched:     rt.Stats(),
+		Shard:             rt.shardIndex,
+		Workers:           len(rt.workers),
+		InboxLen:          rt.inbox.size(),
+		LiveRoots:         rt.liveRoots.Load(),
+		StolenIn:          rt.stolenIn.Load(),
+		StolenOut:         rt.stolenOut.Load(),
+		Unhealthy:         rt.unhealthy.Load(),
+		HealthTransitions: rt.healthFlips.Load(),
+		RoutedAround:      rt.routedAround.Load(),
+		Sched:             rt.Stats(),
 	}
 }
 
@@ -270,15 +293,6 @@ func (rt *Runtime) Stats() Stats {
 	}
 	return s
 }
-
-// LiveStats returns Stats.
-//
-// Deprecated: Stats has been the live read since the counters became
-// per-worker padded atomics — there is nothing a separate entry point can
-// add, and the duplication made every caller choose between two identical
-// names. LiveStats is kept as an alias for one release and then removed;
-// call Stats.
-func (rt *Runtime) LiveStats() Stats { return rt.Stats() }
 
 // ResetStats zeroes all per-worker counters and the external root count.
 // Call it only while quiescent: resetting under live increments loses no

@@ -9,7 +9,7 @@ import "sync/atomic"
 // steal round, wait loops), at root-task completion and at worker exit.
 // Go has no relaxed atomics, so each published increment is a full
 // LOCK-prefixed RMW; batching divides that cost by the window while
-// keeping LiveStats at most one window stale on a busy worker — and exact
+// keeping Stats at most one window stale on a busy worker — and exact
 // whenever the pool is quiescent, because every path into idleness
 // flushes.
 const statFlushEvery = 64
@@ -68,7 +68,7 @@ func (s *Stats) Add(other Stats) {
 // written only by the owning worker (each worker counts against its own
 // struct, including a thief counting a steal it performed), so the
 // increments are uncontended single-line RMWs and any goroutine may read a
-// live snapshot at any time — this is what lets Runtime.LiveStats publish
+// live snapshot at any time — this is what lets Runtime.Stats publish
 // Executed/Cancelled while jobs are in flight. The two task-path counters
 // (spawned, executed) are additionally batched through statCache: the
 // worker publishes them every statFlushEvery tasks and at every idle

@@ -113,16 +113,3 @@ func TestLiveStatsCancelledPublishedLive(t *testing.T) {
 			s.Spawned, s.Executed, s.Cancelled)
 	}
 }
-
-// TestLiveStatsAlias pins the deprecation contract: until the alias is
-// removed, LiveStats must be exactly Stats.
-func TestLiveStatsAlias(t *testing.T) {
-	rt := NewRuntime(Config{Workers: 1, DisablePinning: true})
-	defer rt.Close()
-	if err := rt.RunRoot(func(w *Worker) { w.Spawn(func(*Worker) {}); w.Sync() }); err != nil {
-		t.Fatal(err)
-	}
-	if live, s := rt.LiveStats(), rt.Stats(); live != s {
-		t.Fatalf("LiveStats() = %+v differs from Stats() = %+v", live, s)
-	}
-}

@@ -12,6 +12,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"xkaapi/internal/chaos"
 	"xkaapi/internal/jobfail"
 	"xkaapi/internal/xrand"
 )
@@ -82,7 +83,10 @@ func (w *Worker) spawnedTotal() int64 {
 // flushStats publishes the worker's cached increments into the padded
 // atomics any goroutine may read. Owner-only; called every statFlushEvery
 // increments and whenever the worker transitions toward idleness, so a
-// quiescent pool always has fully published counters.
+// quiescent pool always has fully published counters. A fleet shard also
+// advances its progress epoch here — one shared add per published executed
+// batch, not per task — which is how the health supervisor tells a busy
+// shard from a wedged one without touching the task path.
 func (w *Worker) flushStats() {
 	c := &w.cache
 	if c.spawned != 0 {
@@ -92,6 +96,9 @@ func (w *Worker) flushStats() {
 	if c.executed != 0 {
 		w.stats.executed.Add(c.executed)
 		c.executed = 0
+		if rt := w.rt; rt.shardTotal > 0 {
+			rt.progress.Add(1)
+		}
 	}
 	c.pending = 0
 	c.dirty.Store(false)
@@ -258,6 +265,16 @@ func (w *Worker) runBody(t *Task) {
 		t.job.counts.Panicked.Add(1)
 		t.job.fail(jobfail.Capture(r))
 	}()
+	// Chaos task-panic site: replace the body with an injected panic, inside
+	// the barrier above so it takes the exact path a user panic takes. Loop
+	// tasks are exempt — panicking before loopRun would strand the loop's
+	// pending count (only runChunk's barrier credits iterations back); the
+	// loop-panic site in runChunk covers that boundary instead.
+	if cz := w.rt.chaos; cz != nil && t.flags&flagLoop == 0 && t.job != nil {
+		if v, ok := cz.TaskPanic(); ok {
+			panic(v)
+		}
+	}
 	t.body(w)
 }
 
@@ -368,6 +385,13 @@ func (w *Worker) trySteal() (t *Task, sawWork bool) {
 			continue
 		}
 		probes++
+		// Chaos steal-fail site: the probe is forced to miss, as if the
+		// victim's deque emptied between selection and inspection. The probe
+		// is still counted; sawWork is not set, so a fully blinded thief
+		// backs off toward park like a thief on an idle pool.
+		if cz := rt.chaos; cz != nil && cz.StealFail() {
+			continue
+		}
 		// Cheap probe before posting a request.
 		if v.deque.size() == 0 && v.adaptive.Load() == nil {
 			continue
@@ -525,6 +549,9 @@ func (w *Worker) run() {
 		if rt.stop.Load() {
 			return
 		}
+		if cz := rt.chaos; cz != nil {
+			w.chaosPause(cz) // stall / wedge sites; no-op on most draws
+		}
 		if t := w.deque.pop(); t != nil {
 			w.execute(t)
 			fails = 0
@@ -565,6 +592,35 @@ func (w *Worker) run() {
 		}
 		w.park()
 		fails = 0
+	}
+}
+
+// chaosSlice is the granularity of a chaos pause: the stalled worker sleeps
+// in short slices, re-checking stop between them, so an injected stall or
+// shard wedge can never hold Close hostage.
+const chaosSlice = 500 * time.Microsecond
+
+// chaosPause serves the worker-stall and shard-wedge chaos sites: a wedge
+// window covering this worker's shard freezes it for the remainder of the
+// window, otherwise a stall draw may pause it briefly. Counters are flushed
+// first so the health supervisor sees progress up to the freeze — the point
+// of the wedge site is that the *absence* of further progress is what trips
+// the shard unhealthy. This is a deliberate injected slow path, hence the
+// coldpath exemption.
+//
+//xk:coldpath
+func (w *Worker) chaosPause(cz *chaos.Injector) {
+	d := cz.WedgeRemaining(w.rt.shardIndex)
+	if d == 0 {
+		d = cz.WorkerStall()
+		if d == 0 {
+			return
+		}
+	}
+	w.flushStats()
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) && !w.rt.stop.Load() {
+		time.Sleep(chaosSlice)
 	}
 }
 

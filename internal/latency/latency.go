@@ -105,6 +105,25 @@ func (s *Snapshot) Merge(o *Snapshot) {
 	s.Sum += o.Sum
 }
 
+// Sub returns the bucket-wise difference s - o: the observations recorded
+// between two snapshots of one histogram. Counts only grow, so with o the
+// earlier snapshot the difference is itself a valid snapshot — the windowed
+// view a latency controller needs from cumulative histograms. Buckets are
+// clamped at zero against the per-bucket skew of non-atomic snapshots.
+func (s *Snapshot) Sub(o *Snapshot) *Snapshot {
+	d := &Snapshot{}
+	for i := range s.Counts {
+		if c := s.Counts[i]; c > o.Counts[i] {
+			d.Counts[i] = c - o.Counts[i]
+			d.Total += d.Counts[i]
+		}
+	}
+	if s.Sum > o.Sum {
+		d.Sum = s.Sum - o.Sum
+	}
+	return d
+}
+
 // Quantile returns the value at quantile q in [0, 1]: the upper bound of
 // the bucket holding the ceil(q*Total)-th observation. Zero when empty.
 func (s *Snapshot) Quantile(q float64) time.Duration {

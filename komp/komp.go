@@ -29,10 +29,11 @@ import (
 	"xkaapi"
 )
 
-// Team mirrors gomp.Team but owns an X-Kaapi runtime.
+// Team mirrors gomp.Team but owns (or borrows) an X-Kaapi runtime.
 type Team struct {
-	rt *xkaapi.Runtime
-	p  int
+	rt       *xkaapi.Runtime
+	p        int
+	borrowed bool // NewTeamOnRuntime: Close must not close a shared pool
 }
 
 // NewTeam creates a team of n OpenMP-style threads (GOMAXPROCS(0) if
@@ -44,8 +45,26 @@ func NewTeam(n int) *Team {
 	return &Team{rt: xkaapi.New(xkaapi.WithWorkers(n)), p: n}
 }
 
-// Close releases the runtime.
-func (tm *Team) Close() { tm.rt.Close() }
+// NewTeamOnRuntime creates a team of n virtual threads multiplexed over an
+// existing runtime instead of a private one — the komp analogue of
+// quark.NewOnRuntime. The regions share rt's workers (and whatever options
+// rt was built with: shards, seeds, fault injection) with every other client
+// of the pool; Close releases only the team, never the borrowed runtime.
+// n <= 0 selects rt.Workers().
+func NewTeamOnRuntime(rt *xkaapi.Runtime, n int) *Team {
+	if n <= 0 {
+		n = rt.Workers()
+	}
+	return &Team{rt: rt, p: n, borrowed: true}
+}
+
+// Close releases the runtime (a no-op for a team on a borrowed runtime:
+// closing the shared pool is its owner's call).
+func (tm *Team) Close() {
+	if !tm.borrowed {
+		tm.rt.Close()
+	}
+}
 
 // Threads returns the team size.
 func (tm *Team) Threads() int { return tm.p }

@@ -2,6 +2,7 @@ package server
 
 import (
 	"context"
+	"math"
 	"sync"
 	"time"
 )
@@ -54,10 +55,71 @@ type admitQueue struct {
 	waiters  []*waiter
 	queued   int // live (non-abandoned) waiters, <= maxQueue
 	draining bool
+
+	// Grant-rate window, for the Retry-After a 429 advertises: grants
+	// counts slots handed out (fast path and queue handoff alike) since
+	// winStart; when a window of grantWindow completes, its rate is rolled
+	// into lastRate. The rate is how fast the queue actually drains, so
+	// ceil(queue/rate) is an honest time-to-a-free-slot estimate instead of
+	// the old hardcoded 1.
+	grants   int
+	winStart time.Time
+	lastRate float64 // grants per second over the last completed window
 }
 
+const (
+	// grantWindow is the rotation period of the grant-rate window: long
+	// enough to smooth scheduling noise, short enough that Retry-After
+	// tracks a changing drain rate within seconds.
+	grantWindow = time.Second
+	// maxRetryAfterSecs bounds the advertised backoff: however slow the
+	// drain, a client is never told to stay away longer than this.
+	maxRetryAfterSecs = 30
+)
+
 func newAdmitQueue(budget, maxQueue int) *admitQueue {
-	return &admitQueue{free: budget, budget: budget, maxQueue: maxQueue}
+	return &admitQueue{free: budget, budget: budget, maxQueue: maxQueue, winStart: time.Now()}
+}
+
+// noteGrantLocked records one slot grant in the rate window, rotating the
+// window when it is full. Caller holds q.mu.
+func (q *admitQueue) noteGrantLocked() {
+	if e := time.Since(q.winStart); e >= grantWindow {
+		q.lastRate = float64(q.grants) / e.Seconds()
+		q.grants = 0
+		q.winStart = time.Now()
+	}
+	q.grants++
+}
+
+// retryAfterSecs derives the Retry-After a 429 should advertise from the
+// observed grant rate: the seconds until the current backlog (every queued
+// waiter, plus the retrying request itself) drains at that rate, rounded
+// up and clamped to [1, maxRetryAfterSecs]. With no observed grants yet
+// (a stampede onto a cold server) it falls back to 1 second, the old
+// hardcoded value.
+func (q *admitQueue) retryAfterSecs() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	rate := q.lastRate
+	// Blend in the live window once it has signal, so a drain-rate collapse
+	// is reflected before the window rotates.
+	if e := time.Since(q.winStart); q.grants > 0 && e > grantWindow/4 {
+		if cur := float64(q.grants) / e.Seconds(); rate == 0 || cur < rate {
+			rate = cur
+		}
+	}
+	if rate <= 0 {
+		return 1
+	}
+	secs := int(math.Ceil(float64(q.queued+1) / rate))
+	if secs < 1 {
+		secs = 1
+	}
+	if secs > maxRetryAfterSecs {
+		secs = maxRetryAfterSecs
+	}
+	return secs
 }
 
 // acquire obtains a budget slot for one request, queueing under ctx when
@@ -72,6 +134,7 @@ func (q *admitQueue) acquire(ctx context.Context) (code admitCode, wait time.Dur
 	}
 	if q.free > 0 {
 		q.free--
+		q.noteGrantLocked()
 		q.mu.Unlock()
 		return admitOK, 0, false
 	}
@@ -132,6 +195,7 @@ func (q *admitQueue) releaseLocked() {
 		}
 		w.decided, w.code = true, admitOK
 		q.queued--
+		q.noteGrantLocked()
 		w.grant <- admitOK
 		return
 	}

@@ -44,6 +44,7 @@ type batcher struct {
 	ch     chan *batchItem
 	stop   chan struct{}
 	window time.Duration
+	winMul atomic.Int64 // brownout widening: effective window = window * winMul
 	max    int
 	run    func([]*batchItem)
 }
@@ -56,8 +57,19 @@ func newBatcher(window time.Duration, max int, run func([]*batchItem)) *batcher 
 		max:    max,
 		run:    run,
 	}
+	b.winMul.Store(1)
 	go b.loop()
 	return b
+}
+
+// widen scales the coalescing window by mul (1 restores the configured
+// window). The brownout controller widens a degraded endpoint's window so
+// scarce capacity is spent on fewer, larger batch jobs.
+func (b *batcher) widen(mul int64) {
+	if mul < 1 {
+		mul = 1
+	}
+	b.winMul.Store(mul)
 }
 
 // submit hands an item to the collector. It reports false if the batcher
@@ -102,10 +114,11 @@ func (b *batcher) fill(items []*batchItem) []*batchItem {
 		}
 		break
 	}
-	if len(items) >= b.max || b.window <= 0 {
+	window := b.window * time.Duration(b.winMul.Load())
+	if len(items) >= b.max || window <= 0 {
 		return items
 	}
-	timer := time.NewTimer(b.window)
+	timer := time.NewTimer(window)
 	defer timer.Stop()
 	for len(items) < b.max {
 		select {
@@ -158,28 +171,45 @@ func batchContext(items []*batchItem) (context.Context, context.CancelFunc) {
 // reports the error. The small-job kernels (/fib, /loop) do not panic in
 // normal operation, and each member still verifies its own sub-result, so
 // the blast radius trade is taken for the amortization.
+// A batch that fails with a *PanicError is resubmitted whole, up to
+// Config.PanicRetries times: the batch is one job, so the retry is too.
+// Members whose request died between attempts are skipped at the next
+// fan-out like at the first, and every attempt's task counters are folded
+// in (the cancelled work was real work).
 func (s *Server) runBatch(ep *endpointStats, items []*batchItem,
 	kernel func(p *xkaapi.Proc, n int, out *int64)) {
 	bctx, release := batchContext(items)
 	results := make([]int64, len(items))
-	job := s.rt.SubmitCtx(bctx, func(p *xkaapi.Proc) {
-		for i := range items {
-			it := items[i]
-			if it.ctx.Err() != nil {
-				continue // requester already gone: skip its subtree
+	submit := func() *xkaapi.Job {
+		return s.rt.SubmitCtx(bctx, func(p *xkaapi.Proc) {
+			for i := range items {
+				it := items[i]
+				if it.ctx.Err() != nil {
+					continue // requester already gone: skip its subtree
+				}
+				out := &results[i]
+				p.Spawn(func(p *xkaapi.Proc) { kernel(p, it.n, out) })
 			}
-			out := &results[i]
-			p.Spawn(func(p *xkaapi.Proc) { kernel(p, it.n, out) })
-		}
-		p.Sync()
-	})
+			p.Sync()
+		})
+	}
+	job := submit()
 	go func() {
 		defer release()
-		jerr := job.Wait()
-		js := job.Stats()
-		ep.taskExecuted.Add(js.Executed)
-		ep.taskCancelled.Add(js.Cancelled)
-		ep.taskPanicked.Add(js.Panicked)
+		var jerr error
+		var js xkaapi.JobStats
+		for attempt := 0; ; attempt++ {
+			jerr = job.Wait()
+			js = job.Stats()
+			ep.taskExecuted.Add(js.Executed)
+			ep.taskCancelled.Add(js.Cancelled)
+			ep.taskPanicked.Add(js.Panicked)
+			if !s.retryOnPanic(bctx, jerr, attempt) {
+				break
+			}
+			ep.panicRetried.Add(1)
+			job = submit()
+		}
 		if len(items) > 1 {
 			ep.batches.Add(1)
 			ep.batched.Add(int64(len(items)))

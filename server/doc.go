@@ -14,7 +14,8 @@
 //	                                   worksharing kernel on the adaptive
 //	                                   foreach scheduler)
 //	GET /cholesky?n=192&nb=64&verify=1 tile Cholesky as dataflow tasks
-//	GET /healthz                       liveness (503 while draining)
+//	GET /healthz                       liveness (503 while draining; body
+//	                                   "degraded" + reasons under brownout)
 //	GET /stats                         per-endpoint and scheduler counters
 //
 // Because the job carries the request context, both per-request deadlines
@@ -78,16 +79,24 @@
 // context to distinguish who cancelled:
 //
 //	200  completed and verified
-//	500  task panic, or result failed verification
+//	500  task panic (after Config.PanicRetries resubmissions, if any), or
+//	     result failed verification
 //	504  the request's deadline fired (queued or running)
 //	499  the client disconnected (request context dead; queued or running)
 //	503  server-initiated cancellation (Job.Cancel or drain: the job was
-//	     cancelled but the request context is still alive), or draining
+//	     cancelled but the request context is still alive), draining, or a
+//	     degraded endpoint shedding an oversized request (Retry-After set)
 //	429  admission queue full (Retry-After set)
 //
 // A server-side cancel is never misreported as a client disconnect: 499
 // is reserved for requests whose own context died, and server-initiated
 // cancellations are counted separately (server_cancelled in /stats).
+//
+// The Retry-After on 429s is derived, not hardcoded: the admission queue
+// tracks its grant rate over a rotating one-second window, and advertises
+// ceil((queued+1)/rate) seconds — how long the current backlog actually
+// needs to drain — clamped to [1s, 30s], falling back to 1s before any
+// grant has been observed.
 //
 // # Graceful drain
 //
@@ -124,7 +133,8 @@
 //	"shard_stats": [
 //	  {"shard": 0, "workers": 2, "inbox_len": 0, "live_roots": 1,
 //	   "stolen_in": 3, "stolen_out": 0,
-//	   "executed": 1234, "spawned": 1230, "cancelled": 0, "parks": 7},
+//	   "executed": 1234, "spawned": 1230, "cancelled": 0, "parks": 7,
+//	   "unhealthy": false, "health_transitions": 2, "routed_around": 5},
 //	  ...
 //	]
 //
@@ -134,6 +144,54 @@
 // cancelled balances only on the fleet-level "scheduler" block, not per
 // shard. shard_stats is omitted entirely when shards == 1, so consumers
 // of the single-pool schema see an unchanged reply.
+//
+// # Health & degradation
+//
+// The server degrades deliberately instead of falling over, at two levels.
+//
+// Shard health (the runtime's supervisor, on sharded pools): workers
+// publish a progress epoch, and a shard whose epoch freezes while its
+// inbox holds work — every worker wedged, descheduled, or stuck — is
+// marked unhealthy after a stall threshold (default 400ms, tunable via
+// xkaapi.WithShardHealth). The router places new jobs elsewhere (pinned
+// affinity jobs divert to the next healthy shard), siblings keep pulling
+// the backlog over, and the shard is re-admitted as soon as it makes
+// progress again or is drained and demonstrably responsive. /stats
+// surfaces the episode per shard: "unhealthy" (live flag),
+// "health_transitions" (flips in either direction, so one full
+// trip-and-recover episode counts 2) and "routed_around" (jobs the router
+// diverted away).
+//
+// Endpoint brownout (Config.SLO): a controller samples each supervised
+// endpoint's latency histogram every SLO.Tick (default 250ms) and compares
+// the windowed p99 — the delta between consecutive snapshots, not the
+// lifetime quantile — against the endpoint's SLO, treating a saturated
+// admission queue (depth at ≥ 3/4 of capacity) as a violation everywhere.
+// Transitions are hysteretic so the controller cannot flap: two
+// consecutive violating windows enter degradation, three consecutive
+// windows at or below 80% of the SLO leave it, and windows between 80%
+// and 100% are a dead band that holds the current state. While an
+// endpoint is degraded the server sheds its oversized requests (size
+// above half the endpoint's cap) with 503 + Retry-After before they take
+// a budget slot, and widens its coalescing window 4x so small requests
+// ride in fewer, fuller batches. /healthz stays 200 but its body reports
+// "degraded" with one reason line per violating endpoint — draining alone
+// is 503 — and /stats mirrors the state ("degraded", "degraded_reasons",
+// per-endpoint "shed").
+//
+// Config.PanicRetries bounds a third mechanism, aimed at transient
+// crashes: a job that fails with a task panic is resubmitted up to N
+// times while the request's context is still alive (a fresh job, fresh
+// tiles for /cholesky, the whole batch for coalesced endpoints) before
+// the panic is surfaced as a 500. Retries are counted per endpoint as
+// "panic_retried".
+//
+// All of it is exercised by the fault-injection harness (internal/chaos):
+// `xkserve serve -chaos stall+panic+latency+wedge:7 -slo 15ms
+// -panic-retries 20` arms seeded task panics, worker stalls, handler
+// delays and a wall-clock whole-shard wedge behind the scheduler's
+// nil-check fast path, and the integration tier drives exactly that
+// topology through a full degrade-and-recover episode.
 //
 // # Stats, latency and data races
 //

@@ -60,6 +60,21 @@ type Config struct {
 	// MaxFib, MaxLoop, MaxChol cap the per-request problem sizes; a request
 	// above its cap is a 400. Zeros select 40, 50_000_000 and 2048.
 	MaxFib, MaxLoop, MaxChol int
+	// SLO enables the brownout controller: per-endpoint p99 targets the
+	// server degrades gracefully against (shedding oversized requests,
+	// widening batch windows, reporting "degraded" from /healthz) instead
+	// of violating silently. The zero SLO disables the controller.
+	SLO SLO
+	// PanicRetries resubmits a request's job up to N times when it fails
+	// with a *xkaapi.PanicError (a crashed task, injected or real), as long
+	// as the request's own deadline still stands. Zero disables retries: a
+	// panic is a 500, the pre-chaos behavior.
+	PanicRetries int
+	// Chaos arms the server-layer fault-injection site (handler latency
+	// after admission) with the given injector — normally the same injector
+	// the runtime was built with (xkaapi.WithChaos), so one seed drives the
+	// whole stack. Nil disables injection at zero cost.
+	Chaos *xkaapi.ChaosInjector
 }
 
 // endpointStats aggregates one endpoint's outcomes. All counters are
@@ -76,6 +91,9 @@ type endpointStats struct {
 	queued  atomic.Int64 // requests that waited in the admission queue
 	batches atomic.Int64 // coalesced batches dispatched (size > 1)
 	batched atomic.Int64 // requests served via a coalesced batch
+
+	shed         atomic.Int64 // oversized requests refused while degraded (503)
+	panicRetried atomic.Int64 // panic-failed jobs resubmitted (Config.PanicRetries)
 
 	taskExecuted  atomic.Int64 // per-job stats, summed over requests
 	taskCancelled atomic.Int64
@@ -98,6 +116,9 @@ type EndpointStats struct {
 	Batches int64 `json:"batches"`
 	Batched int64 `json:"batched"`
 
+	Shed         int64 `json:"shed"`
+	PanicRetried int64 `json:"panic_retried"`
+
 	TaskExecuted  int64 `json:"task_executed"`
 	TaskCancelled int64 `json:"task_cancelled"`
 	TaskPanicked  int64 `json:"task_panicked"`
@@ -117,6 +138,8 @@ func (es *endpointStats) snapshot() EndpointStats {
 		Queued:          es.queued.Load(),
 		Batches:         es.batches.Load(),
 		Batched:         es.batched.Load(),
+		Shed:            es.shed.Load(),
+		PanicRetried:    es.panicRetried.Load(),
 		TaskExecuted:    es.taskExecuted.Load(),
 		TaskCancelled:   es.taskCancelled.Load(),
 		TaskPanicked:    es.taskPanicked.Load(),
@@ -138,6 +161,10 @@ type Server struct {
 	maxLoop  int
 	maxChol  int
 	draining atomic.Bool
+
+	chaos        *xkaapi.ChaosInjector // nil: handler-delay site disabled
+	panicRetries int
+	brow         *brownout // nil: brownout controller disabled
 
 	fibBatch  *batcher // nil when batching is disabled
 	loopBatch *batcher
@@ -184,6 +211,9 @@ func New(cfg Config) *Server {
 		maxFib:   cfg.MaxFib,
 		maxLoop:  cfg.MaxLoop,
 		maxChol:  cfg.MaxChol,
+
+		chaos:        cfg.Chaos,
+		panicRetries: cfg.PanicRetries,
 	}
 	if s.maxFib <= 0 {
 		s.maxFib = 40
@@ -209,6 +239,9 @@ func New(cfg Config) *Server {
 		s.loopBatch = newBatcher(window, batchMax, func(items []*batchItem) {
 			s.runBatch(&s.loop, items, loopKernel)
 		})
+	}
+	if cfg.SLO.enabled() {
+		s.brow = newBrownout(s, cfg.SLO) // after the batchers: it widens them
 	}
 	s.mux.HandleFunc("GET /fib", s.handleFib)
 	s.mux.HandleFunc("GET /loop", s.handleLoop)
@@ -254,16 +287,47 @@ func (s *Server) StartDrain() {
 // Draining reports whether StartDrain was called.
 func (s *Server) Draining() bool { return s.draining.Load() }
 
-// Close stops the request-coalescing collectors. Call it after the HTTP
-// server is shut down (no handler can submit anymore); batches already
-// collected still complete.
+// Close stops the request-coalescing collectors and the brownout
+// controller. Call it after the HTTP server is shut down (no handler can
+// submit anymore); batches already collected still complete.
 func (s *Server) Close() {
+	if s.brow != nil {
+		s.brow.close()
+	}
 	if s.fibBatch != nil {
 		s.fibBatch.close()
 	}
 	if s.loopBatch != nil {
 		s.loopBatch.close()
 	}
+}
+
+// Degraded reports whether the brownout controller currently has any
+// endpoint in degraded mode (always false without an SLO).
+func (s *Server) Degraded() bool { return s.brow != nil && s.brow.degraded.Load() }
+
+// chaosDelay is the server-layer injection site: an admitted handler
+// sleeps for the scenario's handler-delay pulse before submitting, driving
+// the latency SLO (and therefore the brownout controller) without touching
+// the scheduler. Free when no injector is armed.
+func (s *Server) chaosDelay() {
+	if cz := s.chaos; cz != nil {
+		if d := cz.HandlerDelay(); d > 0 {
+			time.Sleep(d)
+		}
+	}
+}
+
+// retryOnPanic reports whether a failed job attempt should be resubmitted:
+// the failure is a *xkaapi.PanicError (a crashed task — the one failure
+// mode where a fresh attempt can honestly succeed), the request context is
+// still alive to use the result, and Config.PanicRetries attempts remain.
+func (s *Server) retryOnPanic(ctx context.Context, err error, attempt int) bool {
+	if err == nil || attempt >= s.panicRetries || ctx.Err() != nil {
+		return false
+	}
+	var pe *xkaapi.PanicError
+	return errors.As(err, &pe)
 }
 
 // admit applies admission control for one workload request: refuse with
@@ -287,7 +351,12 @@ func (s *Server) admit(ep *endpointStats, w http.ResponseWriter, ctx context.Con
 		http.Error(w, "server draining", http.StatusServiceUnavailable)
 	case admitQueueFull:
 		ep.rejected.Add(1)
-		w.Header().Set("Retry-After", "1")
+		// Advertise the observed time-to-a-free-slot (queue depth over the
+		// measured grant rate, rounded up and bounded), not a constant: a
+		// client backing off for exactly as long as the drain needs retries
+		// once, where a flat 1s either hammers a slow drain or oversleeps a
+		// fast one.
+		w.Header().Set("Retry-After", strconv.Itoa(s.adq.retryAfterSecs()))
 		http.Error(w, "job budget and admission queue exhausted", http.StatusTooManyRequests)
 	case admitDeadline:
 		ep.cancelled.Add(1)
@@ -436,25 +505,40 @@ func intParam(r *http.Request, name string, def, max int) (int, error) {
 	return n, nil
 }
 
+// handleHealthz reports three states: 503 "draining" (stop routing here —
+// the only non-200 state), 200 "degraded" with one reason line per active
+// brownout cause (keep routing, but the server is shedding load), and 200
+// "ok". Degraded stays 200 deliberately: a browned-out server is still the
+// best place for the traffic it accepts, and load balancers that only
+// check the status code keep working unchanged.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if s.draining.Load() {
 		http.Error(w, "draining", http.StatusServiceUnavailable)
 		return
 	}
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if s.Degraded() {
+		fmt.Fprintln(w, "degraded")
+		fmt.Fprintln(w, s.brow.reasonText())
+		return
+	}
 	fmt.Fprintln(w, "ok")
 }
 
 // StatsReply is the JSON body of /stats.
 type StatsReply struct {
-	Workers    int                      `json:"workers"`
-	Shards     int                      `json:"shards"`
-	Budget     int                      `json:"budget"`
-	InFlight   int                      `json:"in_flight"`
-	QueueCap   int                      `json:"queue_cap"`
-	QueueDepth int                      `json:"queue_depth"`
-	Draining   bool                     `json:"draining"`
-	Endpoints  map[string]EndpointStats `json:"endpoints"`
+	Workers    int  `json:"workers"`
+	Shards     int  `json:"shards"`
+	Budget     int  `json:"budget"`
+	InFlight   int  `json:"in_flight"`
+	QueueCap   int  `json:"queue_cap"`
+	QueueDepth int  `json:"queue_depth"`
+	Draining   bool `json:"draining"`
+	Degraded   bool `json:"degraded"`
+	// DegradedReasons lists the active brownout causes (one string per
+	// endpoint over SLO, plus queue saturation), empty when healthy.
+	DegradedReasons []string                 `json:"degraded_reasons,omitempty"`
+	Endpoints       map[string]EndpointStats `json:"endpoints"`
 	// Scheduler carries the full live scheduler counters — summed over
 	// every shard on a sharded runtime: the task-path counters
 	// (Spawned/Executed/Cancelled/...) are per-worker padded atomics, so
@@ -483,6 +567,13 @@ type ShardStatsReply struct {
 	Spawned   int64 `json:"spawned"`
 	Cancelled int64 `json:"cancelled"`
 	Parks     int64 `json:"parks"`
+	// Health supervision (see core.Fleet): whether the shard is currently
+	// routed around, how many healthy<->unhealthy transitions it has made
+	// (one full trip-and-recover episode is 2), and how many placements
+	// were diverted away while it was unhealthy.
+	Unhealthy         bool  `json:"unhealthy"`
+	HealthTransitions int64 `json:"health_transitions"`
+	RoutedAround      int64 `json:"routed_around"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -494,12 +585,16 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		QueueCap:   s.queueCap,
 		QueueDepth: s.QueueDepth(),
 		Draining:   s.draining.Load(),
+		Degraded:   s.Degraded(),
 		Endpoints: map[string]EndpointStats{
 			"fib":      s.fib.snapshot(),
 			"loop":     s.loop.snapshot(),
 			"cholesky": s.chol.snapshot(),
 		},
 		Scheduler: s.rt.Stats(),
+	}
+	if reply.Degraded {
+		reply.DegradedReasons = s.brow.reasonLines()
 	}
 	if reply.Shards > 1 {
 		for _, ss := range s.rt.ShardStats() {
@@ -514,6 +609,10 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 				Spawned:   ss.Sched.Spawned,
 				Cancelled: ss.Sched.Cancelled,
 				Parks:     ss.Sched.Parks,
+
+				Unhealthy:         ss.Unhealthy,
+				HealthTransitions: ss.HealthTransitions,
+				RoutedAround:      ss.RoutedAround,
 			})
 		}
 	}

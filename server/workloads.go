@@ -111,6 +111,20 @@ func (s *Server) serveBatched(ep *endpointStats, b *batcher, w http.ResponseWrit
 	return true
 }
 
+// shedOversized is the brownout controller's load-shedding gate: while the
+// endpoint is degraded, requests above half its size cap are refused with
+// 503 + Retry-After before a budget slot is taken — the remaining capacity
+// goes to the small requests that can still meet the SLO. A no-op while
+// the endpoint is healthy or unsupervised.
+func (s *Server) shedOversized(name string, w http.ResponseWriter, n int) bool {
+	if s.brow == nil || !s.brow.epFor(name).shedOversized(n) {
+		return false
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(s.adq.retryAfterSecs()))
+	http.Error(w, "degraded: oversized request shed", http.StatusServiceUnavailable)
+	return true
+}
+
 // affinityParam parses the optional affinity query parameter: a uint64 key
 // pinning the request's job to one shard of a sharded runtime (see
 // xkaapi.Runtime.SubmitAffinity). hasKey is false when the parameter is
@@ -159,10 +173,14 @@ func (s *Server) handleFib(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer cancel()
+	if s.shedOversized("fib", w, n) {
+		return
+	}
 	if !s.admit(&s.fib, w, ctx) {
 		return
 	}
 	defer s.release()
+	s.chaosDelay()
 
 	verify := func(res int64) bool { return res == FibSeq(n) }
 	if !hasKey && s.serveBatched(&s.fib, s.fibBatch, w, r, "fib", n, ctx, verify) {
@@ -170,9 +188,18 @@ func (s *Server) handleFib(w http.ResponseWriter, r *http.Request) {
 	}
 
 	var res int64
+	var job *xkaapi.Job
+	var jerr error
 	start := time.Now()
-	job := s.submitSmall(ctx, key, hasKey, func(p *xkaapi.Proc) { fibTask(p, &res, n) })
-	jerr := job.Wait()
+	for attempt := 0; ; attempt++ {
+		res = 0
+		job = s.submitSmall(ctx, key, hasKey, func(p *xkaapi.Proc) { fibTask(p, &res, n) })
+		jerr = job.Wait()
+		if !s.retryOnPanic(ctx, jerr, attempt) {
+			break
+		}
+		s.fib.panicRetried.Add(1)
+	}
 
 	rep := reply{
 		Endpoint:  "fib",
@@ -214,10 +241,14 @@ func (s *Server) handleLoop(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer cancel()
+	if s.shedOversized("loop", w, n) {
+		return
+	}
 	if !s.admit(&s.loop, w, ctx) {
 		return
 	}
 	defer s.release()
+	s.chaosDelay()
 
 	verify := func(res int64) bool { return res == int64(n)*int64(n-1)/2 }
 	if !hasKey && s.serveBatched(&s.loop, s.loopBatch, w, r, "loop", n, ctx, verify) {
@@ -225,9 +256,18 @@ func (s *Server) handleLoop(w http.ResponseWriter, r *http.Request) {
 	}
 
 	var res int64
+	var job *xkaapi.Job
+	var jerr error
 	start := time.Now()
-	job := s.submitSmall(ctx, key, hasKey, func(p *xkaapi.Proc) { loopKernel(p, n, &res) })
-	jerr := job.Wait()
+	for attempt := 0; ; attempt++ {
+		res = 0
+		job = s.submitSmall(ctx, key, hasKey, func(p *xkaapi.Proc) { loopKernel(p, n, &res) })
+		jerr = job.Wait()
+		if !s.retryOnPanic(ctx, jerr, attempt) {
+			break
+		}
+		s.loop.panicRetried.Add(1)
+	}
 
 	rep := reply{
 		Endpoint:  "loop",
@@ -306,18 +346,37 @@ func (s *Server) handleCholesky(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer cancel()
+	if s.shedOversized("cholesky", w, n) {
+		return
+	}
 	if !s.admit(&s.chol, w, ctx) {
 		return
 	}
 	defer s.release()
+	s.chaosDelay()
 
 	src := spdSource(n)
-	m := tile.FromDense(src, nb)
 	start := time.Now()
-	job, kernelErr := cholesky.SubmitKaapi(ctx, s.rt, m)
-	jerr := job.Wait()
-	if ke := kernelErr(); ke != nil {
-		jerr = ke // non-SPD diagnostic beats the generic job error
+	var m *tile.Tiled
+	var job *xkaapi.Job
+	var jerr error
+	// The factorization is in-place, so each panic-retry attempt restarts
+	// from a fresh tile copy. The retry decision looks at the raw job error,
+	// not the kernel diagnostic: a panic-cancelled attempt can leave a
+	// half-factored tile that reports a spurious non-SPD error.
+	for attempt := 0; ; attempt++ {
+		m = tile.FromDense(src, nb)
+		var kernelErr func() error
+		job, kernelErr = cholesky.SubmitKaapi(ctx, s.rt, m)
+		raw := job.Wait()
+		jerr = raw
+		if ke := kernelErr(); ke != nil {
+			jerr = ke // non-SPD diagnostic beats the generic job error
+		}
+		if !s.retryOnPanic(ctx, raw, attempt) {
+			break
+		}
+		s.chol.panicRetried.Add(1)
 	}
 	elapsed := time.Since(start)
 

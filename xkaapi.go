@@ -138,7 +138,9 @@ package xkaapi
 
 import (
 	"context"
+	"time"
 
+	"xkaapi/internal/chaos"
 	"xkaapi/internal/core"
 )
 
@@ -230,6 +232,7 @@ type config struct {
 	shards    int
 	shardSize int
 	noSteal   bool
+	health    core.HealthConfig
 }
 
 // WithWorkers sets the number of scheduling threads; the default is
@@ -268,6 +271,59 @@ func WithShardSize(n int) Option { return func(c *config) { c.shardSize = n } }
 // leaving only the router's placement. Provided for ablation and for tests
 // that assert placement alone.
 func WithoutCrossSteal() Option { return func(c *config) { c.noSteal = true } }
+
+// WithShardHealth tunes the sharded pool's health supervisor: checkEvery
+// is its polling cadence, stallAfter how long a shard may sit on a
+// nonempty inbox without advancing its progress epoch before the router
+// diverts around it. A zero keeps that parameter's default (25ms / 400ms);
+// the option is ignored by single-shard runtimes, which have no sibling to
+// divert to. Shorter stallAfter values trade divert latency against false
+// trips on shards that are merely saturated — a tripped shard recovers on
+// its next progress flush, so false trips cost routing quality, not
+// correctness.
+func WithShardHealth(checkEvery, stallAfter time.Duration) Option {
+	return func(c *config) {
+		c.health.CheckEvery = checkEvery
+		c.health.StallAfter = stallAfter
+	}
+}
+
+// WithoutShardHealth disables the shard health supervisor entirely: no
+// watcher goroutine, no router diversion. Provided for ablation.
+func WithoutShardHealth() Option { return func(c *config) { c.health.Disable = true } }
+
+// ChaosScenario configures deterministic fault injection: seeded
+// probabilities for task-body panics, adaptive-loop chunk panics, forced
+// steal misses, worker stalls, delayed root delivery and a whole-shard
+// wedge window. See NewChaosInjector and WithChaos.
+type ChaosScenario = chaos.Scenario
+
+// ChaosPulse is a probabilistic delay (probability + duration) used by the
+// stall and delay sites of a ChaosScenario.
+type ChaosPulse = chaos.Pulse
+
+// ChaosWedge freezes every worker of one shard for a wall-clock window.
+type ChaosWedge = chaos.WedgeSpec
+
+// ChaosInjector evaluates a ChaosScenario; build one with NewChaosInjector
+// or ParseChaos and install it with WithChaos. Safe for concurrent use and
+// shareable across the shards of one pool (the counters then aggregate).
+type ChaosInjector = chaos.Injector
+
+// NewChaosInjector builds a fault injector for sc. Every decision is drawn
+// from seeded hash streams, so a failing run reproduces from its seed.
+func NewChaosInjector(sc ChaosScenario) *ChaosInjector { return chaos.New(sc) }
+
+// ParseChaos builds an injector from a scenario spec like "panic+stall:42"
+// (fragments: panic, steal, stall, inbox, latency, wedge, all; the number
+// after ':' is the seed). Empty spec or "off" yields (nil, nil): disabled.
+func ParseChaos(spec string) (*ChaosInjector, error) { return chaos.Parse(spec) }
+
+// WithChaos compiles the fault injector into the pool: the scheduler draws
+// injected panics, stalls, steal misses and delivery delays from it. nil is
+// the default and costs a single nil check per injection site — runtimes
+// built without WithChaos pay nothing.
+func WithChaos(in *ChaosInjector) Option { return func(c *config) { c.core.Chaos = in } }
 
 // Runtime owns a pool of workers, one per core by default — either one
 // scheduler (the default) or, with WithShards, a fleet of scheduler shards
@@ -318,6 +374,7 @@ func New(opts ...Option) *Runtime {
 			Shards:    cfg.shards,
 			ShardSize: cfg.shardSize,
 			NoSteal:   cfg.noSteal,
+			Health:    cfg.health,
 			Runtime:   cfg.core,
 		}
 		if cfg.shards > 1 && cfg.shardSize <= 0 && cfg.core.Workers > 0 {
@@ -388,14 +445,6 @@ func (r *Runtime) Wait() error { return r.rt.Wait() }
 // live, monotone lower bound); invariants such as Spawned == Executed +
 // Cancelled hold exactly only once the pool is quiescent.
 func (r *Runtime) Stats() Stats { return r.rt.Stats() }
-
-// LiveStats is Stats under its pre-fleet name.
-//
-// Deprecated: all counters have been published live (padded per-worker
-// atomics) since the stats batching rework, so the two snapshots are the
-// same read; use Stats. LiveStats remains one release as an alias and will
-// be removed.
-func (r *Runtime) LiveStats() Stats { return r.rt.Stats() }
 
 // Shards returns the number of scheduler shards: 1 for the default single
 // pool, the WithShards count for a sharded runtime.
