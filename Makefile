@@ -49,7 +49,7 @@ fmt-check:
 # check is the local CI entry point: static gates, tier-1, the race tier,
 # and the serve/load integration pipeline.
 .PHONY: check
-check: fmt-check vet lint build test race integration
+check: fmt-check vet lint build test race bench-gate integration
 
 .PHONY: bench
 bench:
@@ -63,6 +63,19 @@ bench:
 .PHONY: bench-json
 bench-json:
 	$(GO) test -bench=. -benchtime=1s -benchmem -run='^$$' ./internal/core | $(GO) run ./cmd/xkbenchjson
+
+# bench-gate is the gating benchmark smoke: a fast fixed-iteration run
+# (-benchtime=100x, so it costs seconds per PR) whose allocs/op — which is
+# deterministic, unlike container wall-clock — is enforced against the
+# committed budgets in bench_gates.json by xkbenchjson's gate mode. A
+# budget overrun or a deleted gated benchmark fails the build; ns/op drift
+# beyond ns_warn_pct against the newest BENCH_<n>.json only warns. Budgets
+# are calibrated at this exact benchtime: short runs amortize warm-up
+# allocations (free-list slabs, pool fills, inbox growth) differently than
+# the 1s bench-json runs do.
+.PHONY: bench-gate
+bench-gate:
+	$(GO) test -bench=. -benchtime=100x -benchmem -run='^$$' ./internal/core | $(GO) run ./cmd/xkbenchjson gate -gates bench_gates.json
 
 # bench-diff compares the two most recent BENCH_<n>.json artifacts with
 # xkbenchjson's diff mode and prints the per-benchmark delta table. The

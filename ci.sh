@@ -4,9 +4,11 @@
 #
 # Tiers: static gates (gofmt, vet, the xkvet analyzer suite), tier-1
 # verify (build + full test suite), the race tier over the
-# concurrency-critical packages, the serve/load integration pipeline, and
-# a non-gating benchmark tier that records the perf trajectory as a
-# BENCH_<n>.json artifact. Mirrors `make check` (+ the bench tier).
+# concurrency-critical packages, the gating benchmark allocation budgets
+# (bench_gates.json via `make bench-gate`), the serve/load integration
+# pipeline, and a non-gating benchmark tier that records the perf
+# trajectory as a BENCH_<n>.json artifact. Mirrors `make check` (+ the
+# bench tier).
 set -eu
 
 # Analyzer fixtures under internal/analysis/*/testdata hold deliberately
@@ -69,6 +71,14 @@ go test -race -count=1 ./internal/chaos
 go test -race -count=1 \
 	-run 'TestChaos|TestWedged|TestBrownout|TestPanicRetries|TestRetryAfter' \
 	. ./internal/core ./server
+
+# The allocation gate is the one benchmark tier that fails the build: a
+# fast fixed-iteration smoke (-benchtime=100x) whose allocs/op — stable in
+# a container, unlike wall-clock — is enforced against the budgets in
+# bench_gates.json. Timing drift only warns (and only against artifacts
+# with a comparable measurement basis).
+echo "== gate: benchmark allocation budgets (make bench-gate)"
+make bench-gate
 
 echo "== integration tier: xkserve serve + load over HTTP"
 ./integration.sh

@@ -61,12 +61,11 @@ func runDiff(args []string) int {
 	return 0
 }
 
-// latestBenchFiles returns the two highest-numbered BENCH_<n>.json paths
-// in dir, oldest first, comparing indices numerically — a lexicographic
-// (or `sort -t_ -k2 -n`-style field) sort mis-pairs once n reaches two
-// digits, e.g. ordering BENCH_10.json before BENCH_9.json. Returns nil
-// (no error) when fewer than two artifacts exist.
-func latestBenchFiles(dir string) ([]string, error) {
+// benchFilesSorted returns every BENCH_<n>.json path in dir, ordered by
+// index — numerically, because a lexicographic (or `sort -t_ -k2 -n`-style
+// field) sort mis-pairs once n reaches two digits, e.g. ordering
+// BENCH_10.json before BENCH_9.json.
+func benchFilesSorted(dir string) ([]string, error) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
 		return nil, err
@@ -95,12 +94,25 @@ func latestBenchFiles(dir string) ([]string, error) {
 		}
 		found = append(found, indexed{n: n, path: filepath.Join(dir, name)})
 	}
-	if len(found) < 2 {
+	sort.Slice(found, func(i, j int) bool { return found[i].n < found[j].n })
+	paths := make([]string, len(found))
+	for i, f := range found {
+		paths[i] = f.path
+	}
+	return paths, nil
+}
+
+// latestBenchFiles returns the two highest-numbered BENCH_<n>.json paths in
+// dir, oldest first, or nil (no error) when fewer than two artifacts exist.
+func latestBenchFiles(dir string) ([]string, error) {
+	paths, err := benchFilesSorted(dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(paths) < 2 {
 		return nil, nil
 	}
-	sort.Slice(found, func(i, j int) bool { return found[i].n < found[j].n })
-	last := found[len(found)-2:]
-	return []string{last[0].path, last[1].path}, nil
+	return paths[len(paths)-2:], nil
 }
 
 func loadBenchFile(path string) (*BenchFile, error) {

@@ -1,0 +1,174 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+)
+
+// GateFile is the committed allocation-budget schema (bench_gates.json).
+// AllocsPerOp maps a benchmark name (without the -N GOMAXPROCS suffix) to
+// the maximum allocs/op it is allowed to report; every listed benchmark
+// must appear in the measured output, so silently deleting a gated
+// benchmark cannot pass the gate. NsWarnPct, when non-zero, turns on the
+// advisory timing check: a benchmark whose ns/op regressed by more than
+// this percentage against the newest BENCH_<n>.json artifact is reported,
+// but never fails the gate — wall-clock numbers from CI containers are too
+// noisy to block on, while allocs/op is deterministic and is enforced.
+type GateFile struct {
+	AllocsPerOp map[string]int64 `json:"allocs_per_op"`
+	NsWarnPct   float64          `json:"ns_warn_pct"`
+}
+
+// runGate implements `xkbenchjson gate -gates FILE [-dir DIR]`: it reads
+// `go test -bench -benchmem` output on stdin (passing it through, like the
+// default artifact mode) and enforces the allocation budgets in FILE.
+// Exit status 1 means a budget was exceeded or a gated benchmark is
+// missing from the run; timing regressions only warn.
+func runGate(args []string) int {
+	fs := flag.NewFlagSet("gate", flag.ContinueOnError)
+	gatesPath := fs.String("gates", "bench_gates.json", "allocation budget file")
+	dir := fs.String("dir", ".", "directory scanned for the newest BENCH_<n>.json timing baseline")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if len(fs.Args()) != 0 {
+		fmt.Fprintln(os.Stderr, "usage: xkbenchjson gate [-gates FILE] [-dir DIR] < bench-output")
+		return 2
+	}
+	gates, err := loadGateFile(*gatesPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "xkbenchjson gate: %v\n", err)
+		return 1
+	}
+	results, err := readBenchStream(os.Stdin, os.Stdout)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "xkbenchjson gate: %v\n", err)
+		return 1
+	}
+
+	// Timing baseline: the newest artifact, if any. Absence is fine (fresh
+	// checkout); the advisory check just has nothing to compare against.
+	var baseline []BenchResult
+	var baselinePath string
+	if gates.NsWarnPct > 0 {
+		if paths, err := benchFilesSorted(*dir); err == nil && len(paths) > 0 {
+			baselinePath = paths[len(paths)-1]
+			if bf, err := loadBenchFile(baselinePath); err == nil {
+				baseline = bf.Benchmarks
+			}
+		}
+	}
+
+	failures, warnings := evalGates(gates, results, baseline)
+	for _, w := range warnings {
+		fmt.Printf("bench-gate: WARN %s (timing is advisory, not gating; baseline %s)\n", w, baselinePath)
+	}
+	if len(failures) > 0 {
+		for _, f := range failures {
+			fmt.Fprintf(os.Stderr, "bench-gate: FAIL %s\n", f)
+		}
+		return 1
+	}
+	fmt.Printf("bench-gate: %d allocation budget(s) hold\n", len(gates.AllocsPerOp))
+	return 0
+}
+
+// evalGates checks results against the budgets. Failures are gating
+// (allocs/op over budget, or a gated benchmark absent from the run);
+// warnings are the advisory ns/op regressions against baseline (ignored
+// when baseline is nil or NsWarnPct is zero). Both lists are sorted so the
+// output is stable.
+func evalGates(gates *GateFile, results, baseline []BenchResult) (failures, warnings []string) {
+	byKey := make(map[string]BenchResult, len(results))
+	for _, r := range results {
+		byKey[benchKey(r.Name)] = r
+	}
+	for name, budget := range gates.AllocsPerOp {
+		r, ok := byKey[benchKey(name)]
+		if !ok {
+			failures = append(failures,
+				fmt.Sprintf("%s: gated benchmark missing from the run (deleted or renamed?)", name))
+			continue
+		}
+		if r.AllocsPerOp > budget {
+			failures = append(failures,
+				fmt.Sprintf("%s: %d allocs/op, budget %d", name, r.AllocsPerOp, budget))
+		}
+	}
+	if gates.NsWarnPct > 0 {
+		baseByKey := make(map[string]BenchResult, len(baseline))
+		for _, r := range baseline {
+			baseByKey[benchKey(r.Name)] = r
+		}
+		for key, r := range byKey {
+			b, ok := baseByKey[key]
+			if !ok || b.NsPerOp == 0 {
+				continue
+			}
+			// Comparable measurement bases only: a fixed-iteration smoke
+			// (-benchtime=100x) is dominated by warm-up and reads 10-100x
+			// slower per op than a 1s run of the same benchmark, so
+			// comparing the two would warn on every PR and bury real
+			// regressions. Iteration counts are the tell — same-benchtime
+			// runs land within a few x of each other, smoke vs 1s differs
+			// by orders of magnitude.
+			if r.Iterations*10 < b.Iterations || b.Iterations*10 < r.Iterations {
+				continue
+			}
+			pct := (r.NsPerOp - b.NsPerOp) / b.NsPerOp * 100
+			if pct > gates.NsWarnPct {
+				warnings = append(warnings,
+					fmt.Sprintf("%s: %s -> %s ns/op (%+.1f%% > %.0f%%)",
+						key, fmtNs(b.NsPerOp), fmtNs(r.NsPerOp), pct, gates.NsWarnPct))
+			}
+		}
+	}
+	sort.Strings(failures)
+	sort.Strings(warnings)
+	return failures, warnings
+}
+
+// readBenchStream parses benchmark result lines from r, echoing every line
+// to w so the gate stays transparent in a CI log.
+func readBenchStream(r io.Reader, w io.Writer) ([]BenchResult, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var results []BenchResult
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Fprintln(w, line)
+		if res, ok := parseBenchLine(line); ok {
+			results = append(results, res)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("reading bench output: %w", err)
+	}
+	if len(results) == 0 {
+		return nil, fmt.Errorf("no benchmark lines found on stdin")
+	}
+	return results, nil
+}
+
+func loadGateFile(path string) (*GateFile, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	dec := json.NewDecoder(strings.NewReader(string(data)))
+	dec.DisallowUnknownFields()
+	var g GateFile
+	if err := dec.Decode(&g); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(g.AllocsPerOp) == 0 {
+		return nil, fmt.Errorf("%s: no allocs_per_op budgets (an empty gate passes everything silently)", path)
+	}
+	return &g, nil
+}

@@ -20,11 +20,19 @@
 // report, not a gate — it always exits 0 unless an artifact cannot be
 // read.
 //
+// The gate mode is the per-PR enforcement point: it reads the same bench
+// output on stdin and checks each benchmark's allocs/op against the
+// committed budgets in bench_gates.json (see `make bench-gate`). Budget
+// overruns and missing gated benchmarks exit 1; ns/op regressions against
+// the newest BENCH_<n>.json are advisory warnings only, because allocs/op
+// is deterministic while container timing is not.
+//
 // Usage:
 //
 //	go test -bench=. -benchmem ./internal/core | xkbenchjson [-out FILE]
 //	xkbenchjson diff OLD.json NEW.json
 //	xkbenchjson diff -latest [-dir DIR]
+//	go test -bench=. -benchtime=100x -benchmem ./internal/core | xkbenchjson gate -gates bench_gates.json
 package main
 
 import (
@@ -60,6 +68,9 @@ type BenchFile struct {
 func main() {
 	if len(os.Args) > 1 && os.Args[1] == "diff" {
 		os.Exit(runDiff(os.Args[2:]))
+	}
+	if len(os.Args) > 1 && os.Args[1] == "gate" {
+		os.Exit(runGate(os.Args[2:]))
 	}
 	out := flag.String("out", "", "output file (default: next free BENCH_<n>.json)")
 	flag.Parse()

@@ -44,6 +44,34 @@ type outer struct { // want `outer holds atomic fields and is used as a slice/ar
 
 var outers [4]outer
 
+// statBlock mirrors the worker's statCache shape: mostly plain owner-only
+// words with a single atomic flag, embedded by value in a struct that is
+// itself never sliced — but the slab allocator instantiates descriptor
+// arrays of it, so the trailing pad is still demanded and present.
+type statBlock struct {
+	pending  int64
+	executed int64
+	dirty    atomic.Bool
+	_        [64]byte
+}
+
+var statSlab = new([4]statBlock)
+
+// descriptor mirrors the task-slab element: atomics deep inside an
+// otherwise plain struct, carved as `new([N]descriptor)` — the array
+// literal in the allocation is what makes it an array element, and without
+// a pad adjacent descriptors would false-share their counters.
+type descriptor struct { // want `descriptor holds atomic fields and is used as a slice/array element`
+	next     *descriptor
+	children atomic.Int32
+	wait     atomic.Int32
+}
+
+func carve() *descriptor {
+	slab := new([16]descriptor)
+	return &slab[0]
+}
+
 // noAtomics is sliced but has nothing atomic: no padding demanded.
 type noAtomics struct {
 	n int64
@@ -94,4 +122,6 @@ var (
 	_ = ptrs
 	_ = outers
 	_ = plain
+	_ = statSlab
+	_ = carve
 )

@@ -5,19 +5,15 @@ import (
 	"time"
 )
 
-// TestStealBackoffIdlePool exercises the steal-probe backoff on a
-// mostly-idle pool: tiny singleton jobs trickle in, each waking one worker
-// that finds the root in the inbox (never in a deque), so every steal
-// sweep a winding-down worker performs sees all victims empty. With the
-// backoff, an empty sweep counts double against the spin budget, so a
-// worker parks after at most 2 sweeps of at most 2N probes each — without
-// it, the budget was 4 sweeps (8N probes) per park. The test asserts the
-// probes/park ratio stays under 3 sweeps' worth, which the pre-backoff
-// behavior violates, i.e. the wasted-probe rate on an idle pool improved
-// and is observable next to Parks in the stats.
-func TestStealBackoffIdlePool(t *testing.T) {
-	const workers = 4
-	rt := NewRuntime(Config{Workers: workers, DisablePinning: true})
+// runIdleTrickle drives the trickle workload the backoff and epoch tests
+// share: tiny singleton jobs on a mostly-idle pool, each waking one worker
+// that finds the root in the inbox (never in a deque), so every steal sweep
+// a winding-down worker performs sees all victims empty. It returns the
+// stats once the pool has quiesced (parks stop advancing across spaced
+// samples).
+func runIdleTrickle(t *testing.T, cfg Config) Stats {
+	t.Helper()
+	rt := NewRuntime(cfg)
 	defer rt.Close()
 
 	bursts := 30
@@ -31,7 +27,6 @@ func TestStealBackoffIdlePool(t *testing.T) {
 		time.Sleep(2 * time.Millisecond) // let the woken worker wind down and park
 	}
 
-	// Wait for quiescence: parks stop advancing across spaced samples.
 	deadline := time.Now().Add(10 * time.Second)
 	s := rt.Stats()
 	for stable := 0; stable < 3; {
@@ -47,22 +42,64 @@ func TestStealBackoffIdlePool(t *testing.T) {
 			t.Fatal("pool never quiesced")
 		}
 	}
-
 	if s.Parks == 0 {
 		t.Fatal("no parks observed on an idle pool")
 	}
 	if s.StealProbes == 0 {
 		t.Fatal("no steal probes counted (StealProbes instrumentation broken)")
 	}
-	// A sweep makes 2N victim selections of which the expected 2(N-1) are
-	// non-self probes. With the backoff a worker parks after 2 empty
-	// sweeps (~2*2(N-1) probes); without it, after 4 (~4*2(N-1)). The
-	// bound sits at 3 sweeps' worth — above the backoff's expectation,
-	// below the non-backoff one — and the ratio concentrates over the
-	// dozens of park cycles the trickle produced.
-	maxProbes := s.Parks * 3 * 2 * (workers - 1)
+	return s
+}
+
+// TestStealBackoffIdlePool exercises the steal-probe backoff and the
+// work-presence epoch together on a mostly-idle pool. With the backoff, an
+// empty sweep counts double against the spin budget, so a worker parks
+// after at most 2 sweeps of at most 2N probes each (without it, the budget
+// was 4 sweeps per park); with the epoch on top, the second sweep of each
+// wind-down is skipped outright — its result cannot differ while the epoch
+// is unchanged — leaving ~1 sweep per park. The bound sits at 2 sweeps'
+// worth per park: above the epoch's expectation of one, below the
+// backoff-only behavior of two-plus — i.e. the probes/park ratio a previous
+// revision merely bounded at 3 sweeps' worth has measurably tightened, and
+// the skips are observable in Stats.EpochSkips next to StealProbes and
+// Parks.
+func TestStealBackoffIdlePool(t *testing.T) {
+	const workers = 4
+	s := runIdleTrickle(t, Config{Workers: workers, DisablePinning: true})
+	maxProbes := s.Parks * 2 * 2 * (workers - 1)
 	if s.StealProbes > maxProbes {
-		t.Fatalf("StealProbes=%d > %d (Parks=%d * 3 sweeps * 2(N-1)): backoff not limiting idle probing",
+		t.Fatalf("StealProbes=%d > %d (Parks=%d * 2 sweeps * 2(N-1)): idle probing not limited",
 			s.StealProbes, maxProbes, s.Parks)
+	}
+	if s.EpochSkips == 0 {
+		t.Fatal("no epoch skips on an idle trickle (work-presence epoch not engaging)")
+	}
+}
+
+// TestWorkEpochCutsProbes is the epoch ablation A/B: the identical trickle
+// run with and without the work-presence epoch (Config.NoWorkEpoch). The
+// epoch run must skip at least one sweep and probe strictly less — in
+// absolute count and per park — than the ablated run, proving the skip is
+// the mechanism (and not, say, parking behavior) that cuts the waste.
+func TestWorkEpochCutsProbes(t *testing.T) {
+	const workers = 4
+	withEpoch := runIdleTrickle(t, Config{Workers: workers, DisablePinning: true})
+	without := runIdleTrickle(t, Config{Workers: workers, DisablePinning: true, NoWorkEpoch: true})
+
+	if withEpoch.EpochSkips == 0 {
+		t.Fatal("epoch run recorded no skipped sweeps")
+	}
+	if without.EpochSkips != 0 {
+		t.Fatalf("NoWorkEpoch run skipped %d sweeps, want 0", without.EpochSkips)
+	}
+	if withEpoch.StealProbes >= without.StealProbes {
+		t.Errorf("StealProbes with epoch = %d, without = %d: want strictly lower with the epoch",
+			withEpoch.StealProbes, without.StealProbes)
+	}
+	ratioWith := float64(withEpoch.StealProbes) / float64(withEpoch.Parks)
+	ratioWithout := float64(without.StealProbes) / float64(without.Parks)
+	if ratioWith >= ratioWithout {
+		t.Errorf("probes/park with epoch = %.1f, without = %.1f: want strictly lower with the epoch",
+			ratioWith, ratioWithout)
 	}
 }

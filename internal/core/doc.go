@@ -109,6 +109,45 @@
 // Cancelled advance live, and the quiescent invariants hold exactly once
 // the pool drains.
 //
+// # The spawn fast path
+//
+// The per-task overhead target is the paper's: spawning and executing a
+// fork-join task should cost tens of nanoseconds, so a body a few hundred
+// instructions long still parallelizes profitably. Four mechanisms carry
+// the steady-state spawn/execute cycle without a single heap allocation
+// and with almost no shared-memory RMWs:
+//
+//   - Slab-recycled descriptors (slab.go): a spawn takes its Task from the
+//     worker-local free list (two plain loads) and completion returns it
+//     there; the list is replenished a 64-descriptor slab at a time, so
+//     the allocator is consulted once per slab, not once per task. Every
+//     recycle advances the descriptor's generation stamp, which is what
+//     keeps the reuse safe against stale dataflow references (a Handle
+//     frontier naming a recycled task sees a sequence mismatch and treats
+//     the dependency as satisfied). Descriptors are padded to two cache
+//     lines so adjacent slab elements never false-share their frame
+//     counters; free lists are capped so post-burst hoards stay
+//     collectable. Root descriptors, allocated outside the pool, recycle
+//     through a sync.Pool instead: a fire-and-forget Submit allocates
+//     exactly one object, the Job handle itself.
+//   - Batched counters (stats.go): Spawned/Executed bookkeeping increments
+//     a worker-private cache and publishes to the padded shared atomics
+//     once per batch or idle transition, turning a LOCK-prefixed RMW per
+//     task into a plain increment. The same cache carries the per-job
+//     Executed attribution keyed by the job pointer, so Job.Stats costs
+//     nothing on the hot path and reads as a monotone lower bound that
+//     becomes exact at quiescence (see Job.Stats).
+//   - The deque fast slot (deque.go): a single-task spawn-then-sync cycle
+//     serves from a dedicated slot beside the Chase–Lev buffer, avoiding
+//     the buffer indexing and bounds machinery for the dominant
+//     depth-first case while preserving the owner-LIFO/thief-FIFO order.
+//   - The work-presence epoch (epoch.go): a worker whose full steal sweep
+//     found every victim empty skips further sweeps until the shard's
+//     epoch — bumped by work publication toward an idle pool — moves, so
+//     a parked-adjacent worker stops paying 2N probes per spin round for
+//     a fact it already knows. Stats.EpochSkips counts the skips;
+//     Config.NoWorkEpoch is the ablation knob.
+//
 // # Sharded fleets
 //
 // On many-core machines a single Runtime is one contention domain: every

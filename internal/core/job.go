@@ -46,8 +46,19 @@ type JobStats struct {
 }
 
 // Stats returns the job's task outcome counters. It may be called at any
-// time, including while the job runs; the snapshot is only guaranteed
-// complete once the job is Done.
+// time, including while the job runs, and each counter is then a monotone
+// non-decreasing lower bound of the truth: Executed is attributed through
+// per-(worker, job) caches (see jobfail.Counters.AddExecuted), so a live
+// snapshot can trail the real count by up to one batch per worker
+// currently executing this job's tasks, while Cancelled and Panicked are
+// bumped directly and stay exactly live. The snapshot is exact once the
+// pool is quiescent for this job: every path a worker takes toward
+// idleness — park, failed steal round, wait loops, root completion,
+// worker exit — publishes its cache first, and the worker that completes
+// the root flushes before the job becomes observable as done. In
+// particular, on a single-worker pool the counts are exact the moment
+// Wait returns; on a wider pool other workers' last batches land within
+// their own idle transitions, microseconds behind.
 func (j *Job) Stats() JobStats {
 	executed, cancelled, panicked := j.counts.Snapshot()
 	return JobStats{Executed: executed, Cancelled: cancelled, Panicked: panicked}
@@ -222,7 +233,7 @@ func (rt *Runtime) newRoot(parent context.Context, fn func(*Worker)) (j *Job, t 
 	rt.jobsMu.Unlock()
 	rt.liveRoots.Add(1)
 	j.st.Init(parent)
-	t = new(Task) // external path: worker free lists are owner-only
+	t = newRootTask() // external path: worker free lists are owner-only, roots recycle via rootPool
 	t.body = fn
 	t.job = j
 	t.flags = flagRoot

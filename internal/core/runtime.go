@@ -25,6 +25,11 @@ type Config struct {
 	// Seed is the base seed for per-worker victim-selection RNGs. Zero
 	// selects a fixed default, making victim sequences reproducible.
 	Seed uint64
+	// NoWorkEpoch disables the work-presence epoch (epoch.go): idle-
+	// adjacent workers then re-sweep every victim each spin round instead
+	// of skipping sweeps whose result cannot have changed (ablation knob
+	// for the steal-probe accounting tests).
+	NoWorkEpoch bool
 	// Chaos installs a fault injector: task-body panics, steal-probe
 	// misses, worker stalls, inbox delivery delays and shard wedges are
 	// then drawn from its seeded decision streams. nil (the default)
@@ -79,7 +84,13 @@ type Runtime struct {
 	drainErrs    []error // failures not yet reported by a Wait drain (capped)
 	drainDropped int     // failures elided once drainErrs hit maxDrainErrs
 
-	idle        atomic.Int32
+	idle atomic.Int32
+	// workEpoch is the shard's work-presence epoch (epoch.go): bumped —
+	// only while idle > 0, so the busy-pool spawn path never pays it —
+	// whenever work is published (deque push, inbox enqueue, adaptive
+	// install), compared by idle-adjacent workers against the epoch of
+	// their last empty steal sweep to skip provably futile probe loops.
+	workEpoch   atomic.Uint64
 	parkMu      sync.Mutex
 	parkCond    *sync.Cond
 	wakePending int
@@ -336,6 +347,7 @@ func (rt *Runtime) maybeWake() {
 	if rt.idle.Load() == 0 {
 		return
 	}
+	rt.bumpWorkEpoch()
 	rt.parkMu.Lock()
 	if rt.wakePending < int(rt.idle.Load()) {
 		rt.wakePending++
@@ -350,6 +362,7 @@ func (rt *Runtime) wakeAll() {
 	if rt.idle.Load() == 0 {
 		return
 	}
+	rt.bumpWorkEpoch()
 	rt.parkMu.Lock()
 	rt.wakePending = len(rt.workers)
 	rt.parkCond.Broadcast()

@@ -1,0 +1,145 @@
+//xk:hotpath — alloc and recycle run once per task on the spawn/complete
+// fast path; xkvet rejects blocking or allocating constructs in this file.
+// The per-task access mutex taken for dataflow descriptors and the
+// once-per-job root release are the marked exceptions.
+
+package core
+
+import "sync"
+
+// Task-descriptor slab recycling. Steady state spawns allocate nothing: a
+// descriptor is taken off the worker-local free list with two plain loads
+// and returned to it on completion, and the free list is replenished a slab
+// (not a descriptor) at a time, so the allocator and the GC see one
+// new([taskSlabSize]Task) per slab instead of one object per task. Three
+// invariants make the recycling safe:
+//
+//   - Owner-only lists. A descriptor is taken from the allocating worker's
+//     list and returned to the *completing* worker's list (tasks migrate
+//     between lists through steals), but each list is touched only by its
+//     owning worker, so alloc and recycle are unsynchronized.
+//
+//   - Generation stamps. Every recycle advances the descriptor's sequence
+//     number, so a stale taskRef held by a Handle frontier — the only
+//     reference that may legitimately outlive a task — identifies itself by
+//     seq mismatch instead of resurrecting the reused descriptor. For a
+//     descriptor that ever carried dataflow accesses the stamp happens
+//     under the descriptor's mutex (stale refs probe seq under the same
+//     lock, see depOn); for the pure fork-join majority no taskRef can
+//     exist and the stamp is a plain store.
+//
+//   - Bounded retention. A slab stays reachable while any of its
+//     descriptors is live or listed, so a worker caps its free list at
+//     maxFreeTasks and drops descriptors completed beyond the cap: after a
+//     burst the hoard is collectable instead of pinned forever.
+//
+// Root descriptors cycle separately through rootPool (a sync.Pool): they
+// are allocated by external submitters, which must not touch the owner-only
+// worker lists, and released once per job, where the pool's cost is noise.
+const (
+	// taskSlabSize is the number of descriptors carved per free-list
+	// refill: at 128 B per descriptor one slab is an 8 KiB allocation,
+	// large enough to amortize the allocator round-trip over a burst of
+	// spawns, small enough that a mostly-idle worker pins only two pages.
+	taskSlabSize = 64
+
+	// maxFreeTasks caps a worker's free list. Recycles beyond the cap drop
+	// the descriptor for the GC instead of hoarding it; the cap (512 KiB of
+	// descriptors per worker) is far above any steady-state working set, so
+	// it only engages after a pathological fan-in burst.
+	maxFreeTasks = 4096
+)
+
+// alloc takes a task descriptor from the worker-local free list, carving a
+// fresh slab when the list is empty. Owner only.
+func (w *Worker) alloc() *Task {
+	t := w.freeList
+	if t == nil {
+		return w.refill()
+	}
+	w.freeList = t.next
+	w.freeLen--
+	t.next = nil
+	return t
+}
+
+// refill carves a new slab, links all but one descriptor into the free
+// list, and returns the remaining one. Runs once per taskSlabSize allocs
+// that miss the list, not once per task.
+func (w *Worker) refill() *Task {
+	slab := new([taskSlabSize]Task)
+	for i := taskSlabSize - 1; i >= 1; i-- {
+		slab[i].next = w.freeList
+		w.freeList = &slab[i]
+	}
+	w.freeLen += taskSlabSize - 1
+	return &slab[0]
+}
+
+// recycle resets t, stamps its generation, and returns it to the local free
+// list (or drops it once the list is full). Owner only.
+func (w *Worker) recycle(t *Task) {
+	if t.flags&flagHasAccess != 0 {
+		t.everAcc = true
+		t.mu.Lock() //xk:allow(hotpath): per-task access mutex, dataflow tasks only
+		t.seq++
+		t.done = false
+		t.succ = t.succ[:0]
+		t.mu.Unlock() //xk:allow(hotpath): see Lock above
+		t.accs = t.accs[:0]
+	} else if t.everAcc {
+		// A stale taskRef from an earlier dataflow lifetime may still probe
+		// seq under the descriptor mutex (depOn); stamp under the same lock.
+		t.mu.Lock() //xk:allow(hotpath): rare — descriptor had accesses in an earlier lifetime
+		t.seq++
+		t.mu.Unlock() //xk:allow(hotpath): see Lock above
+	} else {
+		// No taskRef to this descriptor has ever existed: nobody can read
+		// seq concurrently, so the generation stamp is a plain store.
+		t.seq++
+	}
+	t.body = nil
+	t.parent = nil
+	t.job = nil
+	t.flags = 0
+	// wait and children need no reset: a task only completes once wait
+	// reached zero (it became ready) and its frame drained (fully strict
+	// execution) — and execute rebalances any remote-completion residue out
+	// of children before completing, so both counters are already zero here.
+	if w.freeLen >= maxFreeTasks {
+		return // list full: let the GC take it (and eventually its slab)
+	}
+	t.next = w.freeList
+	w.freeList = t
+	w.freeLen++
+}
+
+// rootPool recycles root task descriptors across jobs. Roots are allocated
+// on the submission path — outside the pool, where the owner-only worker
+// free lists are off limits — and released by whichever worker completes
+// them, so the pool is the one descriptor cache that is legitimately
+// multi-producer/multi-consumer.
+var rootPool = sync.Pool{New: func() any { return new(Task) }}
+
+// newRootTask takes a recycled (or fresh) root descriptor. Any goroutine
+// may call it.
+func newRootTask() *Task {
+	return rootPool.Get().(*Task) //xk:allow(hotpath): once per job submission, not per task
+}
+
+// releaseRoot resets a completed root descriptor and returns it to
+// rootPool.
+//
+//xk:coldpath — runs once per job (root completion), not once per task.
+func releaseRoot(t *Task) {
+	t.body = nil
+	t.parent = nil
+	t.job = nil
+	t.flags = 0
+	t.next = nil
+	// Roots never carry dataflow accesses, so no taskRef can reference
+	// them; the generation stamp is a plain store, kept so every recycle
+	// path advances the generation.
+	t.seq++
+	rootPool.Put(t)
+}

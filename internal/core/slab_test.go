@@ -1,0 +1,130 @@
+package core
+
+import (
+	"testing"
+	"unsafe"
+)
+
+// TestTaskDescriptorLayout pins the slab layout contract: descriptors are
+// array elements (slab.go), so Task must stay an exact multiple of a cache
+// line or adjacent descriptors false-share their children/wait atomics
+// between the owner and a thief.
+func TestTaskDescriptorLayout(t *testing.T) {
+	size := unsafe.Sizeof(Task{})
+	if size%64 != 0 {
+		t.Errorf("sizeof(Task) = %d, want a multiple of 64 (slab elements must not straddle cache lines)", size)
+	}
+	if size != 128 {
+		t.Errorf("sizeof(Task) = %d, want 128: adjust the trailing pad (and this test) deliberately", size)
+	}
+}
+
+// TestSlabAllocRecycle exercises the worker-local descriptor cycle: the
+// first alloc carves a slab, recycle returns descriptors LIFO, and steady
+// state reuses them without touching the allocator.
+func TestSlabAllocRecycle(t *testing.T) {
+	w := &Worker{}
+	t1 := w.alloc()
+	if t1 == nil {
+		t.Fatal("alloc returned nil")
+	}
+	if w.freeLen != taskSlabSize-1 {
+		t.Fatalf("freeLen after first alloc = %d, want %d (one slab minus the returned task)",
+			w.freeLen, taskSlabSize-1)
+	}
+	t2 := w.alloc()
+	if w.freeLen != taskSlabSize-2 {
+		t.Fatalf("freeLen after second alloc = %d, want %d", w.freeLen, taskSlabSize-2)
+	}
+	w.recycle(t2)
+	w.recycle(t1)
+	if w.freeLen != taskSlabSize {
+		t.Fatalf("freeLen after recycles = %d, want %d", w.freeLen, taskSlabSize)
+	}
+	if got := w.alloc(); got != t1 {
+		t.Errorf("alloc after recycle = %p, want the last recycled descriptor %p (LIFO)", got, t1)
+	}
+}
+
+// TestRecycleGenerationStamp asserts that every recycle path advances the
+// descriptor generation: the dataflow path (under the access mutex), the
+// had-accesses-earlier path, and the plain fork-join path.
+func TestRecycleGenerationStamp(t *testing.T) {
+	w := &Worker{}
+	tk := w.alloc()
+
+	seq := tk.seq
+	tk.flags = flagHasAccess
+	tk.accs = append(tk.accs, Access{})
+	tk.done = true
+	w.recycle(tk)
+	if tk.seq != seq+1 {
+		t.Errorf("seq after dataflow recycle = %d, want %d", tk.seq, seq+1)
+	}
+	if !tk.everAcc {
+		t.Error("everAcc not set by dataflow recycle")
+	}
+	if tk.done || len(tk.accs) != 0 || len(tk.succ) != 0 {
+		t.Errorf("dataflow state not reset: done=%v accs=%d succ=%d", tk.done, len(tk.accs), len(tk.succ))
+	}
+
+	// Same descriptor reused without accesses: the stamp must still advance
+	// (everAcc branch — stale refs from the first lifetime may probe seq).
+	if got := w.alloc(); got != tk {
+		t.Fatalf("alloc = %p, want recycled descriptor %p", got, tk)
+	}
+	w.recycle(tk)
+	if tk.seq != seq+2 {
+		t.Errorf("seq after post-dataflow recycle = %d, want %d", tk.seq, seq+2)
+	}
+
+	// A descriptor that never had accesses also stamps (plain store path).
+	fresh := w.alloc()
+	for fresh == tk {
+		fresh = w.alloc()
+	}
+	seq = fresh.seq
+	w.recycle(fresh)
+	if fresh.seq != seq+1 {
+		t.Errorf("seq after fork-join recycle = %d, want %d", fresh.seq, seq+1)
+	}
+}
+
+// TestFreeListCap asserts the retention bound: a recycle arriving on a full
+// free list drops the descriptor instead of hoarding it (keeping completed
+// bursts collectable), and still stamps its generation.
+func TestFreeListCap(t *testing.T) {
+	w := &Worker{}
+	tk := w.alloc()
+	head, n := w.freeList, w.freeLen
+	w.freeLen = maxFreeTasks
+	seq := tk.seq
+	w.recycle(tk)
+	if w.freeList != head {
+		t.Error("recycle over the cap still linked the descriptor into the free list")
+	}
+	if w.freeLen != maxFreeTasks {
+		t.Errorf("freeLen after capped recycle = %d, want %d", w.freeLen, maxFreeTasks)
+	}
+	if tk.seq != seq+1 {
+		t.Errorf("capped recycle skipped the generation stamp: seq = %d, want %d", tk.seq, seq+1)
+	}
+	w.freeLen = n // restore so the invariant freeLen == list length holds
+}
+
+// TestReleaseRootResets asserts the root-descriptor release: fields cleared,
+// generation stamped, ready for the next Submit to reuse through rootPool.
+func TestReleaseRootResets(t *testing.T) {
+	tk := newRootTask()
+	tk.body = func(*Worker) {}
+	tk.job = &Job{}
+	tk.flags = flagRoot
+	seq := tk.seq
+	releaseRoot(tk)
+	if tk.body != nil || tk.job != nil || tk.flags != 0 || tk.next != nil || tk.parent != nil {
+		t.Errorf("releaseRoot left state behind: %+v", tk)
+	}
+	if tk.seq != seq+1 {
+		t.Errorf("seq after releaseRoot = %d, want %d", tk.seq, seq+1)
+	}
+}

@@ -19,11 +19,31 @@ const statFlushEvery = 64
 // per batch) when the cache becomes non-empty, cleared by flush — so
 // ResetStats can wait for quiescent workers to publish without reading
 // unsynchronized counters.
+//
+// Besides the pool-global counters, the cache also batches the per-job
+// Executed attribution (jobfail.Counters), keyed by the job of the task
+// the worker is currently executing: jobExecuted increments stay private
+// until the worker switches jobs, flushes on a batch boundary, or
+// transitions toward idleness, replacing the per-task shared-counter RMW
+// of Job.Stats with one amortized add per batch. The job pointer is
+// dropped at every flush so a parked worker never retains a finished job.
+//
+// The trailing pad keeps the cache — hammered by the owner on every task —
+// off the cache line of whatever field follows it in Worker. Concretely,
+// deque.next lives there: thieves CAS that slot, and without the pad every
+// steal attempt would bounce the line the owner's counter writes go
+// through (the atomicpad fixtures cover this shape; see
+// internal/analysis/atomicpad).
 type statCache struct {
 	spawned  int64
 	executed int64
 	pending  int64 // increments since the last flush
-	dirty    atomic.Bool
+
+	job         *Job  // job the jobExecuted batch is attributed to
+	jobExecuted int64 // executed tasks of job not yet published to job.counts
+
+	dirty atomic.Bool
+	_     [64]byte // pad: owner-hot words share no line with the next field
 }
 
 // Stats is a snapshot of the scheduler event counters, summed over workers.
@@ -38,6 +58,7 @@ type Stats struct {
 	StealRequests int64 // requests posted to victims
 	StealHits     int64 // requests answered with a task
 	StealProbes   int64 // victim inspections by idle thieves (incl. empty probes)
+	EpochSkips    int64 // steal sweeps skipped because the work epoch was unchanged
 	Combines      int64 // combiner passes (aggregated service of N requests)
 	CombineServed int64 // requests answered during combiner passes
 	Splits        int64 // splitter invocations on adaptive tasks
@@ -55,6 +76,7 @@ func (s *Stats) Add(other Stats) {
 	s.StealRequests += other.StealRequests
 	s.StealHits += other.StealHits
 	s.StealProbes += other.StealProbes
+	s.EpochSkips += other.EpochSkips
 	s.Combines += other.Combines
 	s.CombineServed += other.CombineServed
 	s.Splits += other.Splits
@@ -90,6 +112,7 @@ type workerStats struct {
 	stealRequests atomic.Int64
 	stealHits     atomic.Int64
 	stealProbes   atomic.Int64
+	epochSkips    atomic.Int64
 	combines      atomic.Int64
 	combineServed atomic.Int64
 	splits        atomic.Int64
@@ -113,6 +136,7 @@ func (ws *workerStats) snapshot() Stats {
 		StealRequests: ws.stealRequests.Load(),
 		StealHits:     ws.stealHits.Load(),
 		StealProbes:   ws.stealProbes.Load(),
+		EpochSkips:    ws.epochSkips.Load(),
 		Combines:      ws.combines.Load(),
 		CombineServed: ws.combineServed.Load(),
 		Splits:        ws.splits.Load(),
@@ -130,6 +154,7 @@ func (ws *workerStats) reset() {
 	ws.stealRequests.Store(0)
 	ws.stealHits.Store(0)
 	ws.stealProbes.Store(0)
+	ws.epochSkips.Store(0)
 	ws.combines.Store(0)
 	ws.combineServed.Store(0)
 	ws.splits.Store(0)

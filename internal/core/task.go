@@ -60,22 +60,38 @@ const (
 // Lifecycle: allocated → (wait counter drains) → pushed ready → executed →
 // children drained (fully strict) → completed (successors released, parent
 // decremented) → recycled.
+//
+// Descriptors are carved from slabs ([taskSlabSize]Task arrays, slab.go),
+// so the struct is padded to exactly two cache lines: children and wait are
+// RMW'd by thieves and the owner concurrently, and without the pad two
+// adjacent descriptors of one slab would false-share a line between two
+// workers. The trailing pad also satisfies the atomicpad layout check for
+// atomic-holding array elements.
 type Task struct {
 	body   func(*Worker)
 	parent *Task
 	next   *Task // free-list link
 	job    *Job  // owning job, inherited from the parent (failure/cancel scope)
 
-	children atomic.Int32 // live direct children (frame counter)
+	// children is the shared half of the frame counter: it moves only when a
+	// child completes on a worker other than the one executing this task
+	// (stolen subtree, or a dataflow release landing elsewhere), and then
+	// only downward. The executing worker's owner-local Worker.frameKids
+	// carries the spawn credits; frameKids + children.Load() is the exact
+	// live-children count, and execute zeroes any residue before completion.
+	children atomic.Int32
 	wait     atomic.Int32 // outstanding dependencies + creation bias
 	flags    uint8
 
 	// Dataflow state, used only when flags&flagHasAccess != 0.
-	mu   sync.Mutex
-	seq  uint32 // incremented on recycle; guards stale taskRefs in handles
-	done bool
-	succ []*Task
-	accs []Access
+	mu      sync.Mutex
+	seq     uint32 // generation stamp, advanced on every recycle; guards stale taskRefs
+	done    bool
+	everAcc bool // had accesses in some lifetime: stale taskRefs may probe seq under mu
+	succ    []*Task
+	accs    []Access
+
+	_ [16]byte // pad to 128 B: see the slab note above (checked in slab_test.go)
 }
 
 // taskRef is a possibly-stale reference to a task held in a Handle's

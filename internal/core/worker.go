@@ -30,9 +30,31 @@ type Worker struct {
 	rt  *Runtime
 	cur *Task // task currently being executed
 
+	// frameKids is the owner-local half of the current frame's child
+	// counter — the Cilk-style split that keeps frame accounting off the
+	// LOCK-prefixed path: Spawn increments it with a plain add, and a child
+	// completed by this worker while its parent is still the current frame
+	// decrements it the same way. Only a child completed elsewhere (stolen,
+	// or a dataflow release landing on another worker — equivalently,
+	// whenever the completer's w.cur is not the parent) touches the shared
+	// atomic, by decrementing the parent's children counter below zero. The
+	// frame's outstanding-children count is therefore the sum
+	// frameKids + children.Load(), exact at all times: frameKids ≥ 0 is
+	// spawned minus locally-completed, children ≤ 0 is minus
+	// remotely-completed. execute saves and zeroes frameKids around every
+	// nested task, so the field always belongs to w.cur's frame.
+	frameKids int32
+
 	freeList   *Task
+	freeLen    int // tasks on freeList (caps recycling; slab.go)
 	rng        xrand.Rand
 	reqScratch []int
+
+	// Cached empty-sweep state for the work-presence epoch (epoch.go).
+	// Owner only: sweepValid marks that the last full steal sweep, taken
+	// at shard epoch sweepEpoch, found every victim empty.
+	sweepEpoch uint64
+	sweepValid bool
 
 	stats workerStats
 	cache statCache // batched spawned/executed increments (owner-only)
@@ -60,17 +82,43 @@ func (w *Worker) noteSpawned() {
 	}
 }
 
-// noteExecuted counts one executed task body; see noteSpawned.
-func (w *Worker) noteExecuted() {
+// noteExecuted counts one executed task body (see noteSpawned) and
+// attributes it to j's per-job counters through the same cache: while the
+// worker keeps executing tasks of one job — the common case, a tree of
+// spawns — the attribution is a plain private increment, and the shared
+// jobfail.Counters RMW is paid once per batch, job switch or idle
+// transition instead of once per task. Job.Stats consequently reads an
+// approximate (monotone lower-bound) Executed while the job is in flight;
+// see Job.Stats for the exactness contract.
+func (w *Worker) noteExecuted(j *Job) {
 	c := &w.cache
 	if c.pending == 0 {
 		c.dirty.Store(true)
 	}
 	c.executed++
 	c.pending++
+	if j != c.job {
+		w.switchJobCache(j)
+	}
+	if j != nil {
+		c.jobExecuted++
+	}
 	if c.pending >= statFlushEvery {
 		w.flushStats()
 	}
+}
+
+// switchJobCache publishes the cached per-job executed batch of the
+// previous job and re-keys the cache to j. Out of the inlined hot path:
+// it runs once per job switch (a worker interleaving two jobs' tasks),
+// not once per task.
+func (w *Worker) switchJobCache(j *Job) {
+	c := &w.cache
+	if c.job != nil {
+		c.job.counts.AddExecuted(c.jobExecuted)
+	}
+	c.job = j
+	c.jobExecuted = 0
 }
 
 // spawnedTotal is the worker's spawn count including the unpublished
@@ -99,6 +147,15 @@ func (w *Worker) flushStats() {
 		if rt := w.rt; rt.shardTotal > 0 {
 			rt.progress.Add(1)
 		}
+	}
+	if c.job != nil {
+		// Publish the per-job executed batch and drop the job pointer: a
+		// worker going idle must neither hold back attribution (the
+		// flush-at-park contract behind Job.Stats' quiescent exactness)
+		// nor keep a completed job reachable.
+		c.job.counts.AddExecuted(c.jobExecuted)
+		c.job = nil
+		c.jobExecuted = 0
 	}
 	c.pending = 0
 	c.dirty.Store(false)
@@ -133,7 +190,7 @@ func (w *Worker) Spawn(fn func(*Worker)) {
 	t.body = fn
 	t.parent = w.cur
 	if t.parent != nil {
-		t.parent.children.Add(1)
+		w.frameKids++ // owner-local; the atomic half only moves on remote completion
 		t.job = t.parent.job
 	}
 	w.noteSpawned()
@@ -174,7 +231,7 @@ func (w *Worker) SpawnTask(fn func(*Worker), accs ...Access) {
 	t.body = fn
 	t.parent = w.cur
 	if t.parent != nil {
-		t.parent.children.Add(1)
+		w.frameKids++ // owner-local; the atomic half only moves on remote completion
 		t.job = t.parent.job
 	}
 	w.noteSpawned()
@@ -205,7 +262,7 @@ func (w *Worker) Sync() {
 	if w.cur == nil {
 		return
 	}
-	w.waitCounter(&w.cur.children)
+	w.waitFrame(&w.cur.children)
 }
 
 // execute runs t to completion: body, implicit sync on children (the model
@@ -215,8 +272,15 @@ func (w *Worker) Sync() {
 // counters drain, dataflow frontiers stay consistent and the job always
 // reaches Wait.
 func (w *Worker) execute(t *Task) {
+	// Any execution retires the cached empty sweep (epoch.go): the body may
+	// run arbitrarily long and hand work to siblings in ways that do not
+	// bump the epoch while nobody is parked, so a sweep taken before it is
+	// too stale to skip on. One owner-private store; free on the hot path.
+	w.sweepValid = false
 	prev := w.cur
+	prevKids := w.frameKids
 	w.cur = t
+	w.frameKids = 0
 	// Loop-slice tasks are exempt from the skip: their body (loopRun)
 	// observes the abort itself and instead of executing iterations credits
 	// them back to the loop's pending count, which must drain to zero for
@@ -226,16 +290,24 @@ func (w *Worker) execute(t *Task) {
 		w.stats.cancelled.Add(1)
 		j.counts.Cancelled.Add(1)
 	} else {
-		w.noteExecuted()
-		if j := t.job; j != nil {
-			j.counts.Executed.Add(1)
-		}
+		w.noteExecuted(t.job)
 		w.runBody(t)
 	}
+	if w.frameKids+t.children.Load() != 0 {
+		w.waitFrame(&t.children)
+	}
 	if t.children.Load() != 0 {
-		w.waitCounter(&t.children)
+		// The frame drained with a nonzero residue: k children were stolen
+		// and completed remotely (children == -k) while frameKids still
+		// carried their spawn credits (frameKids == k). frameKids is about
+		// to be overwritten by the restore below; rebalance children so the
+		// descriptor recycles with the counter at rest. Conditional because
+		// an atomic store compiles to an XCHG — in the common never-stolen
+		// case the counter is already zero and the branch is free.
+		t.children.Store(0)
 	}
 	w.cur = prev
+	w.frameKids = prevKids
 	w.complete(t)
 }
 
@@ -300,7 +372,18 @@ func (w *Worker) complete(t *Task) {
 		}
 	}
 	if p := t.parent; p != nil {
-		p.children.Add(-1)
+		if p == w.cur {
+			// This worker is inside p's frame right now (w.cur is only ever
+			// assigned by execute, and bodies run exactly once, so cur == p
+			// means we are executing p): credit the owner-local half.
+			w.frameKids--
+		} else {
+			// Stolen child, or a dataflow release completing away from its
+			// parent's worker: the LOCK-prefixed decrement is the price of
+			// remote completion only. The seq-cst RMW publishes the child's
+			// effects to the parent's subsequent frame-drain load.
+			p.children.Add(-1)
+		}
 	}
 	if t.flags&flagRoot != 0 {
 		// Publish this worker's cached counters before the job becomes
@@ -312,11 +395,45 @@ func (w *Worker) complete(t *Task) {
 		j := t.job
 		t.job = nil
 		j.finish()
+		// Roots recycle through rootPool, not the worker free list: their
+		// descriptors are allocated by external submitters, which cannot
+		// touch the owner-only lists, so completion hands them back to the
+		// pool the submission path draws from.
+		releaseRoot(t)
+		return
 	}
 	w.recycle(t)
 }
 
-// waitCounter schedules ready work until *c drains to zero.
+// waitFrame schedules ready work until the current frame's outstanding
+// children drain: the owner-local w.frameKids (spawns minus local
+// completions, ≥ 0) plus the shared balance in c (minus remote completions,
+// ≤ 0) sum to the exact number of live children at every instant. Nested
+// execute calls save, zero and restore frameKids around each task they run,
+// so by the time schedOnce returns the field again belongs to the waiting
+// frame and the re-check is sound.
+func (w *Worker) waitFrame(c *atomic.Int32) {
+	idle := 0
+	for w.frameKids+c.Load() != 0 {
+		if w.schedOnce() {
+			idle = 0
+			continue
+		}
+		idle++
+		if idle == 1 {
+			w.flushStats() // out of work: publish cached counters
+		}
+		if idle < idleSpinBeforeSleep {
+			runtime.Gosched()
+		} else {
+			time.Sleep(idleSleep) //xk:allow(hotpath): idle backoff — out of work by definition
+		}
+	}
+}
+
+// waitCounter schedules ready work until *c drains to zero. Used for plain
+// shared counters with no owner-local half (the ForEach pending count);
+// frame drains go through waitFrame.
 func (w *Worker) waitCounter(c *atomic.Int32) {
 	idle := 0
 	for c.Load() != 0 {
@@ -484,40 +601,6 @@ func (w *Worker) NewAdaptiveTask(fn func(*Worker)) *Task {
 	return t
 }
 
-// alloc takes a task from the worker-local free list, falling back to the
-// heap. Tasks recycle through the list of whichever worker completes them.
-func (w *Worker) alloc() *Task {
-	t := w.freeList
-	if t == nil {
-		return new(Task)
-	}
-	w.freeList = t.next
-	t.next = nil
-	return t
-}
-
-// recycle resets t and returns it to the local free list. The sequence
-// number bump invalidates any stale taskRef still held by a Handle frontier.
-func (w *Worker) recycle(t *Task) {
-	if t.flags&flagHasAccess != 0 {
-		t.mu.Lock() //xk:allow(hotpath): per-task access mutex, dataflow tasks only
-		t.seq++
-		t.done = false
-		t.succ = t.succ[:0]
-		t.mu.Unlock() //xk:allow(hotpath): see Lock above
-		t.accs = t.accs[:0]
-	}
-	t.body = nil
-	t.parent = nil
-	t.job = nil
-	t.flags = 0
-	// wait and children need no reset: a task only completes once wait
-	// reached zero (it became ready) and children drained to zero (fully
-	// strict execution), so both counters are already zero here.
-	t.next = w.freeList
-	w.freeList = t
-}
-
 // idleRoundsBeforePark is how many failed scheduling rounds a worker spins
 // through (with Gosched between them) before parking on the condvar. A
 // round whose steal sweep found every victim empty counts double — the
@@ -562,7 +645,22 @@ func (w *Worker) run() {
 			fails = 0
 			continue
 		}
-		t, sawWork := w.trySteal()
+		// The steal sweep is gated by the work-presence epoch (epoch.go): if
+		// the last sweep found every victim empty and nothing has been
+		// published toward an idle pool since, 2N probes are provably futile
+		// and the whole sweep is skipped. The epoch is read before the sweep
+		// so a mid-sweep publication forces a re-sweep next round.
+		var t *Task
+		sawWork := false
+		if w.sweepSkippable() {
+			w.stats.epochSkips.Add(1)
+		} else {
+			epoch := rt.workEpoch.Load()
+			t, sawWork = w.trySteal()
+			if t == nil && !sawWork {
+				w.noteEmptySweep(epoch)
+			}
+		}
 		if t != nil {
 			w.execute(t)
 			fails = 0
@@ -591,6 +689,12 @@ func (w *Worker) run() {
 			continue
 		}
 		w.park()
+		// Whatever park observed — a wake, an aborted park because anyWork
+		// saw new tasks, or stop — the cached empty sweep predates it. This
+		// invalidation is what makes the epoch skip safe for publications
+		// that never bump (pushed while nobody was idle): park's scan sees
+		// them, and the next round does a full sweep.
+		w.sweepValid = false
 		fails = 0
 	}
 }

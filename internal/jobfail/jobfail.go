@@ -56,21 +56,40 @@ func (e *PanicError) Unwrap() error {
 // parallel region, a QUARK run. The zero value is not ready: call Init
 // first, Finish exactly once when the domain's bookkeeping has drained.
 // All other methods may be called concurrently from any goroutine.
+//
+// The completion channel and the derived context are allocated lazily: a
+// domain that succeeds without anyone selecting on DoneChan or asking for
+// Context — the common case for a fire-and-forget submission on a healthy
+// pool — costs zero allocations beyond its own struct. This is part of the
+// scheduler's sub-40ns spawn/submit budget (see core/doc.go, "The spawn
+// fast path"); the laziness is invisible in the API.
 type State struct {
-	failed atomic.Bool // fast-path flag mirroring err != nil
-	mu     sync.Mutex
-	err    error // first failure; immutable once set
-	sealed bool  // Finish ran: late Fail calls are ignored
+	failed   atomic.Bool // fast-path flag mirroring err != nil
+	finished atomic.Bool // Finish ran (lock-free Done)
+	mu       sync.Mutex
+	err      error // first failure; immutable once set
+	sealed   bool  // Finish ran: late Fail calls are ignored
 
-	done chan struct{} // closed by Finish
+	// done is closed by Finish; it is created on demand by the first Wait
+	// or DoneChan (under mu), so a domain nobody blocks on never allocates
+	// it. Finish reads it under mu: a waiter either installs the channel
+	// before Finish seals (and Finish closes it), or observes sealed and
+	// gets the shared closed channel.
+	done chan struct{}
 
-	// ctx is the domain's context: derived from the submission context (or
-	// Background), cancelled with the failure as cause the instant the
-	// domain fails, and cancelled unconditionally at Finish so the context
-	// machinery never leaks. Task bodies obtain it through the engine
-	// (Proc.Context() and friends) for deadline-aware work.
-	ctx    context.Context
-	cancel context.CancelCauseFunc
+	// parent is the submission context (Background if none was given),
+	// retained so the derived context can be materialized on demand and so
+	// Finish can check for the parent-cancellation race directly.
+	parent context.Context
+
+	// ctx is the domain's derived context: cancelled with the failure as
+	// cause the instant the domain fails, and cancelled unconditionally at
+	// Finish so the context machinery never leaks. It is materialized by
+	// the first Context call (the two context.WithCancelCause allocations
+	// are then paid only by domains whose bodies actually use it); Fail and
+	// Finish cancel it only if it exists. Task bodies obtain it through the
+	// engine (Proc.Context() and friends) for deadline-aware work.
+	ctx atomic.Pointer[stateCtx]
 
 	// ctxStop deregisters the context.AfterFunc Init armed to propagate
 	// parent cancellation into Fail. Finish calls it once, so a completed
@@ -79,18 +98,33 @@ type State struct {
 	ctxStop func() bool
 }
 
-// Init readies the state: a fresh done channel and a cancellable context
-// derived from parent (context.Background if parent is nil). If parent is
-// cancellable, its cancellation is propagated into Fail watcher-free via
-// context.AfterFunc — no goroutine per job — armed here, before the domain
-// can possibly finish, and disarmed by Finish. A parent already cancelled
-// at Init fails the state immediately.
+// stateCtx pairs the lazily materialized derived context with its cancel
+// function, published atomically so Failed-path readers need no lock.
+type stateCtx struct {
+	ctx    context.Context
+	cancel context.CancelCauseFunc
+}
+
+// closedChan is the shared pre-closed completion channel handed out when
+// the domain finished before anyone asked for DoneChan.
+var closedChan = func() chan struct{} {
+	c := make(chan struct{})
+	close(c)
+	return c
+}()
+
+// Init readies the state, binding it to parent (context.Background if
+// parent is nil). If parent is cancellable, its cancellation is propagated
+// into Fail watcher-free via context.AfterFunc — no goroutine per job —
+// armed here, before the domain can possibly finish, and disarmed by
+// Finish. A parent already cancelled at Init fails the state immediately.
+// The completion channel and derived context are not allocated here; see
+// the State doc comment.
 func (s *State) Init(parent context.Context) {
 	if parent == nil {
 		parent = context.Background()
 	}
-	s.done = make(chan struct{})
-	s.ctx, s.cancel = context.WithCancelCause(parent)
+	s.parent = parent
 	if parent.Done() != nil {
 		if err := parent.Err(); err != nil {
 			s.Fail(err)
@@ -115,10 +149,16 @@ func (s *State) Fail(err error) bool {
 	}
 	s.err = err
 	s.failed.Store(true)
+	sc := s.ctx.Load()
 	s.mu.Unlock()
 	// Fan out after dropping the lock: cancel runs AfterFunc callbacks
-	// registered on s.ctx inline, and those may call back into Err.
-	s.cancel(err)
+	// registered on the derived context inline, and those may call back
+	// into Err. A context materialized concurrently is cancelled by the
+	// materializer itself: it re-reads err under the same mu after
+	// publishing the pointer, so exactly one side delivers the cause.
+	if sc != nil {
+		sc.cancel(err)
+	}
 	return true
 }
 
@@ -142,51 +182,100 @@ func (s *State) Cancel() { s.Fail(ErrCanceled) }
 // Context returns the domain's context: cancelled (with the failure as
 // cause) the instant the domain fails or is cancelled, and carrying the
 // submission context's deadline and values. Task bodies block on
-// Context().Done() instead of polling the failed flag.
-func (s *State) Context() context.Context { return s.ctx }
+// Context().Done() instead of polling the failed flag. The first call
+// materializes the context; later calls are a single atomic load.
+func (s *State) Context() context.Context {
+	if sc := s.ctx.Load(); sc != nil {
+		return sc.ctx
+	}
+	return s.materializeCtx()
+}
+
+// materializeCtx builds and publishes the derived context. mu serializes
+// materialization against Fail and Finish: the builder re-reads the failure
+// state under the same lock that records it, so a context created after the
+// domain failed (or finished) is cancelled here, with the recorded error as
+// cause, before anyone can select on it — the caller cannot distinguish a
+// lazy context from an eagerly allocated one.
+func (s *State) materializeCtx() context.Context {
+	s.mu.Lock()
+	if sc := s.ctx.Load(); sc != nil {
+		s.mu.Unlock()
+		return sc.ctx
+	}
+	ctx, cancel := context.WithCancelCause(s.parent)
+	s.ctx.Store(&stateCtx{ctx: ctx, cancel: cancel})
+	err, over := s.err, s.sealed
+	s.mu.Unlock()
+	if err != nil || over {
+		cancel(err) // a nil err (clean finish) leaves context.Canceled as cause
+	}
+	return ctx
+}
 
 // Wait blocks until Finish has run, then returns the final error.
 func (s *State) Wait() error {
-	<-s.done
+	if !s.finished.Load() {
+		<-s.DoneChan()
+	}
 	return s.Err()
 }
 
-// Done reports (without blocking) whether Finish has run.
-func (s *State) Done() bool {
-	select {
-	case <-s.done:
-		return true
-	default:
-		return false
+// Done reports (without blocking, lock-free) whether Finish has run.
+func (s *State) Done() bool { return s.finished.Load() }
+
+// DoneChan exposes the completion channel for select-based waits. The
+// channel is created by the first call; a domain that already finished gets
+// a shared pre-closed channel, so the returned channel is always closed by
+// (or visibly after) Finish.
+func (s *State) DoneChan() <-chan struct{} {
+	if s.finished.Load() {
+		return closedChan
 	}
+	s.mu.Lock()
+	if s.sealed {
+		// Finish already passed its critical section; it closes only the
+		// channel it read there, so a channel created now would never close.
+		s.mu.Unlock()
+		return closedChan
+	}
+	if s.done == nil {
+		s.done = make(chan struct{})
+	}
+	d := s.done
+	s.mu.Unlock()
+	return d
 }
 
-// DoneChan exposes the completion channel for select-based waits.
-func (s *State) DoneChan() <-chan struct{} { return s.done }
-
 // Finish seals the state — late Fail calls become no-ops — disarms the
-// parent-cancellation hook, cancels the domain's context (releasing its
-// timers and parent registration; the cause is the failure, if any),
-// closes the done channel and returns the final error. It must be called
-// exactly once, by whichever worker completes the domain's bookkeeping.
+// parent-cancellation hook, cancels the domain's context if it was ever
+// materialized (releasing its timers and parent registration; the cause is
+// the failure, if any), closes the done channel if anyone is waiting on it
+// and returns the final error. It must be called exactly once, by whichever
+// worker completes the domain's bookkeeping.
 func (s *State) Finish() error {
 	s.mu.Lock()
 	if s.err == nil {
 		// Close the parent-cancellation race: the context tree propagates a
-		// parent cancel/deadline into s.ctx before our AfterFunc runs, so a
-		// body parked on Context().Done() can unblock, return, and complete
-		// the domain while the hook that would record the failure is still
-		// in flight. s.cancel only ever runs with s.err already set, so
-		// s.ctx being cancelled here can only mean the parent chain fired:
-		// record its error now, before sealing, and the domain
-		// deterministically reports the cancellation its bodies observed.
-		if err := s.ctx.Err(); err != nil {
+		// parent cancel/deadline into the derived context before our
+		// AfterFunc runs, so a body parked on Context().Done() can unblock,
+		// return, and complete the domain while the hook that would record
+		// the failure is still in flight. Checking the parent directly (the
+		// derived context may not even exist) is equivalent: the derived
+		// context is only ever cancelled with s.err already set, so a
+		// cancellation the bodies observed without s.err being set can only
+		// have come from the parent chain. Record its error now, before
+		// sealing, and the domain deterministically reports the
+		// cancellation its bodies observed.
+		if err := s.parent.Err(); err != nil {
 			s.err = err
 			s.failed.Store(true)
 		}
 	}
 	s.sealed = true
 	err := s.err
+	sc := s.ctx.Load()
+	done := s.done
 	s.mu.Unlock()
 	if s.ctxStop != nil {
 		// Deregister the parent hook; sealed is already set, so a callback
@@ -194,8 +283,13 @@ func (s *State) Finish() error {
 		s.ctxStop()
 		s.ctxStop = nil
 	}
-	s.cancel(err)
-	close(s.done)
+	if sc != nil {
+		sc.cancel(err)
+	}
+	s.finished.Store(true)
+	if done != nil {
+		close(done)
+	}
 	return err
 }
 
@@ -210,8 +304,22 @@ type Counters struct {
 	Panicked  atomic.Int64 // task bodies that panicked
 }
 
+// AddExecuted folds a batch of executed-task increments into the counter.
+// It is the flush half of the engines' per-(worker, domain) counter caches:
+// instead of one LOCK-prefixed RMW per task body, a worker accumulates its
+// increments for the domain it is currently executing in a private cache
+// and publishes them here on domain switch, park, idle and completion. Live
+// Snapshot readers consequently see Executed advance in batches — always a
+// monotone lower bound, exact once the domain's engine is quiescent.
+func (c *Counters) AddExecuted(n int64) {
+	if n != 0 {
+		c.Executed.Add(n)
+	}
+}
+
 // Snapshot reads the counters. Safe at any time; the values are exact only
-// once the domain is done.
+// once the domain is done (and its engine has flushed per-worker caches —
+// see AddExecuted), and each value is a monotone lower bound until then.
 func (c *Counters) Snapshot() (executed, cancelled, panicked int64) {
 	return c.Executed.Load(), c.Cancelled.Load(), c.Panicked.Load()
 }

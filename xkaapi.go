@@ -357,8 +357,15 @@ type Job = core.Job
 
 // JobStats is the per-job attribution of the scheduler's task outcome
 // counters (Executed, Cancelled, Panicked), for per-request or per-client
-// accounting in services that multiplex many jobs over one pool. See
-// Job.Stats.
+// accounting in services that multiplex many jobs over one pool.
+//
+// Mid-flight snapshots are approximate by design: Executed is batched
+// through per-worker caches (the spawn fast path pays a plain increment,
+// not a shared RMW per task), so while the job runs each counter is a
+// monotone non-decreasing lower bound — it never overshoots and never goes
+// backwards, it may just trail the truth by one batch per worker. Once the
+// job's tree has drained and the workers touch an idle transition, the
+// counts are exact; Cancelled and Panicked are always exact. See Job.Stats.
 type JobStats = core.JobStats
 
 // New creates a runtime with the given options: a single scheduler by
